@@ -1,0 +1,111 @@
+"""E3 — nesting-depth sweep: the cost and benefit of deep trees.
+
+Uniform programs of growing depth/fanout on the nested engine, measuring
+per-transaction cost (lock inheritance climbs one level per commit) and —
+with parallel blocks — the intra-transaction concurrency nesting buys.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, emit, run_cell
+
+DEPTHS = (1, 2, 3, 4, 5, 6)
+PROGRAMS = 40
+
+
+def _sweep():
+    rows = []
+    for depth in DEPTHS:
+        sequential = run_cell(
+            "moss-rw",
+            threads=4,
+            objects=64,
+            shape="uniform",
+            depth=depth,
+            fanout=2,
+            ops_per_transaction=16,
+            programs=PROGRAMS,
+            seed=31,
+        )
+        rows.append(
+            (
+                depth,
+                2 ** depth,
+                sequential.committed_programs,
+                round(sequential.throughput, 1),
+                round(sequential.goodput, 1),
+                sequential.db_stats.get("begun", 0),
+                sequential.db_stats.get("deadlocks", 0),
+            )
+        )
+    return rows
+
+
+def _parallel_compare():
+    rows = []
+    for parallel in (False, True):
+        report = run_cell(
+            "moss-rw",
+            threads=2,
+            objects=256,
+            theta=0.0,
+            shape="uniform",
+            depth=2,
+            fanout=4,
+            ops_per_transaction=16,
+            programs=20,
+            seed=37,
+        ) if not parallel else None
+        if parallel:
+            from repro.bench import Cell
+            from repro.workload import WorkloadConfig
+
+            config = WorkloadConfig(
+                objects=256,
+                theta=0.0,
+                shape="uniform",
+                depth=2,
+                fanout=4,
+                ops_per_transaction=16,
+                parallel_blocks=True,
+                programs=20,
+                seed=37,
+            )
+            report = Cell("moss-rw", config, threads=2).run()
+        rows.append(
+            (
+                "parallel" if parallel else "sequential",
+                report.committed_programs,
+                round(report.throughput, 1),
+                report.child_aborts,
+            )
+        )
+    return rows
+
+
+def test_e3_depth_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["depth", "subtxns/txn", "committed", "txn/s", "ops/s", "begun", "deadlocks"]
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E3: nesting-depth sweep on the nested engine",
+        table,
+        notes="Deeper trees pay per-level begin/commit + lock-inheritance cost.",
+    )
+    assert all(row[2] == PROGRAMS for row in rows)
+
+
+def test_e3_parallel_blocks(benchmark):
+    rows = benchmark.pedantic(_parallel_compare, rounds=1, iterations=1)
+    table = Table(["blocks", "committed", "txn/s", "child aborts"])
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E3b: sequential vs parallel sibling subtransactions",
+        table,
+        notes="Parallel siblings exercise intra-transaction concurrency (GIL-bound).",
+    )
+    assert all(row[1] == 20 for row in rows)

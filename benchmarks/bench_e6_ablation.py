@@ -1,0 +1,163 @@
+"""E6 — ablation of the engine's design choices.
+
+Two axes called out in DESIGN.md:
+
+* lock modes — the paper's simplified single mode (every access
+  conflicts) vs Moss's full read/write modes (the Section 10 extension);
+* lose-lock timing — eager cleanup on abort vs lazy reaping at the next
+  conflicting request (when events (e)/(f) of 𝒜''-ℬ fire).
+
+Expected shape: read/write modes win on read-heavy workloads; lazy
+cleanup trades abort-time work for reaping on the request path.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, emit, run_cell
+
+PROGRAMS = 60
+
+
+def _mode_sweep():
+    rows = []
+    for read_ratio in (0.9, 0.5, 0.1):
+        for system in ("moss-rw", "moss-single"):
+            report = run_cell(
+                system,
+                threads=6,
+                op_delay=0.0002,
+                objects=24,
+                theta=0.9,
+                read_ratio=read_ratio,
+                shape="bushy",
+                groups=3,
+                ops_per_transaction=9,
+                programs=PROGRAMS,
+                seed=43,
+            )
+            rows.append(
+                (
+                    read_ratio,
+                    system,
+                    report.committed_programs,
+                    round(report.goodput, 1),
+                    report.db_stats.get("lock_waits", 0),
+                    report.db_stats.get("deadlocks", 0),
+                )
+            )
+    return rows
+
+
+def _cleanup_sweep():
+    rows = []
+    for system in ("moss-rw", "moss-lazy"):
+        report = run_cell(
+            system,
+            threads=6,
+            objects=24,
+            theta=0.9,
+            shape="bushy",
+            groups=4,
+            ops_per_transaction=8,
+            programs=PROGRAMS,
+            failure_prob=0.3,
+            seed=47,
+        )
+        rows.append(
+            (
+                system,
+                report.committed_programs,
+                round(report.goodput, 1),
+                report.child_aborts,
+                report.db_stats.get("lazy_lock_reaps", 0),
+            )
+        )
+    return rows
+
+
+def test_e6_lock_modes(benchmark):
+    rows = benchmark.pedantic(_mode_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["read ratio", "mode", "committed", "ops/s", "lock waits", "deadlocks"]
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E6a: single-mode (paper variant) vs read/write modes (Moss full)",
+        table,
+        notes="Expected: read/write modes suffer fewer waits on read-heavy mixes.",
+    )
+    assert all(row[2] == PROGRAMS for row in rows)
+    # Shape at the read-heavy end: single mode cannot beat rw on waits.
+    rw_waits = next(r[4] for r in rows if r[0] == 0.9 and r[1] == "moss-rw")
+    single_waits = next(r[4] for r in rows if r[0] == 0.9 and r[1] == "moss-single")
+    assert rw_waits <= single_waits
+
+
+def _victim_sweep():
+    rows = []
+    for system, policy in (
+        ("moss-rw", "blocker (default)"),
+        ("moss-victim-requester", "requester"),
+        ("moss-victim-youngest", "youngest"),
+    ):
+        report = run_cell(
+            system,
+            threads=8,
+            op_delay=0.0003,
+            objects=64,
+            theta=0.5,
+            shape="bushy",
+            groups=4,
+            ops_per_transaction=8,
+            programs=48,
+            seed=17,
+        )
+        rows.append(
+            (
+                policy,
+                report.committed_programs,
+                round(report.throughput, 1),
+                report.db_stats.get("deadlocks", 0),
+                report.child_aborts,
+                report.retries,
+            )
+        )
+    return rows
+
+
+def test_e6_victim_policy(benchmark):
+    rows = benchmark.pedantic(_victim_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["victim policy", "committed", "txn/s", "deadlocks", "child aborts", "retries"]
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E6c: deadlock victim policy under retained parent locks",
+        table,
+        notes=(
+            "Aborting the requester child re-enters the same cycle while the\n"
+            "parent retains its locks; aborting the blocking subtree resolves\n"
+            "each conflict with one deadlock."
+        ),
+    )
+    assert all(row[1] == 48 for row in rows)
+    blocker = next(r for r in rows if "blocker" in r[0])
+    requester = next(r for r in rows if r[0] == "requester")
+    assert blocker[3] <= requester[3]
+
+
+def test_e6_lock_cleanup(benchmark):
+    rows = benchmark.pedantic(_cleanup_sweep, rounds=1, iterations=1)
+    table = Table(["strategy", "committed", "ops/s", "child aborts", "lazy reaps"])
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E6b: eager vs lazy lose-lock cleanup",
+        table,
+        notes="Lazy cleanup must reap at least one dead holder under failures.",
+    )
+    assert all(row[1] == PROGRAMS for row in rows)
+    lazy = next(r for r in rows if r[0] == "moss-lazy")
+    assert lazy[4] > 0 or lazy[3] == 0

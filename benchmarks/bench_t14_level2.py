@@ -1,0 +1,69 @@
+"""T14 — Theorem 14: computability in 𝒜' guarantees perm(T)
+data-serializable.
+
+Sweeps scenario depth and width; every random level-2 run's final state
+(and a sample of its prefixes) must have a data-serializable permanent
+subtree.  The table reports tree sizes and the (necessarily zero) count of
+counterexamples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import Table, emit
+from repro.core import (
+    Level2Algebra,
+    RunConfig,
+    is_data_serializable,
+    random_run,
+    random_scenario,
+)
+
+SWEEP = [
+    ("shallow/narrow", dict(objects=3, toplevel=2, max_depth=2, max_children=2)),
+    ("shallow/wide", dict(objects=3, toplevel=4, max_depth=2, max_children=4)),
+    ("deep/narrow", dict(objects=3, toplevel=2, max_depth=5, max_children=2)),
+    ("deep/wide", dict(objects=4, toplevel=3, max_depth=4, max_children=3)),
+]
+SEEDS = range(8)
+
+
+def _sweep():
+    rows = []
+    for label, kwargs in SWEEP:
+        checked = 0
+        events_total = 0
+        vertices_total = 0
+        failures = 0
+        for seed in SEEDS:
+            rng = random.Random(seed)
+            scenario = random_scenario(rng, **kwargs)
+            algebra = Level2Algebra(scenario.universe)
+            events = random_run(algebra, scenario, rng, RunConfig(max_steps=150))
+            state = algebra.initial_state
+            for i, event in enumerate(events):
+                state = algebra.apply(state, event)
+                if i % 10 == 0 or i == len(events) - 1:
+                    checked += 1
+                    if not is_data_serializable(state.perm()):
+                        failures += 1
+            events_total += len(events)
+            vertices_total += len(state.tree.vertices)
+        rows.append((label, len(SEEDS), events_total, vertices_total, checked, failures))
+    return rows
+
+
+def test_t14_perm_always_data_serializable(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["scenario", "runs", "events", "vertices", "prefixes checked", "violations"]
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "T14 (Theorem 14): perm(T) data-serializable along level-2 runs",
+        table,
+        notes="The theorem predicts the violations column is identically 0.",
+    )
+    assert all(row[-1] == 0 for row in rows)

@@ -1,0 +1,96 @@
+"""T9/E8 — Theorem 9's characterization vs exhaustive search.
+
+Regenerates the theorem as a measurement: on random AATs, the polynomial
+checker (version-compatibility + sibling-data acyclicity) must agree with
+the exponential search restricted to data-consistent orders, and the cost
+gap between the two is reported as the size grows (the practical payoff of
+the characterization).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.bench import Table, emit
+from repro.core import (
+    find_data_serializing_order,
+    is_data_serializable,
+    is_serializing,
+    random_committed_aat,
+)
+from repro.core.serializability import _candidate_orders, sibling_families
+
+
+def _brute_force_data_serializable(aat) -> bool:
+    families = sibling_families(aat.tree)
+    edges = aat.sibling_data_edges()
+    for order in _candidate_orders(families):
+        if not is_serializing(aat.tree, order):
+            continue
+        respects = all(
+            order[a.parent()].index(a) < order[a.parent()].index(b)
+            for a, b in edges
+        )
+        if respects:
+            return True
+    return False
+
+
+def _agreement_sweep():
+    rows = []
+    for n_txns in (2, 3, 4):
+        rng = random.Random(n_txns)
+        instances = [random_committed_aat(rng, n_txns, 2) for _ in range(20)]
+        t0 = time.perf_counter()
+        theorem = [is_data_serializable(aat) for aat in instances]
+        theorem_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        brute = [_brute_force_data_serializable(aat) for aat in instances]
+        brute_time = time.perf_counter() - t0
+        agree = sum(1 for a, b in zip(theorem, brute) if a == b)
+        rows.append(
+            (
+                n_txns,
+                len(instances),
+                agree,
+                theorem_time * 1000,
+                brute_time * 1000,
+                brute_time / max(theorem_time, 1e-9),
+            )
+        )
+    return rows
+
+
+def test_t9_agreement_and_cost(benchmark):
+    rows = benchmark.pedantic(_agreement_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["txns", "instances", "agreements", "thm9 ms", "search ms", "speedup"]
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "T9 (Theorem 9): polynomial characterization vs exhaustive search",
+        table,
+        notes="Agreements must equal instances; speedup grows with size.",
+    )
+    for row in rows:
+        assert row[2] == row[1]
+
+
+def test_t9_witness_throughput(benchmark):
+    """E8: cost of certifying one random AAT with the witness construction."""
+    rng = random.Random(99)
+    instances = [random_committed_aat(rng, 4, 3) for _ in range(10)]
+
+    def certify():
+        count = 0
+        for aat in instances:
+            order = find_data_serializing_order(aat)
+            if order is not None:
+                assert is_serializing(aat.tree, order)
+                count += 1
+        return count
+
+    found = benchmark(certify)
+    assert 0 <= found <= len(instances)

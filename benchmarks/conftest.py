@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's
+per-experiment index and prints its table through
+:func:`repro.bench.reporting.emit` (visible despite capture, logged to
+``benchmarks/results/``).
+"""
+
+collect_ignore_glob = ["results/*"]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Distributed order processing on the Section-9 simulator.
+
+An order-fulfilment workload spread over a small cluster: every step the
+simulator takes is an event of the paper's level-5 algebra, so the whole
+run is a machine-checked computation of Moss's distributed algorithm.
+Compares the three status-propagation policies' message bills and shows
+how data locality changes them.
+
+Run:  python examples/distributed_orders.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import Level2Algebra, is_data_serializable, project_run
+from repro.distributed import (
+    BROADCAST,
+    GOSSIP,
+    TARGETED,
+    DistributedMossSystem,
+    PolicyConfig,
+    random_distributed_scenario,
+)
+
+NODES = 4
+
+
+def run_once(policy: str, locality: float, seed: int = 11):
+    rng = random.Random(seed)
+    scenario, homes = random_distributed_scenario(
+        rng,
+        node_count=NODES,
+        objects_per_node=4,
+        toplevel=6,
+        locality=locality,
+    )
+    system = DistributedMossSystem(
+        scenario, homes, PolicyConfig(kind=policy), seed=seed
+    )
+    report, events = system.run()
+    # Every run projects to a valid level-2 computation (Theorem 29), and
+    # computability there already guarantees a serializable permanent
+    # subtree (Theorem 14) — checked via the Theorem 9 characterization.
+    level2 = Level2Algebra(scenario.universe)
+    final = level2.run(project_run(events, 2))
+    assert is_data_serializable(final.perm())
+    return report
+
+
+def main() -> None:
+    print("distributed order processing on %d nodes" % NODES)
+    print()
+    header = "%-10s %-9s %9s %14s %10s %10s" % (
+        "locality", "policy", "messages", "summary-items", "performed", "complete"
+    )
+    print(header)
+    print("-" * len(header))
+    for locality in (0.2, 0.9):
+        for policy in (TARGETED, BROADCAST, GOSSIP):
+            report = run_once(policy, locality)
+            print(
+                "%-10s %-9s %9d %14d %10d %10s"
+                % (
+                    locality,
+                    policy,
+                    report.messages,
+                    report.summary_entries,
+                    report.performed,
+                    report.completed,
+                )
+            )
+    print()
+    print("Shapes to notice (the E5 experiment, in miniature):")
+    print(" * broadcast pays per-change messages to every node;")
+    print(" * targeted sends only where a precondition could read the status;")
+    print(" * gossip sends few messages but each carries a whole summary;")
+    print(" * higher locality shrinks everything - work stays on one node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — resilient nested transactions.
+
+An executable reproduction of Nancy Lynch's *Concurrency Control for
+Resilient Nested Transactions* (PODS 1983): the five-level event-state
+algebra hierarchy with machine-checked simulation mappings, plus a
+production-style nested-transaction database engine implementing Moss's
+locking algorithm (with the read/write extension), a distributed
+simulation, baselines, workloads, and a benchmark harness.
+
+Quick start::
+
+    from repro.engine import NestedTransactionDB
+
+    db = NestedTransactionDB({"a": 0, "b": 0})
+    with db.transaction() as top:
+        with top.subtransaction() as sub:
+            sub.write("a", sub.read("a") + 1)
+    assert db.snapshot()["a"] == 1
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

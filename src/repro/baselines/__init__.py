@@ -1,0 +1,18 @@
+"""Comparison baselines: flat strict 2PL, a single global lock, and
+Reed-style multiversion timestamp ordering."""
+
+from .flat_2pl import FlatLockingDB, FlatStats, FlatTransaction
+from .global_lock import GlobalLockDB, GlobalLockStats, GlobalLockTransaction
+from .timestamp import MVTODatabase, MVTOStats, MVTOTransaction
+
+__all__ = [
+    "FlatLockingDB",
+    "FlatStats",
+    "FlatTransaction",
+    "GlobalLockDB",
+    "GlobalLockStats",
+    "GlobalLockTransaction",
+    "MVTODatabase",
+    "MVTOStats",
+    "MVTOTransaction",
+]

@@ -1,0 +1,286 @@
+"""Baseline: flat strict two-phase locking (no nesting).
+
+The classical single-level system the paper's introduction contrasts with
+([3] in its references): transactions are sequential, hold read/write
+locks to completion, and have no internal recovery structure — a failure
+anywhere aborts the *whole* transaction.  The API mirrors the nested
+engine so workloads run unchanged; ``subtransaction`` exists but provides
+no containment: an exception inside it aborts the enclosing transaction,
+which is precisely the cost the E2 resilience benchmark measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import U, ActionName
+from ..engine.deadlock import REQUESTER, WaitsForGraph, choose_victim
+from ..engine.errors import (
+    DeadlockAbort,
+    InvalidTransactionState,
+    LockTimeout,
+    TransactionAborted,
+    UnknownObject,
+)
+
+
+@dataclass
+class FlatStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+    lock_waits: int = 0
+    deadlocks: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _FlatLocks:
+    """Readers/single-writer lock state for one object."""
+
+    __slots__ = ("readers", "writer")
+
+    def __init__(self) -> None:
+        self.readers: Set[ActionName] = set()
+        self.writer: Optional[ActionName] = None
+
+    def read_conflicts(self, txn: ActionName) -> List[ActionName]:
+        if self.writer is not None and self.writer != txn:
+            return [self.writer]
+        return []
+
+    def write_conflicts(self, txn: ActionName) -> List[ActionName]:
+        conflicts = [r for r in self.readers if r != txn]
+        if self.writer is not None and self.writer != txn:
+            conflicts.append(self.writer)
+        return conflicts
+
+    def release(self, txn: ActionName) -> None:
+        self.readers.discard(txn)
+        if self.writer == txn:
+            self.writer = None
+
+
+class FlatTransaction:
+    """A single-level transaction: sequential, all-or-nothing."""
+
+    def __init__(self, db: "FlatLockingDB", name: ActionName) -> None:
+        self._db = db
+        self.name = name
+        self.status = ACTIVE
+        self._undo: List[Tuple[str, Any]] = []
+        self.held: Set[str] = set()
+
+    def read(self, obj: str) -> Any:
+        return self._db._read(self, obj)
+
+    def read_for_update(self, obj: str) -> Any:
+        """Read taking the write lock up front (no upgrade deadlocks)."""
+        return self._db._read(self, obj, for_update=True)
+
+    def write(self, obj: str, value: Any) -> None:
+        self._db._write(self, obj, value)
+
+    def update(self, obj: str, fn: Callable[[Any], Any]) -> Any:
+        new_value = fn(self.read_for_update(obj))
+        self.write(obj, new_value)
+        return new_value
+
+    @contextmanager
+    def subtransaction(self) -> Iterator["FlatTransaction"]:
+        """No containment: an error here dooms the whole transaction."""
+        try:
+            yield self
+        except BaseException:
+            self.abort()
+            raise TransactionAborted(self.name, "flat transactions cannot contain failures")
+
+    def begin_subtransaction(self) -> "FlatTransaction":
+        return self
+
+    def commit(self) -> None:
+        self._db._commit(self)
+
+    def abort(self) -> None:
+        self._db._abort(self)
+
+    def __repr__(self) -> str:
+        return "FlatTransaction(%r, %s)" % (self.name, self.status)
+
+
+class FlatLockingDB:
+    """Strict 2PL over a flat value store, with deadlock detection."""
+
+    def __init__(
+        self,
+        initial: Mapping[str, Any],
+        deadlock_policy: str = REQUESTER,
+        detect_deadlocks: bool = True,
+        lock_timeout: float = 10.0,
+    ) -> None:
+        self._latch = threading.Lock()
+        self._cond = threading.Condition(self._latch)
+        self._values: Dict[str, Any] = dict(initial)
+        self._initial = dict(initial)
+        self._locks: Dict[str, _FlatLocks] = {obj: _FlatLocks() for obj in initial}
+        self._waits = WaitsForGraph()
+        self._txns: Dict[ActionName, FlatTransaction] = {}
+        self._counter = itertools.count()
+        self.deadlock_policy = deadlock_policy
+        self.detect_deadlocks = detect_deadlocks
+        self.lock_timeout = lock_timeout
+        self.stats = FlatStats()
+
+    # -- public API ----------------------------------------------------------
+
+    def begin_transaction(self) -> FlatTransaction:
+        with self._cond:
+            name = U.child(next(self._counter))
+            txn = FlatTransaction(self, name)
+            self._txns[name] = txn
+            self.stats.begun += 1
+            return txn
+
+    @contextmanager
+    def transaction(self) -> Iterator[FlatTransaction]:
+        txn = self.begin_transaction()
+        try:
+            yield txn
+        except BaseException:
+            txn.abort()
+            raise
+        else:
+            txn.commit()
+
+    def run_transaction(
+        self,
+        fn: Callable[[FlatTransaction], Any],
+        max_retries: int = 20,
+        backoff: float = 0.0005,
+    ) -> Any:
+        attempt = 0
+        while True:
+            txn = self.begin_transaction()
+            try:
+                value = fn(txn)
+                txn.commit()
+                return value
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                if backoff:
+                    time.sleep(backoff * attempt)
+            except BaseException:
+                txn.abort()  # application bugs must not leak transactions
+                raise
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._cond:
+            return dict(self._values)
+
+    @property
+    def initial_values(self) -> Dict[str, Any]:
+        return dict(self._initial)
+
+    # -- internals -------------------------------------------------------------
+
+    def _read(self, txn: FlatTransaction, obj: str, for_update: bool = False) -> Any:
+        with self._cond:
+            self._acquire(txn, obj, write=for_update)
+            self.stats.reads += 1
+            return self._values[obj]
+
+    def _write(self, txn: FlatTransaction, obj: str, value: Any) -> None:
+        with self._cond:
+            self._acquire(txn, obj, write=True)
+            txn._undo.append((obj, self._values[obj]))
+            self._values[obj] = value
+            self.stats.writes += 1
+
+    def _acquire(self, txn: FlatTransaction, obj: str, write: bool) -> None:
+        if obj not in self._locks:
+            raise UnknownObject(obj)
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.name)
+        locks = self._locks[obj]
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            if txn.status == ABORTED:
+                raise TransactionAborted(txn.name)
+            conflicts = (
+                locks.write_conflicts(txn.name)
+                if write
+                else locks.read_conflicts(txn.name)
+            )
+            if not conflicts:
+                if write:
+                    locks.writer = txn.name
+                    locks.readers.discard(txn.name)
+                else:
+                    locks.readers.add(txn.name)
+                txn.held.add(obj)
+                self._waits.clear_waits(txn.name)
+                return
+            self._waits.set_waits(txn.name, conflicts)
+            if self.detect_deadlocks:
+                cycle = self._waits.find_cycle_from(txn.name)
+                if cycle is not None:
+                    self.stats.deadlocks += 1
+                    victim_name = choose_victim(cycle, self.deadlock_policy, txn.name)
+                    self._waits.clear_waits(txn.name)
+                    self._abort_locked(self._txns[victim_name])
+                    self._cond.notify_all()
+                    if victim_name == txn.name:
+                        raise DeadlockAbort(txn.name, cycle)
+                    continue
+            self.stats.lock_waits += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                self._waits.clear_waits(txn.name)
+                raise LockTimeout(txn.name, obj)
+
+    def _commit(self, txn: FlatTransaction) -> None:
+        with self._cond:
+            if txn.status == ABORTED:
+                raise TransactionAborted(txn.name, "commit after abort")
+            if txn.status == COMMITTED:
+                raise InvalidTransactionState("%r already committed" % txn.name)
+            txn.status = COMMITTED
+            self._release_all(txn)
+            self.stats.committed += 1
+            self._cond.notify_all()
+
+    def _abort(self, txn: FlatTransaction) -> None:
+        with self._cond:
+            self._abort_locked(txn)
+            self._cond.notify_all()
+
+    def _abort_locked(self, txn: FlatTransaction) -> None:
+        if txn.status != ACTIVE:
+            return
+        txn.status = ABORTED
+        for obj, old in reversed(txn._undo):
+            self._values[obj] = old
+        txn._undo.clear()
+        self._release_all(txn)
+        self.stats.aborted += 1
+
+    def _release_all(self, txn: FlatTransaction) -> None:
+        for obj in txn.held:
+            self._locks[obj].release(txn.name)
+        txn.held = set()
+        self._waits.remove_transaction(txn.name)
+
+    def __repr__(self) -> str:
+        return "FlatLockingDB(%d objects)" % len(self._values)

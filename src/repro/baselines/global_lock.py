@@ -1,0 +1,175 @@
+"""Baseline: one global lock — fully serial execution.
+
+The degenerate concurrency control: a transaction holds the single system
+lock from begin to end.  Trivially serializable, zero concurrency; the
+floor every scalable algorithm must beat (E1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import U, ActionName
+from ..engine.errors import (
+    InvalidTransactionState,
+    TransactionAborted,
+    UnknownObject,
+)
+
+
+@dataclass
+class GlobalLockStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class GlobalLockTransaction:
+    """Holds the world; reads and writes are plain dict operations."""
+
+    def __init__(self, db: "GlobalLockDB", name: ActionName) -> None:
+        self._db = db
+        self.name = name
+        self.status = ACTIVE
+        self._undo: List[Tuple[str, Any]] = []
+
+    def read(self, obj: str) -> Any:
+        self._check_active()
+        if obj not in self._db._values:
+            raise UnknownObject(obj)
+        self._db.stats.reads += 1
+        return self._db._values[obj]
+
+    def write(self, obj: str, value: Any) -> None:
+        self._check_active()
+        if obj not in self._db._values:
+            raise UnknownObject(obj)
+        self._undo.append((obj, self._db._values[obj]))
+        self._db._values[obj] = value
+        self._db.stats.writes += 1
+
+    def read_for_update(self, obj: str) -> Any:
+        """API parity with the locking systems; the global lock already
+        excludes everyone."""
+        return self.read(obj)
+
+    def update(self, obj: str, fn: Callable[[Any], Any]) -> Any:
+        new_value = fn(self.read(obj))
+        self.write(obj, new_value)
+        return new_value
+
+    @contextmanager
+    def subtransaction(self) -> Iterator["GlobalLockTransaction"]:
+        """Savepoint semantics: a failure rolls back to the mark, and the
+        enclosing transaction continues (the global lock gives isolation
+        for free, so containment costs nothing here — but so does all
+        concurrency)."""
+        mark = len(self._undo)
+        try:
+            yield self
+        except BaseException:
+            while len(self._undo) > mark:
+                obj, old = self._undo.pop()
+                self._db._values[obj] = old
+            raise
+
+    def begin_subtransaction(self) -> "GlobalLockTransaction":
+        return self
+
+    def commit(self) -> None:
+        self._check_active()
+        self.status = COMMITTED
+        self._db._finish(self)
+        self._db.stats.committed += 1
+
+    def abort(self) -> None:
+        if self.status != ACTIVE:
+            return
+        self.status = ABORTED
+        for obj, old in reversed(self._undo):
+            self._db._values[obj] = old
+        self._undo.clear()
+        self._db._finish(self)
+        self._db.stats.aborted += 1
+
+    def _check_active(self) -> None:
+        if self.status == ABORTED:
+            raise TransactionAborted(self.name)
+        if self.status == COMMITTED:
+            raise InvalidTransactionState("%r already committed" % self.name)
+
+
+class GlobalLockDB:
+    """The serial-execution baseline."""
+
+    def __init__(self, initial: Mapping[str, Any]) -> None:
+        self._world = threading.RLock()
+        self._values: Dict[str, Any] = dict(initial)
+        self._initial = dict(initial)
+        self._counter = itertools.count()
+        self.stats = GlobalLockStats()
+
+    def begin_transaction(self) -> GlobalLockTransaction:
+        self._world.acquire()
+        self.stats.begun += 1
+        return GlobalLockTransaction(self, U.child(next(self._counter)))
+
+    def _finish(self, txn: GlobalLockTransaction) -> None:
+        self._world.release()
+
+    @contextmanager
+    def transaction(self) -> Iterator[GlobalLockTransaction]:
+        txn = self.begin_transaction()
+        try:
+            yield txn
+        except BaseException:
+            txn.abort()
+            raise
+        else:
+            txn.commit()
+
+    def run_transaction(
+        self,
+        fn: Callable[[GlobalLockTransaction], Any],
+        max_retries: int = 20,
+        backoff: float = 0.0005,
+    ) -> Any:
+        attempt = 0
+        while True:
+            txn = self.begin_transaction()
+            try:
+                value = fn(txn)
+                txn.commit()
+                return value
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                if backoff:
+                    time.sleep(backoff * attempt)
+            except BaseException:
+                txn.abort()  # application bugs must not leak transactions
+                raise
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._world:
+            return dict(self._values)
+
+    @property
+    def initial_values(self) -> Dict[str, Any]:
+        return dict(self._initial)
+
+    def __repr__(self) -> str:
+        return "GlobalLockDB(%d objects)" % len(self._values)

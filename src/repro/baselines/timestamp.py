@@ -1,0 +1,308 @@
+"""Baseline: multiversion timestamp ordering (Reed-style, reference [10]).
+
+Reed's thesis implemented nested transactions over multiple versions with
+timestamps; his exact scheme is not publicly runnable, so — per the
+substitution rule — this is the closest synthetic equivalent exercising
+the same code path: classic MVTO with buffered writes and commit-time
+validation, plus savepoint-style subtransactions (buffered writes roll
+back; read timestamps persist, which is conservative and safe).
+
+Rules (per object, versions sorted by write timestamp):
+
+* read at ts: the latest committed version with wts ≤ ts; bump its rts;
+* write at ts: rejected (abort) if the version it would supersede has
+  already been read by a younger transaction (rts > ts);
+* commit: re-validate each buffered write, then install versions at ts
+  atomically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import U, ActionName
+from ..engine.errors import (
+    InvalidTransactionState,
+    TransactionAborted,
+    UnknownObject,
+)
+
+
+@dataclass
+class MVTOStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+    write_rejections: int = 0
+    validation_failures: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Version:
+    wts: int
+    value: Any
+    rts: int = 0
+
+
+class MVTOTransaction:
+    """A timestamped transaction with buffered writes."""
+
+    def __init__(self, db: "MVTODatabase", name: ActionName, ts: int) -> None:
+        self._db = db
+        self.name = name
+        self.ts = ts
+        self.status = ACTIVE
+        self._writes: Dict[str, Any] = {}
+        self._write_order: List[str] = []
+
+    def read(self, obj: str) -> Any:
+        self._check_active()
+        if obj in self._writes:
+            self._db.stats.reads += 1
+            return self._writes[obj]
+        return self._db._read(self, obj)
+
+    def write(self, obj: str, value: Any) -> None:
+        self._check_active()
+        self._db._check_write(self, obj)
+        if obj not in self._writes:
+            self._write_order.append(obj)
+        self._writes[obj] = value
+        self._db.stats.writes += 1
+
+    def read_for_update(self, obj: str) -> Any:
+        """API parity; MVTO has no lock to strengthen, rejection happens
+        at write/validation time regardless."""
+        return self.read(obj)
+
+    def update(self, obj: str, fn: Callable[[Any], Any]) -> Any:
+        new_value = fn(self.read(obj))
+        self.write(obj, new_value)
+        return new_value
+
+    @contextmanager
+    def subtransaction(self) -> Iterator["MVTOTransaction"]:
+        """Savepoint: buffered writes since the mark roll back on failure;
+        the enclosing transaction survives."""
+        mark = {obj: self._writes[obj] for obj in self._writes}
+        mark_order = list(self._write_order)
+        try:
+            yield self
+        except TransactionAborted:
+            raise  # our own doom is not containable
+        except BaseException:
+            self._writes = mark
+            self._write_order = mark_order
+            raise
+
+    def begin_subtransaction(self) -> "MVTOTransaction":
+        return self
+
+    def commit(self) -> None:
+        self._db._commit(self)
+
+    def abort(self) -> None:
+        self._db._abort(self)
+
+    def _check_active(self) -> None:
+        if self.status == ABORTED:
+            raise TransactionAborted(self.name)
+        if self.status == COMMITTED:
+            raise InvalidTransactionState("%r already committed" % self.name)
+
+
+class MVTODatabase:
+    """Multiversion timestamp ordering over an in-memory store.
+
+    ``gc_every`` bounds version growth: every that-many commits, versions
+    older than the oldest active transaction's timestamp are pruned (the
+    newest version at or below the watermark is always retained, since it
+    is what the oldest reader would see).
+    """
+
+    def __init__(self, initial: Mapping[str, Any], gc_every: int = 0) -> None:
+        self._latch = threading.Lock()
+        self._versions: Dict[str, List[_Version]] = {
+            obj: [_Version(wts=0, value=value)] for obj, value in initial.items()
+        }
+        self._initial = dict(initial)
+        self._ts_counter = itertools.count(1)
+        self._txn_counter = itertools.count()
+        self._active_ts: Dict[ActionName, int] = {}
+        self.gc_every = gc_every
+        self._commits_since_gc = 0
+        self.stats = MVTOStats()
+
+    # -- public API ------------------------------------------------------------
+
+    def begin_transaction(self) -> MVTOTransaction:
+        with self._latch:
+            ts = next(self._ts_counter)
+            name = U.child(next(self._txn_counter))
+            self.stats.begun += 1
+            txn = MVTOTransaction(self, name, ts)
+            self._active_ts[name] = ts
+            return txn
+
+    @contextmanager
+    def transaction(self) -> Iterator[MVTOTransaction]:
+        txn = self.begin_transaction()
+        try:
+            yield txn
+        except BaseException:
+            txn.abort()
+            raise
+        else:
+            txn.commit()
+
+    def run_transaction(
+        self,
+        fn: Callable[[MVTOTransaction], Any],
+        max_retries: int = 50,
+        backoff: float = 0.0002,
+    ) -> Any:
+        attempt = 0
+        while True:
+            txn = self.begin_transaction()
+            try:
+                value = fn(txn)
+                txn.commit()
+                return value
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                if backoff:
+                    time.sleep(backoff * attempt)
+            except BaseException:
+                txn.abort()  # application bugs must not leak transactions
+                raise
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._latch:
+            return {
+                obj: versions[-1].value for obj, versions in self._versions.items()
+            }
+
+    @property
+    def initial_values(self) -> Dict[str, Any]:
+        return dict(self._initial)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _visible_version(self, obj: str, ts: int) -> _Version:
+        versions = self._versions[obj]
+        # Versions are sorted by wts; find the last with wts ≤ ts.
+        index = bisect.bisect_right([v.wts for v in versions], ts) - 1
+        return versions[index]
+
+    def _read(self, txn: MVTOTransaction, obj: str) -> Any:
+        with self._latch:
+            if obj not in self._versions:
+                raise UnknownObject(obj)
+            version = self._visible_version(obj, txn.ts)
+            version.rts = max(version.rts, txn.ts)
+            self.stats.reads += 1
+            return version.value
+
+    def _check_write(self, txn: MVTOTransaction, obj: str) -> None:
+        with self._latch:
+            if obj not in self._versions:
+                raise UnknownObject(obj)
+            version = self._visible_version(obj, txn.ts)
+            if version.rts > txn.ts:
+                self.stats.write_rejections += 1
+                self._abort_locked(txn)
+                raise TransactionAborted(
+                    txn.name,
+                    "write to %s rejected: read at ts %d > %d"
+                    % (obj, version.rts, txn.ts),
+                )
+
+    def _commit(self, txn: MVTOTransaction) -> None:
+        with self._latch:
+            if txn.status == ABORTED:
+                raise TransactionAborted(txn.name, "commit after abort")
+            if txn.status == COMMITTED:
+                raise InvalidTransactionState("%r already committed" % txn.name)
+            # Validate, then install.
+            for obj in txn._write_order:
+                version = self._visible_version(obj, txn.ts)
+                if version.rts > txn.ts or version.wts > txn.ts:
+                    self.stats.validation_failures += 1
+                    self._abort_locked(txn)
+                    raise TransactionAborted(
+                        txn.name, "validation failed on %s" % obj
+                    )
+            for obj in txn._write_order:
+                versions = self._versions[obj]
+                new_version = _Version(wts=txn.ts, value=txn._writes[obj], rts=txn.ts)
+                index = bisect.bisect_right([v.wts for v in versions], txn.ts)
+                versions.insert(index, new_version)
+            txn.status = COMMITTED
+            self._active_ts.pop(txn.name, None)
+            self.stats.committed += 1
+            self._commits_since_gc += 1
+            if self.gc_every and self._commits_since_gc >= self.gc_every:
+                self._prune_locked()
+                self._commits_since_gc = 0
+
+    def _abort(self, txn: MVTOTransaction) -> None:
+        with self._latch:
+            self._abort_locked(txn)
+
+    def _abort_locked(self, txn: MVTOTransaction) -> None:
+        if txn.status != ACTIVE:
+            return
+        txn.status = ABORTED
+        txn._writes.clear()
+        txn._write_order.clear()
+        self._active_ts.pop(txn.name, None)
+        self.stats.aborted += 1
+
+    # -- version garbage collection ------------------------------------------------
+
+    def prune_versions(self) -> int:
+        """Drop versions no active transaction can still read.  Returns
+        the number of versions discarded."""
+        with self._latch:
+            return self._prune_locked()
+
+    def _prune_locked(self) -> int:
+        watermark = min(self._active_ts.values(), default=None)
+        pruned = 0
+        for versions in self._versions.values():
+            if watermark is None:
+                keep_from = len(versions) - 1
+            else:
+                # The newest version with wts ≤ watermark must stay; all
+                # earlier ones are unreadable by anyone.
+                keep_from = bisect.bisect_right(
+                    [v.wts for v in versions], watermark
+                ) - 1
+                keep_from = max(keep_from, 0)
+            if keep_from > 0:
+                pruned += keep_from
+                del versions[:keep_from]
+        return pruned
+
+    def version_count(self) -> int:
+        """Total retained versions across all objects (for GC tests)."""
+        with self._latch:
+            return sum(len(v) for v in self._versions.values())
+
+    def __repr__(self) -> str:
+        return "MVTODatabase(%d objects)" % len(self._versions)

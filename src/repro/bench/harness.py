@@ -1,0 +1,84 @@
+"""Shared builders for the benchmark suite.
+
+Each benchmark regenerates one experiment from DESIGN.md's index; the
+helpers here standardize how systems under test are constructed and how a
+single workload cell is run and summarized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
+from ..engine import NestedTransactionDB
+from ..workload import (
+    ExecutionReport,
+    WorkloadConfig,
+    WorkloadGenerator,
+    execute,
+    initial_values,
+)
+
+#: The systems compared throughout E1-E7, by short name.
+SYSTEMS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "moss-rw": lambda init: NestedTransactionDB(init, record_trace=False),
+    "moss-single": lambda init: NestedTransactionDB(
+        init, single_mode=True, record_trace=False
+    ),
+    "moss-lazy": lambda init: NestedTransactionDB(
+        init, lazy_lock_cleanup=True, record_trace=False
+    ),
+    "moss-victim-requester": lambda init: NestedTransactionDB(
+        init, deadlock_policy="requester", record_trace=False
+    ),
+    "moss-victim-youngest": lambda init: NestedTransactionDB(
+        init, deadlock_policy="youngest", record_trace=False
+    ),
+    "flat-2pl": lambda init: FlatLockingDB(init),
+    "global-lock": lambda init: GlobalLockDB(init),
+    "mvto": lambda init: MVTODatabase(init),
+}
+
+
+def make_system(name: str, objects: int) -> Any:
+    """Instantiate a system under test over a fresh object population."""
+    return SYSTEMS[name](initial_values(objects))
+
+
+@dataclass
+class Cell:
+    """One benchmark cell: a system, a workload config, an executor setup."""
+
+    system: str
+    config: WorkloadConfig
+    threads: int = 4
+    failure_prob: float = 0.0
+    op_delay: float = 0.0
+    max_retries: int = 50
+
+    def run(self) -> ExecutionReport:
+        db = make_system(self.system, self.config.objects)
+        programs = WorkloadGenerator(self.config).programs()
+        return execute(
+            db,
+            programs,
+            threads=self.threads,
+            failure_prob=self.failure_prob,
+            seed=self.config.seed,
+            op_delay=self.op_delay,
+            max_retries=self.max_retries,
+        )
+
+
+def run_cell(
+    system: str,
+    threads: int = 4,
+    failure_prob: float = 0.0,
+    op_delay: float = 0.0,
+    max_retries: int = 50,
+    **config_kwargs: Any,
+) -> ExecutionReport:
+    """Convenience wrapper building the cell in one call."""
+    config = WorkloadConfig(**config_kwargs)
+    return Cell(system, config, threads, failure_prob, op_delay, max_retries).run()

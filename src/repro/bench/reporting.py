@@ -1,0 +1,76 @@
+"""Table rendering for the benchmark harness.
+
+Benchmarks print the same kind of rows/series a paper's evaluation section
+would; tables are written through ``sys.__stdout__`` so they remain
+visible under pytest's output capture, and are also appended to
+``benchmarks/results/`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self.columns), len(values))
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def add_dict(self, row: Dict[str, Any]) -> None:
+        self.add_row(*[row.get(col, "") for col in self.columns])
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        rule = "  ".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def emit(title: str, table: Table, notes: Optional[str] = None) -> None:
+    """Print a titled table past pytest's capture and log it to disk."""
+    text_parts = ["", "=" * 72, title, "=" * 72, table.render()]
+    if notes:
+        text_parts.append(notes)
+    text_parts.append("")
+    text = "\n".join(text_parts)
+    sys.__stdout__.write(text)
+    sys.__stdout__.flush()
+    try:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:60]
+        with open(os.path.join(RESULTS_DIR, slug + ".txt"), "w") as fh:
+            fh.write(text)
+    except OSError:
+        pass  # results logging is best-effort

@@ -1,0 +1,62 @@
+"""Runtime verification: lemma monitors and the engine serializability
+oracle."""
+
+from .history import (
+    OracleReport,
+    OracleViolation,
+    check_engine,
+    check_trace_level2,
+    check_trace_level2rw,
+    check_trace_serializable,
+    conflict_sibling_edges,
+    trace_to_aat,
+    trace_to_level2_events,
+    trace_to_universe,
+)
+from .orphans import (
+    OrphanViewReport,
+    ViewAnomaly,
+    consistent_view_value,
+    orphan_view_report,
+)
+from .invariants import (
+    InvariantViolation,
+    check_along_run,
+    check_lemma5,
+    check_lemma6,
+    check_lemma7,
+    check_lemma10,
+    check_lemma11,
+    check_lemma12,
+    check_lemma13,
+    check_lemma16,
+    check_lemma19,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "OracleReport",
+    "OracleViolation",
+    "OrphanViewReport",
+    "ViewAnomaly",
+    "consistent_view_value",
+    "orphan_view_report",
+    "check_along_run",
+    "check_engine",
+    "check_lemma10",
+    "check_lemma11",
+    "check_lemma12",
+    "check_lemma13",
+    "check_lemma16",
+    "check_lemma19",
+    "check_lemma5",
+    "check_lemma6",
+    "check_lemma7",
+    "check_trace_level2",
+    "check_trace_level2rw",
+    "check_trace_serializable",
+    "conflict_sibling_edges",
+    "trace_to_aat",
+    "trace_to_level2_events",
+    "trace_to_universe",
+]

@@ -1,0 +1,264 @@
+"""The engine oracle: certify serializability of recorded executions.
+
+Engine traces are linearized logs of create/commit/abort/perform records.
+Two independent certifications:
+
+* :func:`check_trace_level2` — replay the trace as a run of the level-2
+  algebra.  This is *conformance*: the single-mode engine is claimed to be
+  an implementation of the paper's algorithm, so its traces must be valid
+  𝒜' computations (Theorem 14 then gives serializability for free).
+  Read/write-mode traces are generally **not** valid level-2 runs (clause
+  (d12) treats every access as conflicting), which is exactly the paper's
+  simplification; use the mode-aware check below for those.
+
+* :func:`check_trace_serializable` — the mode-aware oracle, a read/write
+  generalization of Theorem 9: build the permanent action tree, take the
+  execution order as the version order, and require (1) every permanent
+  data step's label to equal the replay of its visible predecessors, and
+  (2) acyclicity of the sibling precedence induced by *conflicting* pairs
+  only (read-read pairs impose no order, since identity updates commute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.aat import AugmentedActionTree
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
+from ..core.characterization import (
+    conflict_sibling_edges as _core_conflict_edges,
+    find_sibling_data_cycle,
+)
+from ..core.events import Create, Event, Perform
+from ..core.level2 import Level2Algebra
+from ..core.naming import ActionName
+from ..core.universe import Universe, read as read_update, write as write_update
+from ..engine.trace import ABORT, COMMIT, CREATE, PERFORM, TraceRecord
+
+
+class OracleViolation(AssertionError):
+    """The trace fails a serializability certification."""
+
+
+def trace_to_universe(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> Universe:
+    """Reconstruct the a-priori universe a trace implies: the objects with
+    their initial values, and one access per perform record."""
+    universe = Universe()
+    for obj, value in initial.items():
+        universe.define_object(obj, init=value)
+    for record in records:
+        if record.op == PERFORM:
+            update = (
+                read_update() if record.kind == "read" else write_update(record.arg)
+            )
+            universe.declare_access(record.access, record.obj, update)
+    return universe
+
+
+def trace_to_level2_events(
+    records: Sequence[TraceRecord], universe: Universe
+) -> List[Event]:
+    """The level-2 event sequence a trace denotes.  Perform records expand
+    to create-then-perform of the synthetic access leaf."""
+    from ..core.events import Abort as AbortEvent, Commit as CommitEvent
+
+    events: List[Event] = []
+    for record in records:
+        if record.op == CREATE:
+            events.append(Create(record.txn))
+        elif record.op == COMMIT:
+            events.append(CommitEvent(record.txn))
+        elif record.op == ABORT:
+            events.append(AbortEvent(record.txn))
+        elif record.op == PERFORM:
+            events.append(Create(record.access))
+            events.append(Perform(record.access, record.seen))
+    return events
+
+
+def _replay(algebra, events, label: str):
+    state = algebra.initial_state
+    for index, event in enumerate(events):
+        reason = algebra.precondition_failure(state, event)
+        if reason is not None:
+            raise OracleViolation(
+                "trace is not a valid %s run at event %d (%r): %s"
+                % (label, index, event, reason)
+            )
+        state = algebra.apply_effect(state, event)
+    return state
+
+
+def check_trace_level2(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> AugmentedActionTree:
+    """Replay a (single-mode) trace through the level-2 algebra.
+
+    Raises :class:`OracleViolation` at the first non-enabled event;
+    returns the final AAT on success.
+    """
+    universe = trace_to_universe(records, initial)
+    algebra = Level2Algebra(universe)
+    events = trace_to_level2_events(records, universe)
+    return _replay(algebra, events, "level-2")
+
+
+def check_trace_level2rw(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> AugmentedActionTree:
+    """Replay a read/write-mode trace through the mode-aware level-2
+    algebra (𝒜'-RW): the conformance oracle for Moss's complete
+    algorithm (paper §10)."""
+    from ..core.rw import Level2RWAlgebra
+
+    universe = trace_to_universe(records, initial)
+    algebra = Level2RWAlgebra(universe)
+    events = trace_to_level2_events(records, universe)
+    return _replay(algebra, events, "level-2-RW")
+
+
+def trace_to_aat(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> AugmentedActionTree:
+    """Build the augmented action tree a trace denotes, with the execution
+    order as the per-object data order (no level-2 precondition checks)."""
+    universe = trace_to_universe(records, initial)
+    status: Dict[ActionName, str] = {ActionName(): ACTIVE}
+    labels: Dict[ActionName, Any] = {}
+    data: Dict[str, Tuple[ActionName, ...]] = {}
+    for record in records:
+        if record.op == CREATE:
+            status[record.txn] = ACTIVE
+        elif record.op == COMMIT:
+            status[record.txn] = COMMITTED
+        elif record.op == ABORT:
+            status[record.txn] = ABORTED
+        elif record.op == PERFORM:
+            status[record.access] = COMMITTED
+            labels[record.access] = record.seen
+            data[record.obj] = data.get(record.obj, ()) + (record.access,)
+    tree = ActionTree(universe, status, labels)
+    return AugmentedActionTree(tree, data)
+
+
+def conflict_sibling_edges(
+    aat: AugmentedActionTree,
+) -> Set[Tuple[ActionName, ActionName]]:
+    """Re-exported from :mod:`repro.core.characterization` (the read/write
+    refinement of Theorem 9(b))."""
+    return _core_conflict_edges(aat)
+
+
+@dataclass
+class OracleReport:
+    """What the mode-aware oracle concluded."""
+
+    datasteps: int
+    permanent_datasteps: int
+    edges: int
+    ok: bool
+    failure: Optional[str] = None
+
+
+def check_trace_serializable(
+    records: Sequence[TraceRecord],
+    initial: Mapping[str, Any],
+    strict: bool = True,
+) -> OracleReport:
+    """Mode-aware serializability oracle over the permanent subtree.
+
+    Checks label/replay agreement for every permanent data step and
+    acyclicity of the conflict-aware sibling precedence.  With ``strict``
+    raises on failure; otherwise reports it.
+    """
+    aat = trace_to_aat(records, initial)
+    perm = aat.perm()
+    universe = perm.universe
+    failure: Optional[str] = None
+    for step in perm.tree.datasteps():
+        obj = universe.object_of(step)
+        expected = universe.result(obj, perm.v_data(step))
+        actual = perm.tree.label(step)
+        if actual != expected:
+            failure = "data step %r saw %r, replay of its visible history gives %r" % (
+                step,
+                actual,
+                expected,
+            )
+            break
+    edges = conflict_sibling_edges(perm)
+    if failure is None:
+        cycle = _find_cycle(edges)
+        if cycle is not None:
+            failure = "conflict sibling precedence has a cycle: %r" % (cycle,)
+    report = OracleReport(
+        datasteps=sum(1 for _ in aat.tree.datasteps()),
+        permanent_datasteps=sum(1 for _ in perm.tree.datasteps()),
+        edges=len(edges),
+        ok=failure is None,
+        failure=failure,
+    )
+    if strict and failure is not None:
+        raise OracleViolation(failure)
+    return report
+
+
+def _find_cycle(
+    edges: Set[Tuple[ActionName, ActionName]]
+) -> Optional[List[ActionName]]:
+    adjacency: Dict[ActionName, List[ActionName]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[ActionName, int] = {}
+    parent: Dict[ActionName, ActionName] = {}
+    for root in adjacency:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            neighbors = adjacency.get(node, [])
+            if idx >= len(neighbors):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, idx + 1)
+            nxt = neighbors[idx]
+            state = color.get(nxt, WHITE)
+            if state == WHITE:
+                color[nxt] = GREY
+                parent[nxt] = node
+                stack.append((nxt, 0))
+            elif state == GREY:
+                cycle = [node]
+                walk = node
+                while walk != nxt:
+                    walk = parent[walk]
+                    cycle.append(walk)
+                cycle.reverse()
+                return cycle
+    return None
+
+
+def check_engine(db) -> OracleReport:
+    """Certify a finished engine run.
+
+    Single-mode engines must conform to the paper's level-2 algebra;
+    read/write engines to its mode-aware extension (𝒜'-RW, paper §10).
+    Either way the Theorem-9-style serializability oracle runs over the
+    permanent subtree.
+    """
+    if db.trace is None:
+        raise ValueError("engine was constructed with record_trace=False")
+    records = db.trace.records
+    initial = db.initial_values
+    if db.single_mode:
+        check_trace_level2(records, initial)
+    else:
+        check_trace_level2rw(records, initial)
+    return check_trace_serializable(records, initial)

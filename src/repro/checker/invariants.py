@@ -1,0 +1,306 @@
+"""Runtime monitors for the paper's lemmas.
+
+Each function checks one lemma's statement on concrete states or runs and
+raises :class:`InvariantViolation` with the offending instance.  The test
+suite and the F/T benchmarks call these over randomly generated runs —
+the executable counterpart of the paper's universally quantified claims.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..core.aat import AugmentedActionTree
+from ..core.action_tree import ActionTree
+from ..core.algebra import EventStateAlgebra
+from ..core.events import Event
+from ..core.level3 import Level3State
+from ..core.naming import U, ActionName
+from ..core.universe import Universe
+from ..core.value_map import ValueMap
+from ..core.version_map import VersionMap
+
+
+class InvariantViolation(AssertionError):
+    """A lemma's statement failed on a concrete instance."""
+
+
+def _require(condition: bool, lemma: str, detail: str) -> None:
+    if not condition:
+        raise InvariantViolation("%s violated: %s" % (lemma, detail))
+
+
+# -- Lemma 5: elementary visibility properties -----------------------------------
+
+
+def check_lemma5(tree: ActionTree) -> None:
+    """All five visibility properties, quantified over the tree's vertices."""
+    vertices = sorted(tree.vertices)
+    for a in vertices:
+        for b in vertices:
+            # (a) B ∈ desc(A) ⇒ A ∈ visible(B)
+            if b.is_descendant_of(a):
+                _require(
+                    tree.is_visible_to(a, b),
+                    "Lemma 5a",
+                    "%r desc of %r but %r not visible to %r" % (b, a, a, b),
+                )
+            # (b) A ∈ visible(B) ⇔ A ∈ visible(lca(A,B))
+            _require(
+                tree.is_visible_to(a, b) == tree.is_visible_to(a, a.lca(b)),
+                "Lemma 5b",
+                "A=%r B=%r" % (a, b),
+            )
+    for a in vertices:
+        for b in vertices:
+            if not tree.is_visible_to(a, b):
+                continue
+            for c in vertices:
+                # (c) transitivity
+                if tree.is_visible_to(b, c):
+                    _require(
+                        tree.is_visible_to(a, c),
+                        "Lemma 5c",
+                        "A=%r B=%r C=%r" % (a, b, c),
+                    )
+            # (d) A ∈ desc(B), C ∈ visible(B) ⇒ C ∈ visible(A)
+            # (stated here as: for every descendant d of b, things visible
+            # to b are visible to d — by 5a+5c)
+        for d in vertices:
+            if d.is_descendant_of(a):
+                for c in vertices:
+                    if tree.is_visible_to(c, a):
+                        _require(
+                            tree.is_visible_to(c, d),
+                            "Lemma 5d",
+                            "desc=%r anc=%r C=%r" % (d, a, c),
+                        )
+    for c in vertices:
+        for a in vertices:
+            if tree.is_visible_to(a, c):
+                # (e) ancestors of visible actions are visible
+                for b in a.ancestors():
+                    if b in tree.vertices:
+                        _require(
+                            tree.is_visible_to(b, c),
+                            "Lemma 5e",
+                            "A=%r B=%r C=%r" % (a, b, c),
+                        )
+
+
+def check_lemma6(tree: ActionTree) -> None:
+    """Live actions only see live actions."""
+    for a in tree.vertices:
+        if not tree.is_live(a):
+            continue
+        for b in tree.visible(a):
+            _require(
+                tree.is_live(b),
+                "Lemma 6",
+                "live %r sees dead %r" % (a, b),
+            )
+
+
+def check_lemma7(tree: ActionTree) -> None:
+    """In perm(T), everything is visible to everything."""
+    perm = tree.perm()
+    for a in perm.vertices:
+        for b in perm.vertices:
+            _require(
+                perm.is_visible_to(b, a),
+                "Lemma 7",
+                "%r not visible to %r in perm(T)" % (b, a),
+            )
+
+
+# -- Lemma 10: level-2 invariants --------------------------------------------------
+
+
+def check_lemma10(aat: AugmentedActionTree) -> None:
+    """Invariants of computable level-2 states (a, b, c)."""
+    tree = aat.tree
+    for a in tree.vertices:
+        if a.is_root:
+            continue
+        # (a) committed parent ⇒ child done
+        if tree.is_committed(a.parent()):
+            _require(
+                tree.is_done(a),
+                "Lemma 10a",
+                "parent of %r committed but %r not done" % (a, a),
+            )
+    # (b) U stays active
+    _require(tree.is_active(U), "Lemma 10b", "U is not active")
+    # (c) data predecessors are dead or visible
+    for obj, seq in aat.data.items():
+        for i, b in enumerate(seq):
+            for a in seq[i:]:
+                _require(
+                    tree.is_dead(b) or tree.is_visible_to(b, a),
+                    "Lemma 10c",
+                    "(B=%r, A=%r) in data_%s with B live and invisible"
+                    % (b, a, obj),
+                )
+    # (d) descendants of committed actions are dead or visible to them
+    for a in tree.vertices:
+        if not tree.is_committed(a):
+            continue
+        for b in tree.vertices:
+            if b.is_descendant_of(a):
+                _require(
+                    tree.is_dead(b) or tree.is_visible_to(b, a),
+                    "Lemma 10d",
+                    "A=%r B=%r" % (a, b),
+                )
+
+
+def check_lemma11(earlier: AugmentedActionTree, later: AugmentedActionTree) -> None:
+    """Monotonicity properties of T ⊦ T' (a, b, d, e)."""
+    te, tl = earlier.tree, later.tree
+    _require(
+        te.vertices <= tl.vertices
+        and te.committed <= tl.committed
+        and te.aborted <= tl.aborted,
+        "Lemma 11a",
+        "status sets shrank",
+    )
+    for obj, seq in earlier.data.items():
+        _require(
+            later.data_sequence(obj)[: len(seq)] == seq,
+            "Lemma 11a",
+            "data order for %s not extended" % obj,
+        )
+    for step in te.datasteps():
+        _require(
+            tl.label(step) == te.label(step),
+            "Lemma 11b",
+            "label of %r changed" % step,
+        )
+    for a in te.vertices:
+        _require(
+            te.visible(a) <= tl.visible(a),
+            "Lemma 11d",
+            "visible(%r) shrank" % a,
+        )
+        if tl.is_live(a):
+            _require(
+                te.is_live(a),
+                "Lemma 11e",
+                "%r live later but dead earlier" % a,
+            )
+
+
+# -- Lemmas 12 and 13: the two halves of Theorem 14 -----------------------------------
+
+
+def check_lemma12(aat: AugmentedActionTree) -> None:
+    """perm(T) is version-compatible for computable level-2 states."""
+    from ..core.characterization import first_version_incompatibility
+
+    mismatch = first_version_incompatibility(aat.perm())
+    _require(
+        mismatch is None,
+        "Lemma 12",
+        "perm(T) not version-compatible: %r" % (mismatch,),
+    )
+
+
+def check_lemma13(aat: AugmentedActionTree) -> None:
+    """sibling-data of perm(T) has no nontrivial cycle."""
+    from ..core.characterization import find_sibling_data_cycle
+
+    cycle = find_sibling_data_cycle(aat.perm())
+    _require(
+        cycle is None,
+        "Lemma 13",
+        "sibling-data cycle in perm(T): %r" % (cycle,),
+    )
+
+
+# -- Lemma 16: level-3 invariants ------------------------------------------------------
+
+
+def check_lemma16(state: Level3State, universe: Universe) -> None:
+    """Invariants of computable level-3 states (a-d)."""
+    tree = state.tree
+    versions = state.versions
+    versions.validate(universe)
+    for obj in versions.objects:
+        for holder in versions.holders(obj):
+            if holder.is_root:
+                continue
+            # (a) holders are vertices
+            _require(
+                holder in tree.vertices,
+                "Lemma 16a",
+                "holder %r of %s not a vertex" % (holder, obj),
+            )
+        for holder in versions.holders(obj):
+            seq = versions.get(obj, holder)
+            for element in seq:
+                # (c) elements are visible to the holder
+                _require(
+                    tree.is_visible_to(element, holder),
+                    "Lemma 16c",
+                    "%r in V(%s, %r) not visible" % (element, obj, holder),
+                )
+            # (d) elements are in data order
+            for x, y in zip(seq, seq[1:]):
+                _require(
+                    state.aat.data_before(x, y),
+                    "Lemma 16d",
+                    "V(%s, %r) not in data order at (%r, %r)"
+                    % (obj, holder, x, y),
+                )
+    # (b) every live data step is held by an ancestor's sequence
+    for step in tree.datasteps():
+        if not tree.is_live(step):
+            continue
+        obj = universe.object_of(step)
+        held = any(
+            versions.defined(obj, anc) and step in versions.get(obj, anc)
+            for anc in step.ancestors()
+        )
+        _require(
+            held,
+            "Lemma 16b",
+            "live data step %r not held by any ancestor" % step,
+        )
+
+
+# -- Lemma 19: eval preserves principals -----------------------------------------------
+
+
+def check_lemma19(versions: VersionMap, universe: Universe) -> None:
+    evaluated = ValueMap.eval_of(versions, universe)
+    for obj in versions.objects:
+        if not versions.holders(obj):
+            continue
+        _require(
+            versions.principal_action(obj) == evaluated.principal_action(obj),
+            "Lemma 19",
+            "principal action for %s differs under eval" % obj,
+        )
+        _require(
+            versions.principal_value(obj, universe)
+            == evaluated.principal_value(obj),
+            "Lemma 19",
+            "principal value for %s differs under eval" % obj,
+        )
+
+
+# -- run-level helpers ------------------------------------------------------------------
+
+
+def check_along_run(
+    algebra: EventStateAlgebra,
+    events: Sequence[Event],
+    state_check,
+) -> None:
+    """Apply a per-state check at every prefix of a valid run."""
+    state = algebra.initial_state
+    state_check(state)
+    for event in events:
+        state = algebra.apply(state, event)
+        state_check(state)

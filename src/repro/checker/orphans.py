@@ -1,0 +1,119 @@
+"""Orphans' views (paper §1 and the Goree [4] direction).
+
+The paper: "the Argus group has decided that a pleasant property for an
+implementation to have is that all transactions, including even 'orphans'
+(subtransactions of failed transactions), should see 'consistent' views of
+the data" — and notes that its own framework deliberately does *not*
+express this subtler property (Goree's thesis does).
+
+This module makes the property observable.  We call a perform event
+*view-consistent* when the value seen equals the replay of the performer's
+visible same-object data steps in data order — the (d13) formula, applied
+to orphans too, where level 2 deliberately waives it.
+
+What the checker lets you demonstrate (see tests):
+
+* live performs are always view-consistent (that is (d13) itself);
+* the level-2 algebra **admits** view-inconsistent orphans — the paper's
+  point that the basic correctness conditions do not cover orphans;
+* locking (levels 3/4) keeps orphans consistent as long as no lose-lock
+  fires before the orphan performs; an eager ``lose-lock`` can hand an
+  orphan a view in which a visible dead relative's work has vanished —
+  precisely the subtlety that makes Goree's orphan algorithms nontrivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.aat import AugmentedActionTree
+from ..core.algebra import EventStateAlgebra
+from ..core.events import Event, Perform
+from ..core.naming import ActionName
+
+
+@dataclass
+class ViewAnomaly:
+    """One perform whose value is not the visible-replay value."""
+
+    step_index: int
+    access: ActionName
+    was_orphan: bool
+    saw: object
+    consistent_value: object
+
+    def __str__(self) -> str:
+        who = "orphan" if self.was_orphan else "live access"
+        return "%s %r saw %r at step %d; the consistent view was %r" % (
+            who,
+            self.access,
+            self.saw,
+            self.step_index,
+            self.consistent_value,
+        )
+
+
+@dataclass
+class OrphanViewReport:
+    """Counts of (in)consistent performs, split live vs orphan."""
+
+    live_performs: int = 0
+    orphan_performs: int = 0
+    live_anomalies: int = 0
+    orphan_anomalies: int = 0
+    anomalies: List[ViewAnomaly] = field(default_factory=list)
+
+    @property
+    def orphans_consistent(self) -> bool:
+        return self.orphan_anomalies == 0
+
+    @property
+    def all_consistent(self) -> bool:
+        return self.live_anomalies == 0 and self.orphan_anomalies == 0
+
+
+def _aat_of(state) -> AugmentedActionTree:
+    if isinstance(state, AugmentedActionTree):
+        return state
+    return state.aat
+
+
+def consistent_view_value(aat: AugmentedActionTree, access: ActionName):
+    """result(x, ⟨visible_T(A, x); data_T⟩): the value a non-orphan in A's
+    position would have to see."""
+    universe = aat.universe
+    obj = universe.object_of(access)
+    visible = aat.tree.visible_datasteps(access, obj)
+    ordered = [b for b in aat.data_sequence(obj) if b in visible]
+    return universe.result(obj, ordered)
+
+
+def orphan_view_report(
+    algebra: EventStateAlgebra,
+    events: Sequence[Event],
+) -> OrphanViewReport:
+    """Walk a valid run of a level-2/3/4 algebra (plain or RW variant),
+    judging every perform against the consistent-view formula."""
+    report = OrphanViewReport()
+    state = algebra.initial_state
+    for index, event in enumerate(events):
+        if isinstance(event, Perform):
+            aat = _aat_of(state)
+            was_orphan = not aat.tree.is_live(event.action)
+            expected = consistent_view_value(aat, event.action)
+            if was_orphan:
+                report.orphan_performs += 1
+            else:
+                report.live_performs += 1
+            if event.value != expected:
+                anomaly = ViewAnomaly(
+                    index, event.action, was_orphan, event.value, expected
+                )
+                report.anomalies.append(anomaly)
+                if was_orphan:
+                    report.orphan_anomalies += 1
+                else:
+                    report.live_anomalies += 1
+        state = algebra.apply(state, event)
+    return report

@@ -1,0 +1,195 @@
+"""The paper's primary contribution, executable.
+
+Five event-state algebras (Sections 4-9 of Lynch, PODS 1983), the action
+tree / augmented action tree structures they run over, serializability and
+its Theorem 9 characterization, and the four simulation mappings of the
+correctness proof with machine checkers for every proof obligation.
+"""
+
+from .aat import AugmentedActionTree
+from .action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
+from .algebra import EventNotEnabledError, EventStateAlgebra
+from .characterization import (
+    conflict_sibling_edges,
+    find_data_serializing_order,
+    find_rw_serializing_order,
+    find_sibling_data_cycle,
+    first_version_incompatibility,
+    is_data_serializable,
+    is_rw_serializable,
+    is_version_compatible,
+)
+from .rw import (
+    Level2RWAlgebra,
+    Level3RWAlgebra,
+    Level3RWState,
+    Level4RWAlgebra,
+    Level4RWState,
+    ReadLockTable,
+    mapping_3rw_to_2rw,
+    mapping_4rw_to_2rw,
+    mapping_4rw_to_3rw,
+)
+from .level5rw import Level5RWAlgebra, RWNodeState, local_mapping_5rw_to_4rw
+from .render import render_run, render_timeline_by_transaction, to_dot, write_dot
+from .distributed_algebra import (
+    DistributedAlgebra,
+    LocalMapping,
+    LocalMappingViolation,
+    check_local_mapping_lockstep,
+)
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+    describe,
+)
+from .explorer import (
+    RunConfig,
+    Scenario,
+    random_committed_aat,
+    random_run,
+    random_scenario,
+)
+from .home import HomeAssignment
+from .level1 import Level1Algebra
+from .level2 import Level2Algebra
+from .level3 import Level3Algebra, Level3State
+from .level4 import Level4Algebra, Level4State
+from .level5 import BUFFER, Level5Algebra, Level5State, NodeState
+from .mappings import (
+    interpret_5_to_1,
+    interpret_drop_locks,
+    interpret_drop_messages,
+    interpret_identity,
+    local_mapping_5_to_4,
+    mapping_2_to_1,
+    mapping_3_to_2,
+    mapping_4_to_3,
+    project_run,
+)
+from .naming import U, ActionName, lca_of
+from .serializability import (
+    SearchBudgetExceeded,
+    find_serializing_order,
+    is_serializable,
+    is_serializing,
+    serial_schedule,
+)
+from .simulation import (
+    PossibilitiesMapping,
+    PossibilitiesViolation,
+    SimulationViolation,
+    check_possibilities_lockstep,
+    check_simulation,
+    compose_interpretations,
+    interpret_sequence,
+)
+from .summary import ActionSummary
+from .universe import AccessSpec, ObjectSpec, Universe, add, apply_fn, read, write
+from .value_map import ValueMap
+from .version_map import VersionMap
+
+__all__ = [
+    "ABORTED",
+    "ACTIVE",
+    "COMMITTED",
+    "AccessSpec",
+    "ActionName",
+    "ActionSummary",
+    "ActionTree",
+    "AugmentedActionTree",
+    "BUFFER",
+    "DistributedAlgebra",
+    "Event",
+    "EventNotEnabledError",
+    "EventStateAlgebra",
+    "HomeAssignment",
+    "Level1Algebra",
+    "Level2Algebra",
+    "Level2RWAlgebra",
+    "Level3Algebra",
+    "Level3RWAlgebra",
+    "Level3RWState",
+    "Level3State",
+    "Level4Algebra",
+    "Level4RWAlgebra",
+    "Level4RWState",
+    "Level4State",
+    "Level5Algebra",
+    "Level5RWAlgebra",
+    "Level5State",
+    "LocalMapping",
+    "LocalMappingViolation",
+    "NodeState",
+    "ObjectSpec",
+    "PossibilitiesMapping",
+    "PossibilitiesViolation",
+    "RWNodeState",
+    "ReadLockTable",
+    "RunConfig",
+    "Scenario",
+    "SearchBudgetExceeded",
+    "SimulationViolation",
+    "U",
+    "Universe",
+    "ValueMap",
+    "VersionMap",
+    "Abort",
+    "Commit",
+    "Create",
+    "LoseLock",
+    "Perform",
+    "Receive",
+    "ReleaseLock",
+    "Send",
+    "add",
+    "apply_fn",
+    "check_local_mapping_lockstep",
+    "check_possibilities_lockstep",
+    "check_simulation",
+    "compose_interpretations",
+    "conflict_sibling_edges",
+    "describe",
+    "find_data_serializing_order",
+    "find_rw_serializing_order",
+    "find_serializing_order",
+    "find_sibling_data_cycle",
+    "first_version_incompatibility",
+    "interpret_5_to_1",
+    "interpret_drop_locks",
+    "interpret_drop_messages",
+    "interpret_identity",
+    "interpret_sequence",
+    "is_data_serializable",
+    "is_rw_serializable",
+    "is_serializable",
+    "is_serializing",
+    "is_version_compatible",
+    "lca_of",
+    "local_mapping_5_to_4",
+    "local_mapping_5rw_to_4rw",
+    "mapping_2_to_1",
+    "mapping_3_to_2",
+    "mapping_4_to_3",
+    "mapping_3rw_to_2rw",
+    "mapping_4rw_to_2rw",
+    "mapping_4rw_to_3rw",
+    "project_run",
+    "random_committed_aat",
+    "random_run",
+    "random_scenario",
+    "read",
+    "render_run",
+    "render_timeline_by_transaction",
+    "serial_schedule",
+    "to_dot",
+    "write",
+    "write_dot",
+]

@@ -1,0 +1,173 @@
+"""Augmented action trees (paper Section 5.1).
+
+An AAT is a pair (S, data_T): an action tree S plus a partial order
+``data_T ⊆ sameobject`` that totally orders the data steps of each object
+— the conflict-resolution order, akin to a version order.  We represent
+``data_T`` by its per-object sequences, which is exactly a union of
+per-object total orders (the reflexive pairs (A, A) the paper adds are
+implicit in membership).
+
+The derived notions — ``sibling-data_T`` (the order data_T imposes on
+siblings higher in the tree) and ``v-data_T(A)`` (an access's visible
+predecessors in the version order) — live here, as does Lemma 8's bridge
+between ``preds`` and ``v-data``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .action_tree import ActionTree
+from .naming import ActionName
+from .universe import Universe, Value
+
+
+class AugmentedActionTree:
+    """(S, data_T), with action-tree notation lifted pointwise."""
+
+    __slots__ = ("_tree", "_data")
+
+    def __init__(
+        self,
+        tree: ActionTree,
+        data: Mapping[str, Tuple[ActionName, ...]],
+    ) -> None:
+        self._tree = tree
+        self._data: Dict[str, Tuple[ActionName, ...]] = {
+            obj: tuple(seq) for obj, seq in data.items() if seq
+        }
+
+    @classmethod
+    def initial(cls, universe: Universe) -> "AugmentedActionTree":
+        """σ': the trivial AAT (single active vertex U, empty data order)."""
+        return cls(ActionTree.initial(universe), {})
+
+    def validate(self) -> None:
+        """Well-formedness: the tree is valid and data_T totally orders
+        exactly the data steps of each object."""
+        self._tree.validate()
+        for obj, seq in self._data.items():
+            if len(set(seq)) != len(seq):
+                raise ValueError("data order for %s has duplicates" % obj)
+            for step in seq:
+                if self.universe.object_of(step) != obj:
+                    raise ValueError(
+                        "%r in data order of %s but accesses %s"
+                        % (step, obj, self.universe.object_of(step))
+                    )
+        for obj in self.universe.objects:
+            expected = frozenset(self._tree.datasteps_for(obj))
+            actual = frozenset(self._data.get(obj, ()))
+            if expected != actual:
+                raise ValueError(
+                    "data order for %s covers %r, tree has %r"
+                    % (obj, sorted(actual), sorted(expected))
+                )
+
+    # -- delegation to the underlying tree ------------------------------------
+
+    @property
+    def tree(self) -> ActionTree:
+        return self._tree
+
+    @property
+    def universe(self) -> Universe:
+        return self._tree.universe
+
+    def __getattr__(self, name: str):
+        # Extend action-tree notation to AATs, as the paper does
+        # ("we write datasteps_T to denote datasteps_S").
+        return getattr(self._tree, name)
+
+    # -- the data order ---------------------------------------------------------
+
+    def data_sequence(self, obj: str) -> Tuple[ActionName, ...]:
+        """⟨datasteps_T(x); data_T⟩: the version order for one object."""
+        return self._data.get(obj, ())
+
+    @property
+    def data(self) -> Mapping[str, Tuple[ActionName, ...]]:
+        return dict(self._data)
+
+    def data_before(self, b: ActionName, a: ActionName) -> bool:
+        """(B, A) ∈ data_T (reflexive, per the paper's (A, A) pairs)."""
+        if b == a:
+            return a in self._seq_of(a)
+        seq = self._seq_of(a)
+        if b not in seq or a not in seq:
+            return False
+        return seq.index(b) < seq.index(a)
+
+    def _seq_of(self, step: ActionName) -> Tuple[ActionName, ...]:
+        try:
+            obj = self.universe.object_of(step)
+        except KeyError:
+            return ()
+        return self._data.get(obj, ())
+
+    def v_data(self, access: ActionName) -> List[ActionName]:
+        """``v-data_T(A)``: A's visible same-object predecessors in the
+        version order, in data_T order."""
+        obj = self.universe.object_of(access)
+        visible = self._tree.visible_datasteps(access, obj)
+        seq = self._data.get(obj, ())
+        cutoff = seq.index(access) if access in seq else len(seq)
+        return [b for b in seq[:cutoff] if b in visible and b != access]
+
+    def sibling_data_edges(self) -> Set[Tuple[ActionName, ActionName]]:
+        """``sibling-data_T``: sibling pairs (A, B) with descendants
+        (C, D) ∈ data_T.  Self-loops (A, A) are omitted — only cycles of
+        length greater than one matter (Theorem 9)."""
+        edges: Set[Tuple[ActionName, ActionName]] = set()
+        for seq in self._data.values():
+            for i, c in enumerate(seq):
+                for d in seq[i + 1 :]:
+                    lca = c.lca(d)
+                    if lca == c or lca == d:
+                        continue
+                    a = lca.child_toward(c)
+                    b = lca.child_toward(d)
+                    if a != b:
+                        edges.add((a, b))
+        return edges
+
+    # -- functional updates -------------------------------------------------------
+
+    def with_tree(self, tree: ActionTree) -> "AugmentedActionTree":
+        return AugmentedActionTree(tree, self._data)
+
+    def with_performed(
+        self, access: ActionName, value: Value
+    ) -> "AugmentedActionTree":
+        """Apply a perform effect: commit + label in the tree, and append A
+        at the end of its object's version order (effect (d23))."""
+        obj = self.universe.object_of(access)
+        data = dict(self._data)
+        data[obj] = self._data.get(obj, ()) + (access,)
+        return AugmentedActionTree(self._tree.with_performed(access, value), data)
+
+    def perm(self) -> "AugmentedActionTree":
+        """perm(T) with the data order restricted to surviving data steps."""
+        perm_tree = self._tree.perm()
+        keep = perm_tree.vertices
+        data = {
+            obj: tuple(step for step in seq if step in keep)
+            for obj, seq in self._data.items()
+        }
+        return AugmentedActionTree(perm_tree, data)
+
+    # -- value semantics -------------------------------------------------------------
+
+    def _key(self):
+        return (self._tree, tuple(sorted(self._data.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AugmentedActionTree):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return "AAT(%r, %d ordered objects)" % (self._tree, len(self._data))

@@ -1,0 +1,264 @@
+"""Action trees (paper Sections 3.2-3.4).
+
+An action tree is the paper's generalization of a log: a snapshot of one
+execution recording which actions have been activated, the status of each
+(active / committed / aborted — "committed" meaning committed *to its
+parent*), and, for each committed access (a "data step"), the label: the
+object value that access saw.
+
+Trees are immutable value objects; algebra events produce new trees.  The
+*visibility* relation of Section 3.3, the live/dead distinction, and the
+permanent subtree ``perm(T)`` of Section 3.4 are all methods here, with
+the paper's Lemmas 5-7 exercised by the test suite against this code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .naming import U, ActionName
+from .universe import Universe, Value
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+_STATUSES = (ACTIVE, COMMITTED, ABORTED)
+
+
+class ActionTree:
+    """⟨vertices, active, committed, aborted, label⟩ over a universe.
+
+    The three status classes are represented as a single map
+    ``status: vertices → {'active', 'committed', 'aborted'}``; ``label``
+    maps data steps (committed accesses) to the values they saw.
+    """
+
+    __slots__ = ("_universe", "_status", "_labels", "_visible_cache")
+
+    def __init__(
+        self,
+        universe: Universe,
+        status: Mapping[ActionName, str],
+        labels: Mapping[ActionName, Value],
+    ) -> None:
+        self._universe = universe
+        self._status: Dict[ActionName, str] = dict(status)
+        self._labels: Dict[ActionName, Value] = dict(labels)
+        self._visible_cache: Dict[ActionName, FrozenSet[ActionName]] = {}
+
+    @classmethod
+    def initial(cls, universe: Universe) -> "ActionTree":
+        """σ: the trivial tree holding only U, active."""
+        return cls(universe, {U: ACTIVE}, {})
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural well-formedness conditions of Section 3.2."""
+        for vertex, status in self._status.items():
+            if status not in _STATUSES:
+                raise ValueError("bad status %r for %r" % (status, vertex))
+            if not vertex.is_root and vertex.parent() not in self._status:
+                raise ValueError("vertices not parent-closed at %r" % vertex)
+        for access, value in self._labels.items():
+            if not self._universe.is_access(access):
+                raise ValueError("label on non-access %r" % access)
+            if self._status.get(access) != COMMITTED:
+                raise ValueError("label on non-committed access %r" % access)
+            self._universe.check_label(access, value)
+        for vertex, status in self._status.items():
+            is_data = self._universe.is_access(vertex) and status == COMMITTED
+            if is_data and vertex not in self._labels:
+                raise ValueError("data step %r missing its label" % vertex)
+
+    # -- components ------------------------------------------------------------
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    @property
+    def vertices(self) -> FrozenSet[ActionName]:
+        return frozenset(self._status)
+
+    def __contains__(self, action: ActionName) -> bool:
+        return action in self._status
+
+    def status(self, action: ActionName) -> str:
+        """``status_T(A)``; KeyError if A is not a vertex."""
+        return self._status[action]
+
+    def status_or_none(self, action: ActionName) -> Optional[str]:
+        return self._status.get(action)
+
+    def is_active(self, action: ActionName) -> bool:
+        return self._status.get(action) == ACTIVE
+
+    def is_committed(self, action: ActionName) -> bool:
+        return self._status.get(action) == COMMITTED
+
+    def is_aborted(self, action: ActionName) -> bool:
+        return self._status.get(action) == ABORTED
+
+    def is_done(self, action: ActionName) -> bool:
+        """``done_T = committed_T ∪ aborted_T``."""
+        return self._status.get(action) in (COMMITTED, ABORTED)
+
+    def _vertices_with_status(self, status: str) -> Iterable[ActionName]:
+        return (a for a, s in self._status.items() if s == status)
+
+    @property
+    def active(self) -> FrozenSet[ActionName]:
+        return frozenset(self._vertices_with_status(ACTIVE))
+
+    @property
+    def committed(self) -> FrozenSet[ActionName]:
+        return frozenset(self._vertices_with_status(COMMITTED))
+
+    @property
+    def aborted(self) -> FrozenSet[ActionName]:
+        return frozenset(self._vertices_with_status(ABORTED))
+
+    def label(self, access: ActionName) -> Value:
+        """``label_T(A)``: the value a data step saw."""
+        return self._labels[access]
+
+    @property
+    def labels(self) -> Mapping[ActionName, Value]:
+        return dict(self._labels)
+
+    # -- derived sets -----------------------------------------------------------
+
+    def accesses_in_tree(self) -> Iterator[ActionName]:
+        """``accesses_T``: vertices that are accesses."""
+        for vertex in self._status:
+            if self._universe.is_access(vertex):
+                yield vertex
+
+    def datasteps(self) -> Iterator[ActionName]:
+        """``datasteps_T``: committed accesses."""
+        for vertex, status in self._status.items():
+            if status == COMMITTED and self._universe.is_access(vertex):
+                yield vertex
+
+    def datasteps_for(self, obj: str) -> Iterator[ActionName]:
+        """``datasteps_T(x)``."""
+        for step in self.datasteps():
+            if self._universe.object_of(step) == obj:
+                yield step
+
+    def children_in_tree(self, action: ActionName) -> Iterator[ActionName]:
+        """``children(A) ∩ vertices_T``."""
+        depth = action.depth
+        for vertex in self._status:
+            if vertex.depth == depth + 1 and action.is_ancestor_of(vertex):
+                yield vertex
+
+    # -- visibility (Section 3.3) -------------------------------------------------
+
+    def is_visible_to(self, b: ActionName, a: ActionName) -> bool:
+        """B ∈ visible_T(A): every ancestor of B strictly below lca(A, B)
+        (B itself included) is committed."""
+        if b not in self._status or a not in self._status:
+            return False
+        lca_depth = a.lca(b).depth
+        for depth in range(lca_depth + 1, b.depth + 1):
+            if self._status.get(b.ancestor_at_depth(depth)) != COMMITTED:
+                return False
+        return True
+
+    def visible(self, a: ActionName) -> FrozenSet[ActionName]:
+        """``visible_T(A)``: all actions whose existence A may know of."""
+        cached = self._visible_cache.get(a)
+        if cached is None:
+            cached = frozenset(
+                b for b in self._status if self.is_visible_to(b, a)
+            )
+            self._visible_cache[a] = cached
+        return cached
+
+    def visible_datasteps(self, a: ActionName, obj: str) -> FrozenSet[ActionName]:
+        """``visible_T(A, x) = visible_T(A) ∩ datasteps_T(x)``."""
+        return frozenset(
+            b
+            for b in self.visible(a)
+            if self._status[b] == COMMITTED
+            and self._universe.is_access(b)
+            and self._universe.object_of(b) == obj
+        )
+
+    def is_live(self, a: ActionName) -> bool:
+        """A is live when no ancestor of A (A included) has aborted."""
+        return all(
+            self._status.get(anc) != ABORTED for anc in a.ancestors()
+        )
+
+    def is_dead(self, a: ActionName) -> bool:
+        return not self.is_live(a)
+
+    # -- perm(T) (Section 3.4) -----------------------------------------------------
+
+    def perm(self) -> "ActionTree":
+        """The permanent subtree: vertices are visible_T(U), statuses and
+        labels carried over.  Lemma 5e guarantees this is a tree."""
+        keep = self.visible(U)
+        status = {a: self._status[a] for a in keep}
+        labels = {a: v for a, v in self._labels.items() if a in keep}
+        return ActionTree(self._universe, status, labels)
+
+    # -- functional updates ----------------------------------------------------------
+
+    def with_created(self, action: ActionName) -> "ActionTree":
+        status = dict(self._status)
+        status[action] = ACTIVE
+        return ActionTree(self._universe, status, self._labels)
+
+    def with_new_status(self, action: ActionName, new_status: str) -> "ActionTree":
+        status = dict(self._status)
+        status[action] = new_status
+        return ActionTree(self._universe, status, self._labels)
+
+    def with_performed(self, action: ActionName, value: Value) -> "ActionTree":
+        status = dict(self._status)
+        status[action] = COMMITTED
+        labels = dict(self._labels)
+        labels[action] = value
+        return ActionTree(self._universe, status, labels)
+
+    # -- value semantics ----------------------------------------------------------------
+
+    def _key(self) -> Tuple[Tuple[Tuple[ActionName, str], ...], Tuple[Tuple[ActionName, Any], ...]]:
+        return (
+            tuple(sorted(self._status.items(), key=lambda kv: kv[0])),
+            tuple(sorted(self._labels.items(), key=lambda kv: kv[0])),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActionTree):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __len__(self) -> int:
+        return len(self._status)
+
+    def __repr__(self) -> str:
+        return "ActionTree(%d vertices, %d committed, %d aborted)" % (
+            len(self._status),
+            sum(1 for s in self._status.values() if s == COMMITTED),
+            sum(1 for s in self._status.values() if s == ABORTED),
+        )
+
+    def pretty(self) -> str:
+        """An indented rendering of the tree for debugging and examples."""
+        lines = []
+        for vertex in sorted(self._status):
+            mark = {ACTIVE: "*", COMMITTED: "+", ABORTED: "x"}[self._status[vertex]]
+            suffix = ""
+            if vertex in self._labels:
+                suffix = " saw %r" % (self._labels[vertex],)
+            lines.append("%s%s %r%s" % ("  " * vertex.depth, mark, vertex, suffix))
+        return "\n".join(lines)

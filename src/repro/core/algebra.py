@@ -1,0 +1,121 @@
+"""Event-state algebras (paper Section 2.1).
+
+An event-state algebra ⟨A, σ, Π⟩ is a set of states, an initial state, and
+a set of partial unary operations (events).  A finite event sequence Φ is
+*valid from a* when every prefix stays within the domains of its events;
+Φ is *valid* when valid from σ, and a state is *computable* when it is the
+result of some valid sequence.
+
+The abstract base class below fixes that vocabulary.  Each paper level
+(Sections 4, 6, 7, 8, 9) subclasses it with concrete states and the
+precondition/effect tables from the paper, implementing:
+
+* :meth:`precondition_failure` — the reason an event is not enabled, or
+  ``None`` when the state is in the event's domain; and
+* :meth:`apply_effect` — the event's effect, assuming the precondition.
+
+States are immutable value objects, so ``apply`` returns new states and
+histories of states can be retained for checking.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from .events import Event, describe
+
+S = TypeVar("S")
+
+
+class EventNotEnabledError(Exception):
+    """Raised when an event is applied outside its domain."""
+
+    def __init__(self, event: Event, reason: str) -> None:
+        super().__init__("%s not enabled: %s" % (describe(event), reason))
+        self.event = event
+        self.reason = reason
+
+
+class EventStateAlgebra(ABC, Generic[S]):
+    """⟨A, σ, Π⟩ with the computability notions of Section 2.1."""
+
+    #: paper level (1-5); informational.
+    level: int = 0
+
+    @property
+    @abstractmethod
+    def initial_state(self) -> S:
+        """σ, the initial state."""
+
+    @abstractmethod
+    def precondition_failure(self, state: S, event: Event) -> Optional[str]:
+        """None when ``state ∈ domain(event)``; otherwise a human-readable
+        description of the violated precondition clause."""
+
+    @abstractmethod
+    def apply_effect(self, state: S, event: Event) -> S:
+        """The event's effect.  Callers must have checked the precondition."""
+
+    # -- derived operations --------------------------------------------------
+
+    def enabled(self, state: S, event: Event) -> bool:
+        """True iff ``state ∈ domain(event)``."""
+        return self.precondition_failure(state, event) is None
+
+    def apply(self, state: S, event: Event) -> S:
+        """π(a); raises :class:`EventNotEnabledError` outside the domain."""
+        reason = self.precondition_failure(state, event)
+        if reason is not None:
+            raise EventNotEnabledError(event, reason)
+        return self.apply_effect(state, event)
+
+    def run(self, events: Iterable[Event], start: Optional[S] = None) -> S:
+        """The result of Φ applied to ``start`` (default σ).
+
+        Raises :class:`EventNotEnabledError` if Φ is not valid from there.
+        """
+        state = self.initial_state if start is None else start
+        for event in events:
+            state = self.apply(state, event)
+        return state
+
+    def trace(self, events: Iterable[Event], start: Optional[S] = None) -> List[S]:
+        """All intermediate states of a valid run, initial state included."""
+        state = self.initial_state if start is None else state_or(start)
+        states = [state]
+        for event in events:
+            state = self.apply(state, event)
+            states.append(state)
+        return states
+
+    def is_valid(self, events: Iterable[Event], start: Optional[S] = None) -> bool:
+        """True iff the event sequence is valid (from ``start`` or σ)."""
+        try:
+            self.run(events, start)
+        except EventNotEnabledError:
+            return False
+        return True
+
+    def first_invalid(
+        self, events: Sequence[Event], start: Optional[S] = None
+    ) -> Optional[Tuple[int, str]]:
+        """Index and reason of the first non-enabled event, or None."""
+        state = self.initial_state if start is None else start
+        for i, event in enumerate(events):
+            reason = self.precondition_failure(state, event)
+            if reason is not None:
+                return i, reason
+            state = self.apply_effect(state, event)
+        return None
+
+    def enabled_among(self, state: S, events: Iterable[Event]) -> Iterator[Event]:
+        """Filter a candidate event set down to the enabled ones."""
+        for event in events:
+            if self.enabled(state, event):
+                yield event
+
+
+def state_or(value: S) -> S:
+    """Identity helper so ``trace`` reads cleanly with an explicit start."""
+    return value

@@ -1,0 +1,232 @@
+"""Data-serializability and its cycle-free characterization (Section 5.2).
+
+An AAT is *data-serializable* when some serializing partial order induces
+an order consistent with ``data_T``.  Theorem 9 characterizes this in
+polynomial time:
+
+    T is data-serializable  ⇔  T is version-compatible
+                                and sibling-data_T has no cycle of
+                                length greater than one.
+
+Both sides are implemented: the two conditions as predicates, and (for the
+"if" direction) an explicit witness construction that topologically sorts
+each sibling family consistently with sibling-data and returns a
+serializing order checkable by :mod:`repro.core.serializability`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .aat import AugmentedActionTree
+from .naming import ActionName
+from .serializability import SiblingOrder, sibling_families
+
+
+def is_version_compatible(aat: AugmentedActionTree) -> bool:
+    """Every data step's label is the replay of its v-data predecessors in
+    data_T order."""
+    return first_version_incompatibility(aat) is None
+
+
+def first_version_incompatibility(
+    aat: AugmentedActionTree,
+) -> Optional[Tuple[ActionName, object, object]]:
+    """The first (access, expected, actual) label mismatch, or None."""
+    universe = aat.universe
+    for step in aat.tree.datasteps():
+        obj = universe.object_of(step)
+        expected = universe.result(obj, aat.v_data(step))
+        actual = aat.tree.label(step)
+        if actual != expected:
+            return step, expected, actual
+    return None
+
+
+def find_sibling_data_cycle(
+    aat: AugmentedActionTree,
+) -> Optional[List[ActionName]]:
+    """A cycle of length > 1 in sibling-data_T, or None.
+
+    Iterative DFS with the standard white/grey/black coloring; returns the
+    cycle's vertices in order when one exists.
+    """
+    edges = aat.sibling_data_edges()
+    adjacency: Dict[ActionName, List[ActionName]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[ActionName, int] = {}
+    parent_edge: Dict[ActionName, ActionName] = {}
+
+    for root in adjacency:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[ActionName, int]] = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            neighbors = adjacency.get(node, [])
+            if idx >= len(neighbors):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, idx + 1)
+            nxt = neighbors[idx]
+            state = color.get(nxt, WHITE)
+            if state == WHITE:
+                color[nxt] = GREY
+                parent_edge[nxt] = node
+                stack.append((nxt, 0))
+            elif state == GREY:
+                # Found a back edge node → nxt: reconstruct the cycle.
+                cycle = [node]
+                walk = node
+                while walk != nxt:
+                    walk = parent_edge[walk]
+                    cycle.append(walk)
+                cycle.reverse()
+                return cycle
+    return None
+
+
+def is_data_serializable(aat: AugmentedActionTree) -> bool:
+    """Theorem 9 as a decision procedure (polynomial time)."""
+    if not is_version_compatible(aat):
+        return False
+    return find_sibling_data_cycle(aat) is None
+
+
+def conflict_sibling_edges(
+    aat: AugmentedActionTree,
+) -> Set[Tuple[ActionName, ActionName]]:
+    """sibling-data edges induced by *conflicting* access pairs only
+    (at least one non-read) — the read/write refinement of Theorem 9(b).
+
+    Identity updates commute, so two reads impose no order between their
+    sibling groups; every other pair does.
+    """
+    universe = aat.universe
+    edges: Set[Tuple[ActionName, ActionName]] = set()
+    for obj, seq in aat.data.items():
+        for i, c in enumerate(seq):
+            c_reads = universe.update_of(c).is_read
+            for d in seq[i + 1 :]:
+                if c_reads and universe.update_of(d).is_read:
+                    continue
+                lca = c.lca(d)
+                if lca == c or lca == d:
+                    continue
+                a = lca.child_toward(c)
+                b = lca.child_toward(d)
+                if a != b:
+                    edges.add((a, b))
+    return edges
+
+
+def _acyclic(edges: Set[Tuple[ActionName, ActionName]]) -> bool:
+    adjacency: Dict[ActionName, List[ActionName]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[ActionName, int] = {}
+    for root in adjacency:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            neighbors = adjacency.get(node, [])
+            if idx >= len(neighbors):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, idx + 1)
+            nxt = neighbors[idx]
+            state = color.get(nxt, WHITE)
+            if state == WHITE:
+                color[nxt] = GREY
+                stack.append((nxt, 0))
+            elif state == GREY:
+                return False
+    return True
+
+
+def is_rw_serializable(aat: AugmentedActionTree) -> bool:
+    """The read/write generalization of Theorem 9: version-compatible and
+    the *conflict* sibling precedence is acyclic.
+
+    Strictly weaker than :func:`is_data_serializable` (read-read pairs no
+    longer force an order), and still sufficient for serializability: the
+    witness from :func:`find_rw_serializing_order` passes the exact
+    definition because identity updates commute in every replay.
+    """
+    if not is_version_compatible(aat):
+        return False
+    return _acyclic(conflict_sibling_edges(aat))
+
+
+def find_rw_serializing_order(
+    aat: AugmentedActionTree,
+) -> Optional[SiblingOrder]:
+    """A serializing order consistent with the *conflict* precedence, or
+    None when :func:`is_rw_serializable` fails."""
+    if not is_rw_serializable(aat):
+        return None
+    families = sibling_families(aat.tree)
+    edges = conflict_sibling_edges(aat)
+    order: Dict[ActionName, Tuple[ActionName, ...]] = {}
+    for parent, children in families.items():
+        member = set(children)
+        local_edges = [(a, b) for a, b in edges if a in member and b in member]
+        order[parent] = tuple(_topological_sort(children, local_edges))
+    return order
+
+
+def find_data_serializing_order(
+    aat: AugmentedActionTree,
+) -> Optional[SiblingOrder]:
+    """When Theorem 9's conditions hold, construct the witness order from
+    its proof: any linearizing order that totally orders all siblings and
+    is consistent with sibling-data_T.
+
+    Returns None when the AAT is not data-serializable.
+    """
+    if not is_data_serializable(aat):
+        return None
+    families = sibling_families(aat.tree)
+    edges = aat.sibling_data_edges()
+    order: Dict[ActionName, Tuple[ActionName, ...]] = {}
+    for parent, children in families.items():
+        member = set(children)
+        local_edges = [(a, b) for a, b in edges if a in member and b in member]
+        order[parent] = tuple(_topological_sort(children, local_edges))
+    return order
+
+
+def _topological_sort(
+    nodes: Sequence[ActionName],
+    edges: Sequence[Tuple[ActionName, ActionName]],
+) -> List[ActionName]:
+    """Kahn's algorithm over one sibling family; ties broken by name so the
+    witness is deterministic.  Callers guarantee acyclicity."""
+    indegree: Dict[ActionName, int] = {node: 0 for node in nodes}
+    successors: Dict[ActionName, List[ActionName]] = {node: [] for node in nodes}
+    for a, b in edges:
+        successors[a].append(b)
+        indegree[b] += 1
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    result: List[ActionName] = []
+    while ready:
+        node = ready.pop(0)
+        result.append(node)
+        for nxt in successors[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+        ready.sort()
+    if len(result) != len(list(nodes)):
+        raise ValueError("sibling-data restricted to a family has a cycle")
+    return result

@@ -1,0 +1,181 @@
+"""Distributed algebras and local mappings (paper Section 2.3).
+
+A distributed algebra's state is a Cartesian product of component states;
+every event has a *doer* component, the definability of an event depends
+only on the doer's state (Local Domain), and effects are componentwise
+(Local Changes).  A *local mapping* gives, per component, a possibilities
+mapping from that component's knowledge to abstract states; Lemma 4 shows
+the intersection over components is a possibilities mapping (hence a
+simulation).
+
+As with :mod:`repro.core.simulation`, the machine checks run in lockstep
+along a valid concrete run, carrying one abstract witness state inside the
+intersection of all components' possibility sets and checking clauses
+(a)-(d) of the local-mapping definition — Figures 2 and 3 — at every step.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Optional, Sequence, Tuple, TypeVar
+
+from .algebra import EventStateAlgebra
+from .events import Event, describe
+
+S = TypeVar("S")
+ComponentId = Hashable
+
+
+class DistributedAlgebra(EventStateAlgebra[S], Generic[S]):
+    """An event-state algebra distributed over an index set using d."""
+
+    @property
+    @abstractmethod
+    def components(self) -> Tuple[ComponentId, ...]:
+        """The index set I."""
+
+    @abstractmethod
+    def doer(self, event: Event) -> ComponentId:
+        """d(π): the component that performs the event."""
+
+    @abstractmethod
+    def project(self, state: S, component: ComponentId) -> object:
+        """The component's local state a_i (a hashable value object)."""
+
+    # -- locality spot-checks ---------------------------------------------------
+
+    def check_local_domain(self, a: S, b: S, event: Event) -> None:
+        """Local Domain: if a_i = b_i for the doer i, definability agrees."""
+        i = self.doer(event)
+        if self.project(a, i) != self.project(b, i):
+            raise ValueError("states differ at the doer; property is vacuous")
+        if self.enabled(a, event) != self.enabled(b, event):
+            raise AssertionError(
+                "Local Domain violated for %s" % describe(event)
+            )
+
+    def check_local_changes(self, a: S, b: S, event: Event, component: ComponentId) -> None:
+        """Local Changes: equal component states map to equal successors."""
+        if self.project(a, component) != self.project(b, component):
+            raise ValueError("states differ at the component; property is vacuous")
+        if not (self.enabled(a, event) and self.enabled(b, event)):
+            raise ValueError("event not enabled in both states")
+        a2 = self.apply_effect(a, event)
+        b2 = self.apply_effect(b, event)
+        if self.project(a2, component) != self.project(b2, component):
+            raise AssertionError(
+                "Local Changes violated at %r for %s" % (component, describe(event))
+            )
+
+
+class LocalMapping(Generic[S]):
+    """h plus h_i, i ∈ I: an interpretation and per-component possibility
+    predicates (h_i given intensionally via a membership test that must
+    depend only on component i's state)."""
+
+    def __init__(
+        self,
+        interpret: Callable[[Event], Optional[Event]],
+        contains_local: Callable[[ComponentId, S, object], bool],
+        witness: Callable[[S], object],
+        name: str = "local-h",
+    ) -> None:
+        self.interpret = interpret
+        self.contains_local = contains_local
+        self.witness = witness
+        self.name = name
+
+
+@dataclass
+class LocalMappingViolation(Exception):
+    """A failed clause of the local-mapping definition (Figures 2-3)."""
+
+    mapping: str
+    clause: str
+    step_index: int
+    component: object
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s: local-mapping clause (%s) failed at step %d, component %r: %s" % (
+            self.mapping,
+            self.clause,
+            self.step_index,
+            self.component,
+            self.detail,
+        )
+
+
+def check_local_mapping_lockstep(
+    concrete: DistributedAlgebra,
+    abstract: EventStateAlgebra,
+    mapping: LocalMapping,
+    events: Sequence[Event],
+) -> Tuple[object, object]:
+    """Machine-check the local-mapping clauses along one valid run.
+
+    (a) σ ∈ h_i(σ') for every component i;
+    (b) when h(π') = π and the doer's possibilities contain the witness,
+        the witness lies in domain(π)                       [Figure 2];
+    (c) π(witness) ∈ h_j(b') for every component j           [Figure 3];
+    (d) for Λ-events, witness ∈ h_j(b') for every component j.
+
+    The witness is the abstract state built by replaying h(Φ'), which by
+    construction stays in the intersection ∩_i h_i — exactly the global
+    possibilities mapping of Lemma 4.
+    """
+    concrete_state = concrete.initial_state
+    abstract_state = mapping.witness(concrete_state)
+    for component in concrete.components:
+        if not mapping.contains_local(
+            component, concrete_state, abstract.initial_state
+        ):
+            raise LocalMappingViolation(
+                mapping.name, "a", -1, component, "σ not in h_i(σ')"
+            )
+    for index, event in enumerate(events):
+        next_concrete = concrete.apply(concrete_state, event)
+        image = mapping.interpret(event)
+        if image is None:
+            for component in concrete.components:
+                if not mapping.contains_local(component, next_concrete, abstract_state):
+                    raise LocalMappingViolation(
+                        mapping.name,
+                        "d",
+                        index,
+                        component,
+                        "witness left h_j after Λ-event %s" % describe(event),
+                    )
+        else:
+            doer = concrete.doer(event)
+            if not mapping.contains_local(doer, concrete_state, abstract_state):
+                raise LocalMappingViolation(
+                    mapping.name,
+                    "b",
+                    index,
+                    doer,
+                    "witness not in the doer's possibilities before %s"
+                    % describe(event),
+                )
+            reason = abstract.precondition_failure(abstract_state, image)
+            if reason is not None:
+                raise LocalMappingViolation(
+                    mapping.name,
+                    "b",
+                    index,
+                    doer,
+                    "abstract event %s not enabled: %s" % (describe(image), reason),
+                )
+            abstract_state = abstract.apply_effect(abstract_state, image)
+            for component in concrete.components:
+                if not mapping.contains_local(component, next_concrete, abstract_state):
+                    raise LocalMappingViolation(
+                        mapping.name,
+                        "c",
+                        index,
+                        component,
+                        "π(a) left h_j after %s" % describe(event),
+                    )
+        concrete_state = next_concrete
+    return concrete_state, abstract_state

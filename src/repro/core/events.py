@@ -1,0 +1,122 @@
+"""The event vocabulary shared by all five algebra levels.
+
+The paper names events ``create_A``, ``commit_A``, ``abort_A``,
+``perform_{A,u}`` (levels 1-2), adds ``release-lock_{A,x}`` and
+``lose-lock_{A,x}`` (levels 3-4), and at level 5 adds the communication
+events ``send_{i,j,T'}`` and ``receive_{j,T'}``.  At level 5 the node
+subscript of the first six kinds is determined by ``home``/``origin``, so
+one set of event values serves every level; each algebra decides which
+kinds it accepts and what they mean.
+
+Events are immutable and hashable so interpretations between levels are
+plain functions on values, exactly as in the paper's ``h: Π' → Π ∪ {Λ}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from .naming import ActionName
+
+
+@dataclass(frozen=True)
+class Create:
+    """``create_A``: activate action A (its parent must exist, uncommitted)."""
+
+    action: ActionName
+
+
+@dataclass(frozen=True)
+class Commit:
+    """``commit_A``: commit a non-access action to its parent."""
+
+    action: ActionName
+
+
+@dataclass(frozen=True)
+class Abort:
+    """``abort_A``: abort an active action (no requirement on children)."""
+
+    action: ActionName
+
+
+@dataclass(frozen=True)
+class Perform:
+    """``perform_{A,u}``: access A commits, having seen value u."""
+
+    action: ActionName
+    value: Any
+
+
+@dataclass(frozen=True)
+class ReleaseLock:
+    """``release-lock_{A,x}``: committed A passes its lock on x to parent."""
+
+    action: ActionName
+    obj: str
+
+
+@dataclass(frozen=True)
+class LoseLock:
+    """``lose-lock_{A,x}``: dead A's lock on x is discarded."""
+
+    action: ActionName
+    obj: str
+
+
+@dataclass(frozen=True)
+class Send:
+    """``send_{i,j,T'}``: node i sends action summary T' toward node j."""
+
+    src: int
+    dst: int
+    summary: "Any"  # an ActionSummary; typed loosely to avoid an import cycle
+
+
+@dataclass(frozen=True)
+class Receive:
+    """``receive_{j,T'}``: the buffer delivers summary T' to node j."""
+
+    dst: int
+    summary: "Any"
+
+
+Event = Union[Create, Commit, Abort, Perform, ReleaseLock, LoseLock, Send, Receive]
+
+#: Event kinds present at each paper level.
+LEVEL_EVENT_KINDS = {
+    1: (Create, Commit, Abort, Perform),
+    2: (Create, Commit, Abort, Perform),
+    3: (Create, Commit, Abort, Perform, ReleaseLock, LoseLock),
+    4: (Create, Commit, Abort, Perform, ReleaseLock, LoseLock),
+    5: (Create, Commit, Abort, Perform, ReleaseLock, LoseLock, Send, Receive),
+}
+
+
+def action_of(event: Event) -> Optional[ActionName]:
+    """The action an event concerns, if any (None for send/receive)."""
+    if isinstance(event, (Create, Commit, Abort, Perform, ReleaseLock, LoseLock)):
+        return event.action
+    return None
+
+
+def describe(event: Event) -> str:
+    """A compact, paper-style rendering of an event."""
+    if isinstance(event, Create):
+        return "create%r" % event.action
+    if isinstance(event, Commit):
+        return "commit%r" % event.action
+    if isinstance(event, Abort):
+        return "abort%r" % event.action
+    if isinstance(event, Perform):
+        return "perform%r=%r" % (event.action, event.value)
+    if isinstance(event, ReleaseLock):
+        return "release-lock%r,%s" % (event.action, event.obj)
+    if isinstance(event, LoseLock):
+        return "lose-lock%r,%s" % (event.action, event.obj)
+    if isinstance(event, Send):
+        return "send %d->%d %r" % (event.src, event.dst, event.summary)
+    if isinstance(event, Receive):
+        return "receive %d %r" % (event.dst, event.summary)
+    raise TypeError("not an event: %r" % (event,))

@@ -1,0 +1,428 @@
+"""Random valid-run generation for the level algebras.
+
+The paper's theorems are universally quantified over *computable* states,
+so machine-checking them requires sampling valid event sequences.  This
+module builds random **scenarios** (an a-priori fragment of the universal
+action tree: internal actions plus leaf accesses bound to objects) and
+then walks an algebra forward by repeatedly sampling an enabled event,
+exactly the way a scheduler would interleave a real execution.
+
+Every event appended is checked enabled through the algebra itself, so a
+generated run is valid by construction — the checkers then re-validate it
+at *other* levels, which is where the content of the theorems lives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .action_tree import ActionTree
+from .algebra import EventStateAlgebra
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+)
+from .level2 import Level2Algebra
+from .level3 import Level3State
+from .level4 import Level4State
+from .level5 import Level5Algebra, Level5State
+from .naming import U, ActionName
+from .summary import ActionSummary
+from .universe import Universe, add, read, write
+
+
+@dataclass
+class Scenario:
+    """An a-priori fragment of the universal tree: the actions a run may
+    activate.  Accesses (and their objects/updates) live in the universe."""
+
+    universe: Universe
+    internal_actions: Tuple[ActionName, ...]
+
+    @property
+    def all_actions(self) -> Tuple[ActionName, ...]:
+        return self.internal_actions + tuple(self.universe.accesses)
+
+    def __repr__(self) -> str:
+        return "Scenario(%d internal, %d accesses, %d objects)" % (
+            len(self.internal_actions),
+            len(self.universe.accesses),
+            len(self.universe.objects),
+        )
+
+
+def random_scenario(
+    rng: random.Random,
+    objects: int = 4,
+    toplevel: int = 3,
+    max_depth: int = 3,
+    max_children: int = 3,
+    access_bias: float = 0.6,
+) -> Scenario:
+    """Grow a random a-priori action tree over integer-valued objects.
+
+    Interior nodes become internal actions; leaves at depth ≥ 2 become
+    accesses with a random read/write/add update.  Every interior action
+    is guaranteed at least one child so commits have something to cover
+    (childless internal actions are still legal — a few are kept).
+    """
+    universe = Universe()
+    for i in range(objects):
+        universe.define_object("x%d" % i, init=0)
+
+    internal: List[ActionName] = []
+
+    def grow(node: ActionName, depth: int) -> None:
+        internal.append(node)
+        n_children = rng.randint(1, max_children)
+        for label in range(n_children):
+            child = node.child(label)
+            is_leaf = depth + 1 >= max_depth or rng.random() < access_bias
+            if is_leaf:
+                if rng.random() < 0.15:
+                    internal.append(child)  # a childless internal action
+                else:
+                    obj = "x%d" % rng.randrange(objects)
+                    roll = rng.random()
+                    if roll < 0.4:
+                        update = read()
+                    elif roll < 0.7:
+                        update = write(rng.randint(0, 9))
+                    else:
+                        update = add(rng.randint(1, 5))
+                    universe.declare_access(child, obj, update)
+            else:
+                grow(child, depth + 1)
+
+    for t in range(toplevel):
+        grow(U.child(t), 1)
+    return Scenario(universe, tuple(internal))
+
+
+@dataclass
+class RunConfig:
+    """Sampling weights for the random walk."""
+
+    max_steps: int = 200
+    abort_prob: float = 0.08
+    subset_prob: float = 0.25  # chance a send/receive carries a sub-summary
+    # Relative weights per event kind; progress events dominate so runs
+    # activate most of the scenario before winding down.
+    weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "Create": 4.0,
+            "Perform": 4.0,
+            "Commit": 2.0,
+            "Abort": 1.0,
+            "ReleaseLock": 1.5,
+            "LoseLock": 1.5,
+            "Send": 1.5,
+            "Receive": 2.5,
+        }
+    )
+
+    def commit_weight(self, has_pending_children: bool) -> float:
+        # Committing a parent forever forecloses creating more children;
+        # deprioritize it while planned children are still uncreated.
+        return 0.3 if has_pending_children else self.weights["Commit"]
+
+
+def random_run(
+    algebra: EventStateAlgebra,
+    scenario: Scenario,
+    rng: random.Random,
+    config: Optional[RunConfig] = None,
+) -> List[Event]:
+    """Walk the algebra with randomly sampled enabled events.
+
+    Works for levels 2-5 (level-1 runs are obtained by projecting level-2
+    runs, mirroring the paper's simulation direction).  Returns the event
+    sequence; it is valid by construction.
+    """
+    config = config or RunConfig()
+    state = algebra.initial_state
+    events: List[Event] = []
+    planned_children = _planned_children(scenario)
+    for _ in range(config.max_steps):
+        candidates = _candidates(algebra, state, scenario, rng, config)
+        enabled = [e for e in candidates if algebra.enabled(state, e)]
+        weighted = [
+            (event, _weight(event, state, planned_children, config))
+            for event in enabled
+        ]
+        weighted = [(event, w) for event, w in weighted if w > 0]
+        if not weighted:
+            break
+        event = rng.choices(
+            [event for event, _w in weighted],
+            weights=[w for _event, w in weighted],
+            k=1,
+        )[0]
+        state = algebra.apply(state, event)
+        events.append(event)
+    return events
+
+
+def _planned_children(scenario: Scenario) -> Dict[ActionName, List[ActionName]]:
+    children: Dict[ActionName, List[ActionName]] = {}
+    for action in scenario.all_actions:
+        children.setdefault(action.parent(), []).append(action)
+    return children
+
+
+def _weight(
+    event: Event,
+    state,
+    planned_children: Dict[ActionName, List[ActionName]],
+    config: RunConfig,
+) -> float:
+    kind = type(event).__name__
+    if isinstance(event, Commit):
+        known = _known_actions(state)
+        pending = any(
+            child not in known
+            for child in planned_children.get(event.action, ())
+        )
+        return config.commit_weight(pending)
+    return config.weights.get(kind, 1.0)
+
+
+def _known_actions(state) -> object:
+    """A container supporting ``in`` over activated actions, at any level."""
+    if isinstance(state, Level5State):
+        return _Level5Known(state)
+    return state.tree
+
+
+class _Level5Known:
+    """Membership over the union of all nodes' summaries."""
+
+    def __init__(self, state: Level5State) -> None:
+        self._state = state
+
+    def __contains__(self, action: ActionName) -> bool:
+        return any(action in node.summary for node in self._state.nodes)
+
+
+def final_state(algebra: EventStateAlgebra, events: Sequence[Event]):
+    """Convenience: replay a run to its final state."""
+    return algebra.run(events)
+
+
+def random_committed_aat(
+    rng: random.Random,
+    txns: int = 3,
+    objects: int = 2,
+    corrupt_prob: float = 0.2,
+):
+    """A random fully-committed AAT for characterization experiments.
+
+    Accesses are spread over flat transactions with a random per-object
+    execution order; labels are computed correctly against ``v-data``
+    except with probability ``corrupt_prob`` per access, so the sample
+    contains both version-compatible and incompatible instances.
+    """
+    from .aat import AugmentedActionTree
+    from .action_tree import ACTIVE, COMMITTED, ActionTree
+
+    universe = Universe()
+    for j in range(objects):
+        universe.define_object("x%d" % j, init=0)
+    status = {U: ACTIVE}
+    accesses = []
+    for i in range(txns):
+        t = U.child(i)
+        status[t] = COMMITTED
+        for k in range(rng.randint(1, 3)):
+            access = t.child(k)
+            obj = "x%d" % rng.randrange(objects)
+            roll = rng.random()
+            if roll < 0.4:
+                update = read()
+            elif roll < 0.7:
+                update = write(rng.randint(1, 5))
+            else:
+                update = add(1)
+            universe.declare_access(access, obj, update)
+            status[access] = COMMITTED
+            accesses.append(access)
+    data = {}
+    for j in range(objects):
+        obj = "x%d" % j
+        steps = [a for a in accesses if universe.object_of(a) == obj]
+        rng.shuffle(steps)
+        data[obj] = tuple(steps)
+    probe = AugmentedActionTree(
+        ActionTree(universe, status, {a: 0 for a in accesses}), data
+    )
+    labels = {}
+    for access in accesses:
+        obj = universe.object_of(access)
+        correct = universe.result(obj, probe.v_data(access))
+        labels[access] = (
+            correct if rng.random() >= corrupt_prob else correct + 100
+        )
+    return AugmentedActionTree(ActionTree(universe, status, labels), data)
+
+
+# -- candidate proposal, per level ---------------------------------------------------
+
+
+def _candidates(
+    algebra: EventStateAlgebra,
+    state,
+    scenario: Scenario,
+    rng: random.Random,
+    config: RunConfig,
+) -> List[Event]:
+    if algebra.level == 2:
+        return _tree_candidates(algebra, state, state.tree, scenario, rng, config)
+    if algebra.level in (3, 4):
+        base = _tree_candidates(algebra, state, state.tree, scenario, rng, config)
+        base.extend(_lock_candidates(state))
+        return base
+    if algebra.level == 5:
+        return _level5_candidates(algebra, state, scenario, rng, config)
+    raise ValueError("random_run supports levels 2-5, not %r" % algebra.level)
+
+
+def _tree_candidates(
+    algebra,
+    state,
+    tree: ActionTree,
+    scenario: Scenario,
+    rng: random.Random,
+    config: RunConfig,
+) -> List[Event]:
+    universe = scenario.universe
+    candidates: List[Event] = []
+    for action in scenario.all_actions:
+        if action not in tree:
+            candidates.append(Create(action))
+    for action in tree.active:
+        if action.is_root:
+            continue
+        if universe.is_access(action):
+            candidates.append(Perform(action, _value_for(algebra, state, action)))
+        else:
+            candidates.append(Commit(action))
+            if rng.random() < config.abort_prob:
+                candidates.append(Abort(action))
+    return candidates
+
+
+def _value_for(algebra, state, access: ActionName):
+    """The value u that perform_{A,u} needs for its (d13) clause."""
+    if algebra.level == 2:
+        return algebra.expected_value(state, access)
+    obj = algebra.universe.object_of(access)
+    if algebra.level == 3:
+        return state.versions.principal_value(obj, algebra.universe)
+    if algebra.level == 4:
+        return state.values.principal_value(obj)
+    raise ValueError("no value rule for level %r" % algebra.level)
+
+
+def _lock_candidates(state) -> List[Event]:
+    """release-lock / lose-lock proposals for levels 3 and 4 (and the
+    read-lock holdings of the mode-aware variants)."""
+    holder_map = getattr(state, "versions", None)
+    if holder_map is None:
+        holder_map = state.values
+    candidates: List[Event] = []
+    for obj in holder_map.objects:
+        for holder in holder_map.holders(obj):
+            if holder.is_root:
+                continue
+            candidates.append(ReleaseLock(holder, obj))
+            candidates.append(LoseLock(holder, obj))
+    read_table = getattr(state, "reads", None)
+    if read_table is not None:
+        for obj in holder_map.objects:
+            for holder in read_table.holders(obj):
+                if holder.is_root:
+                    continue
+                candidates.append(ReleaseLock(holder, obj))
+                candidates.append(LoseLock(holder, obj))
+    return candidates
+
+
+def _level5_candidates(
+    algebra: Level5Algebra,
+    state: Level5State,
+    scenario: Scenario,
+    rng: random.Random,
+    config: RunConfig,
+) -> List[Event]:
+    universe = scenario.universe
+    homes = algebra.homes
+    candidates: List[Event] = []
+    for action in scenario.all_actions:
+        origin = homes.origin(action)
+        if action not in state.node(origin).summary:
+            candidates.append(Create(action))
+    for i in range(algebra.node_count):
+        node = state.node(i)
+        for action in node.summary.active:
+            if universe.is_access(action):
+                obj = universe.object_of(action)
+                if homes.home_of_object(obj) != i:
+                    continue
+                value = node.values.principal_value(obj)
+                candidates.append(Perform(action, value))
+            elif homes.home_of_action(action) == i:
+                candidates.append(Commit(action))
+                if rng.random() < config.abort_prob:
+                    candidates.append(Abort(action))
+        for obj in homes.objects_at(i):
+            for holder in node.values.holders(obj):
+                if holder.is_root:
+                    continue
+                candidates.append(ReleaseLock(holder, obj))
+                candidates.append(LoseLock(holder, obj))
+            read_table = getattr(node, "reads", None)
+            if read_table is not None:
+                for holder in read_table.holders(obj):
+                    if holder.is_root:
+                        continue
+                    candidates.append(ReleaseLock(holder, obj))
+                    candidates.append(LoseLock(holder, obj))
+    for src in range(algebra.node_count):
+        if not len(state.node(src).summary):
+            continue
+        dst = rng.randrange(algebra.node_count)
+        summary = _sub_summary(state.node(src).summary, rng, config)
+        if len(summary) and not summary.contained_in(state.channel(dst)):
+            candidates.append(Send(src, dst, summary))
+    for dst in range(algebra.node_count):
+        channel = state.channel(dst)
+        if not len(channel):
+            continue
+        summary = _sub_summary(channel, rng, config)
+        if len(summary) and not summary.contained_in(state.node(dst).summary):
+            candidates.append(Receive(dst, summary))
+    return candidates
+
+
+def _sub_summary(
+    summary: ActionSummary, rng: random.Random, config: RunConfig
+) -> ActionSummary:
+    """Either the whole summary or a random sub-summary (g11/h11 allow any
+    contained summary to travel)."""
+    if rng.random() >= config.subset_prob:
+        return summary
+    kept = {
+        action: status
+        for action, status in summary.items()
+        if rng.random() < 0.5
+    }
+    return ActionSummary(kept)

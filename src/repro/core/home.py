@@ -1,0 +1,102 @@
+"""Home and origin assignments (paper Section 9.1).
+
+``home`` partitions the non-root actions and the objects among the k nodes
+of the distributed system, with the constraint that an access lives where
+its object lives: home(A) = home(object(A)).  ``origin(A)`` is where A is
+created: A's own home for top-level actions, otherwise its parent's home.
+
+Nodes are 0-based ints (the paper's [k] = {1..k}, shifted for Python).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from .naming import ActionName
+from .universe import Universe
+
+
+class HomeAssignment:
+    """home: (act − {U}) ∪ obj → [k], honoring the access constraint."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        node_count: int,
+        object_homes: Optional[Mapping[str, int]] = None,
+        action_homes: Optional[Mapping[ActionName, int]] = None,
+        default: Optional[Callable[[ActionName], int]] = None,
+    ) -> None:
+        if node_count < 1:
+            raise ValueError("need at least one node")
+        self.universe = universe
+        self.node_count = node_count
+        self._object_homes: Dict[str, int] = {}
+        for index, obj in enumerate(universe.objects):
+            self._object_homes[obj] = index % node_count
+        if object_homes:
+            for obj, node in object_homes.items():
+                self._check_node(node)
+                if not universe.has_object(obj):
+                    raise KeyError("unknown object %r" % obj)
+                self._object_homes[obj] = node
+        self._action_homes: Dict[ActionName, int] = {}
+        if action_homes:
+            for action, node in action_homes.items():
+                self._check_node(node)
+                if universe.is_access(action):
+                    raise ValueError(
+                        "home of access %r is fixed by its object" % action
+                    )
+                self._action_homes[action] = node
+        self._default = default if default is not None else self._hash_default
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise ValueError("node %r out of range [0, %d)" % (node, self.node_count))
+
+    def _hash_default(self, action: ActionName) -> int:
+        # Deterministic across runs (no PYTHONHASHSEED dependence).
+        acc = 0
+        for atom in action.path:
+            acc = (acc * 1_000_003 + hash(str(atom))) & 0x7FFFFFFF
+        return acc % self.node_count
+
+    # -- the assignment -----------------------------------------------------------
+
+    def home_of_object(self, obj: str) -> int:
+        return self._object_homes[obj]
+
+    def home_of_action(self, action: ActionName) -> int:
+        """home(A); for accesses this equals home(object(A))."""
+        if action.is_root:
+            raise ValueError("U has no home")
+        if self.universe.is_access(action):
+            return self._object_homes[self.universe.object_of(action)]
+        node = self._action_homes.get(action)
+        if node is None:
+            node = self._default(action)
+            self._check_node(node)
+            self._action_homes[action] = node
+        return node
+
+    def origin(self, action: ActionName) -> int:
+        """origin(A): home(A) for top-level actions, else home(parent(A))."""
+        if action.is_root:
+            raise ValueError("U has no origin")
+        parent = action.parent()
+        if parent.is_root:
+            return self.home_of_action(action)
+        return self.home_of_action(parent)
+
+    def objects_at(self, node: int) -> tuple:
+        """The objects whose home is the given node."""
+        return tuple(
+            obj for obj, home in self._object_homes.items() if home == node
+        )
+
+    def __repr__(self) -> str:
+        return "HomeAssignment(%d nodes, %d objects)" % (
+            self.node_count,
+            len(self._object_homes),
+        )

@@ -1,0 +1,93 @@
+"""Level 1: the specification algebra 𝒜 on action trees (paper Section 4).
+
+This algebra says *what must be achieved*: its states are action trees,
+its events are ``create``/``commit``/``abort``/``perform``, and there is an
+implicit precondition on every event that the resulting tree stays inside
+
+    C = { T : perm(T) is serializable }.
+
+As the paper notes, only ``commit`` and ``perform`` can violate C, so only
+those events pay for the (exponential, budgeted) serializability check.
+The check can be disabled for callers who merely want the tree mechanics —
+e.g. when level 2 runs are being projected down, Theorem 14 already
+guarantees membership in C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .action_tree import ActionTree
+from .algebra import EventStateAlgebra
+from .events import Abort, Commit, Create, Event, Perform
+from .preconditions import (
+    abort_failure,
+    commit_failure,
+    create_failure,
+    perform_basic_failure,
+)
+from .serializability import is_serializable
+from .universe import Universe
+
+
+class Level1Algebra(EventStateAlgebra[ActionTree]):
+    """⟨action trees, trivial tree, {create, commit, abort, perform}⟩."""
+
+    level = 1
+
+    def __init__(
+        self,
+        universe: Universe,
+        check_invariant: bool = True,
+        search_budget: int = 100_000,
+    ) -> None:
+        self.universe = universe
+        self.check_invariant = check_invariant
+        self.search_budget = search_budget
+
+    @property
+    def initial_state(self) -> ActionTree:
+        return ActionTree.initial(self.universe)
+
+    def precondition_failure(self, state: ActionTree, event: Event) -> Optional[str]:
+        if isinstance(event, Create):
+            return create_failure(state, event.action)
+        if isinstance(event, Commit):
+            failure = commit_failure(state, event.action)
+            if failure is not None:
+                return failure
+            return self._invariant_failure(
+                state.with_new_status(event.action, "committed")
+            )
+        if isinstance(event, Abort):
+            return abort_failure(state, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(state, event.action)
+            if failure is not None:
+                return failure
+            try:
+                self.universe.check_label(event.action, event.value)
+            except ValueError as exc:
+                return "label: %s" % exc
+            return self._invariant_failure(
+                state.with_performed(event.action, event.value)
+            )
+        return "event kind %s not in Π at level 1" % type(event).__name__
+
+    def _invariant_failure(self, result: ActionTree) -> Optional[str]:
+        if not self.check_invariant:
+            return None
+        if is_serializable(result.perm(), budget=self.search_budget):
+            return None
+        return "(implicit C) resulting perm(T) is not serializable"
+
+    def apply_effect(self, state: ActionTree, event: Event) -> ActionTree:
+        if isinstance(event, Create):
+            return state.with_created(event.action)
+        if isinstance(event, Commit):
+            return state.with_new_status(event.action, "committed")
+        if isinstance(event, Abort):
+            return state.with_new_status(event.action, "aborted")
+        if isinstance(event, Perform):
+            return state.with_performed(event.action, event.value)
+        raise TypeError("event kind %s not in Π at level 1" % type(event).__name__)

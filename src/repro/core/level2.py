@@ -1,0 +1,110 @@
+"""Level 2: the algebra 𝒜' on augmented action trees (paper Section 6).
+
+Level 2 captures the *abstract effect of locking* without any locking
+mechanism.  Relative to level 1 it drops the global invariant C and instead
+strengthens ``perform_{A,u}`` with two preconditions and one extra effect:
+
+(d12) every live data step on A's object must already be visible to A
+      — i.e. committed up to the level that matters to A;
+(d13) if A is live, the value u must be the replay of A's visible data
+      steps in data_T order;
+(d23) A is appended at the end of its object's data order.
+
+Theorem 14 (machine-checked in the tests and bench T14) shows computability
+in this algebra alone guarantees perm(T) data-serializable, which is what
+makes the level-2 → level-1 simulation (Lemma 15) go through.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .aat import AugmentedActionTree
+from .algebra import EventStateAlgebra
+from .events import Abort, Commit, Create, Event, Perform
+from .naming import ActionName
+from .preconditions import (
+    abort_failure,
+    commit_failure,
+    create_failure,
+    perform_basic_failure,
+)
+from .universe import Universe
+
+
+class Level2Algebra(EventStateAlgebra[AugmentedActionTree]):
+    """⟨AATs, trivial AAT, {create, commit, abort, perform}⟩."""
+
+    level = 2
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> AugmentedActionTree:
+        return AugmentedActionTree.initial(self.universe)
+
+    def expected_value(
+        self, state: AugmentedActionTree, access: ActionName
+    ) -> object:
+        """result(x, ⟨visible_T(A, x); data_T⟩): the value clause (d13)
+        forces a live access to see."""
+        obj = self.universe.object_of(access)
+        visible = state.tree.visible_datasteps(access, obj)
+        ordered = [b for b in state.data_sequence(obj) if b in visible]
+        return self.universe.result(obj, ordered)
+
+    def precondition_failure(
+        self, state: AugmentedActionTree, event: Event
+    ) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            action = event.action
+            obj = self.universe.object_of(action)
+            try:
+                self.universe.check_label(action, event.value)
+            except ValueError as exc:
+                return "label: %s" % exc
+            for step in tree.datasteps_for(obj):
+                if tree.is_live(step) and step not in tree.visible_datasteps(
+                    action, obj
+                ):
+                    return (
+                        "(d12) live data step %r on %s is not visible to %r"
+                        % (step, obj, action)
+                    )
+            if tree.is_live(action):
+                expected = self.expected_value(state, action)
+                if event.value != expected:
+                    return "(d13) live access must see %r, not %r" % (
+                        expected,
+                        event.value,
+                    )
+            return None
+        return "event kind %s not in Π' at level 2" % type(event).__name__
+
+    def apply_effect(
+        self, state: AugmentedActionTree, event: Event
+    ) -> AugmentedActionTree:
+        if isinstance(event, Create):
+            return state.with_tree(state.tree.with_created(event.action))
+        if isinstance(event, Commit):
+            return state.with_tree(
+                state.tree.with_new_status(event.action, "committed")
+            )
+        if isinstance(event, Abort):
+            return state.with_tree(
+                state.tree.with_new_status(event.action, "aborted")
+            )
+        if isinstance(event, Perform):
+            return state.with_performed(event.action, event.value)
+        raise TypeError("event kind %s not in Π' at level 2" % type(event).__name__)

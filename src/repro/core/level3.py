@@ -1,0 +1,131 @@
+"""Level 3: the algebra 𝒜'' on (AAT, version map) pairs (paper Section 7).
+
+This is the locking-style algorithm that *retains information*: every lock
+holder keeps the full sequence of versions available to it.  ``perform``
+now consults locks — clause (d12) requires every current holder of the
+object to be a proper ancestor of the access, and (d13) fixes the value to
+the principal value — and two new events move locks: ``release-lock``
+passes a committed action's holding up to its parent, ``lose-lock``
+discards a dead action's holding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .aat import AugmentedActionTree
+from .algebra import EventStateAlgebra
+from .events import Abort, Commit, Create, Event, LoseLock, Perform, ReleaseLock
+from .preconditions import (
+    abort_failure,
+    commit_failure,
+    create_failure,
+    perform_basic_failure,
+)
+from .universe import Universe
+from .version_map import VersionMap
+
+
+@dataclass(frozen=True)
+class Level3State:
+    """(T, V): an augmented action tree plus a version map."""
+
+    aat: AugmentedActionTree
+    versions: VersionMap
+
+    @property
+    def tree(self):
+        return self.aat.tree
+
+
+class Level3Algebra(EventStateAlgebra[Level3State]):
+    """⟨(AAT, version map) pairs, σ'', six event kinds⟩."""
+
+    level = 3
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> Level3State:
+        return Level3State(
+            AugmentedActionTree.initial(self.universe),
+            VersionMap.initial(self.universe.objects),
+        )
+
+    def precondition_failure(self, state: Level3State, event: Event) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            obj = self.universe.object_of(event.action)
+            for holder in state.versions.holders(obj):
+                if not holder.is_proper_ancestor_of(event.action):
+                    return (
+                        "(d12) lock holder %r of %s is not a proper ancestor of %r"
+                        % (holder, obj, event.action)
+                    )
+            principal = state.versions.principal_value(obj, self.universe)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            if not state.versions.defined(event.obj, event.action):
+                return "(e11) V(%s, %r) is undefined" % (event.obj, event.action)
+            if not tree.is_committed(event.action):
+                return "(e12) %r is not committed" % event.action
+            return None
+        if isinstance(event, LoseLock):
+            if not state.versions.defined(event.obj, event.action):
+                return "(f11) V(%s, %r) is undefined" % (event.obj, event.action)
+            if not tree.is_dead(event.action):
+                return "(f12) %r is not dead" % event.action
+            return None
+        return "event kind %s not in Π'' at level 3" % type(event).__name__
+
+    def apply_effect(self, state: Level3State, event: Event) -> Level3State:
+        if isinstance(event, Create):
+            return Level3State(
+                state.aat.with_tree(state.tree.with_created(event.action)),
+                state.versions,
+            )
+        if isinstance(event, Commit):
+            return Level3State(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "committed")
+                ),
+                state.versions,
+            )
+        if isinstance(event, Abort):
+            return Level3State(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "aborted")
+                ),
+                state.versions,
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            return Level3State(
+                state.aat.with_performed(event.action, event.value),
+                state.versions.with_performed(obj, event.action),
+            )
+        if isinstance(event, ReleaseLock):
+            return Level3State(
+                state.aat, state.versions.with_released(event.obj, event.action)
+            )
+        if isinstance(event, LoseLock):
+            return Level3State(
+                state.aat, state.versions.with_lost(event.obj, event.action)
+            )
+        raise TypeError("event kind %s not in Π'' at level 3" % type(event).__name__)

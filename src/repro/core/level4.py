@@ -1,0 +1,131 @@
+"""Level 4: the algebra 𝒜''' on (AAT, value map) pairs (paper Section 8).
+
+The optimization level: identical to level 3 except that holders retain
+only the *latest value* (effect (d24) becomes V(x, A) ← update(A)(u)), and
+the initial map holds init(x) at U.  The correctness of discarding the
+version sequences is exactly what the possibilities mapping h'' buys —
+the set of possibilities {(T, W) : eval(W) = V} stands in for the
+discarded information (Lemma 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .aat import AugmentedActionTree
+from .algebra import EventStateAlgebra
+from .events import Abort, Commit, Create, Event, LoseLock, Perform, ReleaseLock
+from .preconditions import (
+    abort_failure,
+    commit_failure,
+    create_failure,
+    perform_basic_failure,
+)
+from .universe import Universe
+from .value_map import ValueMap
+
+
+@dataclass(frozen=True)
+class Level4State:
+    """(T, V): an augmented action tree plus a value map."""
+
+    aat: AugmentedActionTree
+    values: ValueMap
+
+    @property
+    def tree(self):
+        return self.aat.tree
+
+
+class Level4Algebra(EventStateAlgebra[Level4State]):
+    """⟨(AAT, value map) pairs, σ''', six event kinds⟩."""
+
+    level = 4
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> Level4State:
+        return Level4State(
+            AugmentedActionTree.initial(self.universe),
+            ValueMap.initial(self.universe),
+        )
+
+    def precondition_failure(self, state: Level4State, event: Event) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            obj = self.universe.object_of(event.action)
+            for holder in state.values.holders(obj):
+                if not holder.is_proper_ancestor_of(event.action):
+                    return (
+                        "(d12) lock holder %r of %s is not a proper ancestor of %r"
+                        % (holder, obj, event.action)
+                    )
+            principal = state.values.principal_value(obj)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            if not state.values.defined(event.obj, event.action):
+                return "(e11) V(%s, %r) is undefined" % (event.obj, event.action)
+            if not tree.is_committed(event.action):
+                return "(e12) %r is not committed" % event.action
+            return None
+        if isinstance(event, LoseLock):
+            if not state.values.defined(event.obj, event.action):
+                return "(f11) V(%s, %r) is undefined" % (event.obj, event.action)
+            if not tree.is_dead(event.action):
+                return "(f12) %r is not dead" % event.action
+            return None
+        return "event kind %s not in Π''' at level 4" % type(event).__name__
+
+    def apply_effect(self, state: Level4State, event: Event) -> Level4State:
+        if isinstance(event, Create):
+            return Level4State(
+                state.aat.with_tree(state.tree.with_created(event.action)),
+                state.values,
+            )
+        if isinstance(event, Commit):
+            return Level4State(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "committed")
+                ),
+                state.values,
+            )
+        if isinstance(event, Abort):
+            return Level4State(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "aborted")
+                ),
+                state.values,
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            new_value = self.universe.update_of(event.action)(event.value)
+            return Level4State(
+                state.aat.with_performed(event.action, event.value),
+                state.values.with_performed(obj, event.action, new_value),
+            )
+        if isinstance(event, ReleaseLock):
+            return Level4State(
+                state.aat, state.values.with_released(event.obj, event.action)
+            )
+        if isinstance(event, LoseLock):
+            return Level4State(
+                state.aat, state.values.with_lost(event.obj, event.action)
+            )
+        raise TypeError("event kind %s not in Π''' at level 4" % type(event).__name__)

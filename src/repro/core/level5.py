@@ -1,0 +1,299 @@
+"""Level 5: Moss's algorithm as the distributed algebra ℬ (paper Section 9).
+
+The system has k nodes plus a message buffer.  Each node i keeps an action
+summary ``i.T`` (its partial knowledge of action statuses) and a value map
+``i.V`` over the objects homed at i.  The buffer keeps, per node j, an
+action summary ``M_j`` accumulating everything ever sent toward j.
+
+The eight event kinds: the six of level 4 — executed against *local*
+knowledge at the appropriate node (create at origin(A), commit/abort at
+home(A), perform and the lock events at the object's home) — plus ``send``
+(any sub-summary of the sender's knowledge, merged into M_j) and
+``receive`` (any sub-summary of M_j, merged into j's knowledge).
+
+This is the paper's simplified variant of Moss's algorithm: a single lock
+mode (no read/write distinction).  The engine package implements the full
+mode-aware algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .action_tree import ABORTED, ACTIVE, COMMITTED
+from .distributed_algebra import DistributedAlgebra
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+)
+from .home import HomeAssignment
+from .naming import U, ActionName
+from .summary import ActionSummary
+from .universe import Universe
+from .value_map import ValueMap
+
+BUFFER = "buffer"
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """One node's variables: ⟨i.T, i.V⟩."""
+
+    summary: ActionSummary
+    values: ValueMap
+
+
+@dataclass(frozen=True)
+class Level5State:
+    """The Cartesian product of node states and the buffer's channels."""
+
+    nodes: Tuple[NodeState, ...]
+    channels: Tuple[ActionSummary, ...]  # M_j, one per node
+
+    def node(self, i: int) -> NodeState:
+        return self.nodes[i]
+
+    def channel(self, j: int) -> ActionSummary:
+        return self.channels[j]
+
+    def with_node(self, i: int, node: NodeState) -> "Level5State":
+        nodes = list(self.nodes)
+        nodes[i] = node
+        return Level5State(tuple(nodes), self.channels)
+
+    def with_channel(self, j: int, channel: ActionSummary) -> "Level5State":
+        channels = list(self.channels)
+        channels[j] = channel
+        return Level5State(self.nodes, tuple(channels))
+
+
+class Level5Algebra(DistributedAlgebra[Level5State]):
+    """ℬ = ⟨B, τ, P⟩, distributed over [k] ∪ {buffer} using d."""
+
+    level = 5
+
+    def __init__(self, universe: Universe, homes: HomeAssignment) -> None:
+        self.universe = universe
+        self.homes = homes
+        self.node_count = homes.node_count
+
+    # -- distributed structure ----------------------------------------------------
+
+    @property
+    def components(self) -> Tuple[object, ...]:
+        return tuple(range(self.node_count)) + (BUFFER,)
+
+    def doer(self, event: Event) -> object:
+        if isinstance(event, Create):
+            return self.homes.origin(event.action)
+        if isinstance(event, (Commit, Abort)):
+            return self.homes.home_of_action(event.action)
+        if isinstance(event, Perform):
+            return self.homes.home_of_object(self.universe.object_of(event.action))
+        if isinstance(event, (ReleaseLock, LoseLock)):
+            return self.homes.home_of_object(event.obj)
+        if isinstance(event, Send):
+            return event.src
+        if isinstance(event, Receive):
+            return BUFFER
+        raise TypeError("event kind %s not in P at level 5" % type(event).__name__)
+
+    def project(self, state: Level5State, component: object) -> object:
+        if component == BUFFER:
+            return state.channels
+        return state.nodes[component]
+
+    # -- σ ---------------------------------------------------------------------------
+
+    @property
+    def initial_state(self) -> Level5State:
+        nodes = []
+        for i in range(self.node_count):
+            values = ValueMap(
+                {
+                    obj: {U: self.universe.init(obj)}
+                    for obj in self.homes.objects_at(i)
+                }
+            )
+            nodes.append(NodeState(ActionSummary.empty(), values))
+        channels = tuple(ActionSummary.empty() for _ in range(self.node_count))
+        return Level5State(tuple(nodes), channels)
+
+    # -- preconditions ------------------------------------------------------------------
+
+    def precondition_failure(self, state: Level5State, event: Event) -> Optional[str]:
+        if isinstance(event, Create):
+            action = event.action
+            if action.is_root:
+                return "U is never created"
+            node = state.node(self.homes.origin(action))
+            if action in node.summary:
+                return "(a11) %r already known at its origin" % action
+            parent = action.parent()
+            if not parent.is_root:
+                if parent not in node.summary:
+                    return "(a12) parent %r unknown at origin" % parent
+                if node.summary.is_committed(parent):
+                    return "(a12) parent %r known committed at origin" % parent
+            return None
+        if isinstance(event, Commit):
+            action = event.action
+            if action.is_root:
+                return "U never commits"
+            if self.universe.is_access(action):
+                return "commit applies only to non-access actions"
+            node = state.node(self.homes.home_of_action(action))
+            if not node.summary.is_active(action):
+                return "(b11) %r not active at its home" % action
+            for child in node.summary.vertices:
+                is_child = (
+                    child.depth == action.depth + 1
+                    and action.is_ancestor_of(child)
+                )
+                if is_child and not node.summary.is_done(child):
+                    return "(b12) child %r not done at home" % child
+            return None
+        if isinstance(event, Abort):
+            action = event.action
+            if action.is_root:
+                return "U never aborts"
+            if self.universe.is_access(action):
+                return "abort applies only to non-access actions at level 5"
+            node = state.node(self.homes.home_of_action(action))
+            if not node.summary.is_active(action):
+                return "(c11) %r not active at its home" % action
+            return None
+        if isinstance(event, Perform):
+            action = event.action
+            if not self.universe.is_access(action):
+                return "perform applies only to accesses"
+            obj = self.universe.object_of(action)
+            node = state.node(self.homes.home_of_object(obj))
+            if not node.summary.is_active(action):
+                return "(d11) %r not active at its home" % action
+            for holder in node.values.holders(obj):
+                if not holder.is_proper_ancestor_of(action):
+                    return (
+                        "(d12) lock holder %r of %s is not a proper ancestor of %r"
+                        % (holder, obj, action)
+                    )
+            principal = node.values.principal_value(obj)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            node = state.node(self.homes.home_of_object(event.obj))
+            if not node.values.defined(event.obj, event.action):
+                return "(e11) i.V(%s, %r) undefined" % (event.obj, event.action)
+            if not node.summary.is_committed(event.action):
+                return "(e12) %r not known committed at home of %s" % (
+                    event.action,
+                    event.obj,
+                )
+            return None
+        if isinstance(event, LoseLock):
+            node = state.node(self.homes.home_of_object(event.obj))
+            if not node.values.defined(event.obj, event.action):
+                return "(f11) i.V(%s, %r) undefined" % (event.obj, event.action)
+            if not any(
+                node.summary.is_aborted(anc) for anc in event.action.ancestors()
+            ):
+                return "(f12) no aborted ancestor of %r known at home of %s" % (
+                    event.action,
+                    event.obj,
+                )
+            return None
+        if isinstance(event, Send):
+            if not 0 <= event.src < self.node_count:
+                return "unknown sender %r" % event.src
+            if not 0 <= event.dst < self.node_count:
+                return "unknown destination %r" % event.dst
+            sender = state.node(event.src)
+            if not event.summary.contained_in(sender.summary):
+                return "(g11) summary not contained in sender's knowledge"
+            return None
+        if isinstance(event, Receive):
+            if not 0 <= event.dst < self.node_count:
+                return "unknown destination %r" % event.dst
+            if not event.summary.contained_in(state.channel(event.dst)):
+                return "(h11) summary not contained in M_%d" % event.dst
+            return None
+        return "event kind %s not in P at level 5" % type(event).__name__
+
+    # -- effects ---------------------------------------------------------------------------
+
+    def apply_effect(self, state: Level5State, event: Event) -> Level5State:
+        if isinstance(event, Create):
+            i = self.homes.origin(event.action)
+            node = state.node(i)
+            return state.with_node(
+                i,
+                NodeState(node.summary.with_status(event.action, ACTIVE), node.values),
+            )
+        if isinstance(event, Commit):
+            i = self.homes.home_of_action(event.action)
+            node = state.node(i)
+            return state.with_node(
+                i,
+                NodeState(
+                    node.summary.with_status(event.action, COMMITTED), node.values
+                ),
+            )
+        if isinstance(event, Abort):
+            i = self.homes.home_of_action(event.action)
+            node = state.node(i)
+            return state.with_node(
+                i,
+                NodeState(
+                    node.summary.with_status(event.action, ABORTED), node.values
+                ),
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            i = self.homes.home_of_object(obj)
+            node = state.node(i)
+            new_value = self.universe.update_of(event.action)(event.value)
+            return state.with_node(
+                i,
+                NodeState(
+                    node.summary.with_status(event.action, COMMITTED),
+                    node.values.with_performed(obj, event.action, new_value),
+                ),
+            )
+        if isinstance(event, ReleaseLock):
+            i = self.homes.home_of_object(event.obj)
+            node = state.node(i)
+            return state.with_node(
+                i,
+                NodeState(
+                    node.summary, node.values.with_released(event.obj, event.action)
+                ),
+            )
+        if isinstance(event, LoseLock):
+            i = self.homes.home_of_object(event.obj)
+            node = state.node(i)
+            return state.with_node(
+                i,
+                NodeState(
+                    node.summary, node.values.with_lost(event.obj, event.action)
+                ),
+            )
+        if isinstance(event, Send):
+            merged = state.channel(event.dst).union(event.summary)
+            return state.with_channel(event.dst, merged)
+        if isinstance(event, Receive):
+            node = state.node(event.dst)
+            merged = node.summary.union(event.summary)
+            return state.with_node(event.dst, NodeState(merged, node.values))
+        raise TypeError("event kind %s not in P at level 5" % type(event).__name__)

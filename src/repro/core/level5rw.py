@@ -1,0 +1,376 @@
+"""Level 5 with read/write modes: Moss's complete *distributed* algorithm.
+
+The last piece of the paper's §10 program: the distributed algebra ℬ with
+the read/write lock distinction.  Each node keeps, besides its action
+summary and value map, a read-lock table for its home objects.  ``perform``
+of a read access requires only the local *write* holders to be proper
+ancestors; any other access requires read holders too.  ``release-lock``
+and ``lose-lock`` move/discard both kinds of holding, all against local
+knowledge, exactly as in the single-mode ℬ.
+
+The local mapping down to the mode-aware level 4
+(:func:`local_mapping_5rw_to_4rw`) extends the paper's Section 9.3
+conditions with one clause: each node's read table is the restriction of
+the abstract read table to the node's home objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .action_tree import ABORTED, ACTIVE, COMMITTED
+from .aat import AugmentedActionTree
+from .distributed_algebra import DistributedAlgebra, LocalMapping
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+)
+from .home import HomeAssignment
+from .level5 import BUFFER, Level5Algebra, Level5State, NodeState
+from .mappings import interpret_drop_messages
+from .naming import U, ActionName
+from .rw import Level4RWState, ReadLockTable
+from .summary import ActionSummary
+from .universe import Universe
+from .value_map import ValueMap
+
+
+@dataclass(frozen=True)
+class RWNodeState:
+    """One node's variables: ⟨i.T, i.V, i.R⟩."""
+
+    summary: ActionSummary
+    values: ValueMap
+    reads: ReadLockTable
+
+
+class Level5RWAlgebra(DistributedAlgebra[Level5State]):
+    """ℬ-RW: the mode-aware distributed algebra.
+
+    Reuses :class:`Level5State` as the product container (nodes are
+    :class:`RWNodeState` instances; the container is agnostic).
+    """
+
+    level = 5
+
+    def __init__(self, universe: Universe, homes: HomeAssignment) -> None:
+        self.universe = universe
+        self.homes = homes
+        self.node_count = homes.node_count
+        # Delegate the mode-independent events to the single-mode algebra
+        # rules by re-deriving its logic against our node shape below.
+
+    # -- distributed structure ----------------------------------------------------
+
+    @property
+    def components(self) -> Tuple[object, ...]:
+        return tuple(range(self.node_count)) + (BUFFER,)
+
+    def doer(self, event: Event) -> object:
+        if isinstance(event, Create):
+            return self.homes.origin(event.action)
+        if isinstance(event, (Commit, Abort)):
+            return self.homes.home_of_action(event.action)
+        if isinstance(event, Perform):
+            return self.homes.home_of_object(self.universe.object_of(event.action))
+        if isinstance(event, (ReleaseLock, LoseLock)):
+            return self.homes.home_of_object(event.obj)
+        if isinstance(event, Send):
+            return event.src
+        if isinstance(event, Receive):
+            return BUFFER
+        raise TypeError("event kind %s not in P-RW" % type(event).__name__)
+
+    def project(self, state: Level5State, component: object) -> object:
+        if component == BUFFER:
+            return state.channels
+        return state.nodes[component]
+
+    @property
+    def initial_state(self) -> Level5State:
+        nodes = []
+        for i in range(self.node_count):
+            values = ValueMap(
+                {
+                    obj: {U: self.universe.init(obj)}
+                    for obj in self.homes.objects_at(i)
+                }
+            )
+            nodes.append(RWNodeState(ActionSummary.empty(), values, ReadLockTable()))
+        channels = tuple(ActionSummary.empty() for _ in range(self.node_count))
+        return Level5State(tuple(nodes), channels)
+
+    # -- preconditions ------------------------------------------------------------------
+
+    def precondition_failure(self, state: Level5State, event: Event) -> Optional[str]:
+        if isinstance(event, Create):
+            action = event.action
+            if action.is_root:
+                return "U is never created"
+            node = state.node(self.homes.origin(action))
+            if action in node.summary:
+                return "(a11) %r already known at its origin" % action
+            parent = action.parent()
+            if not parent.is_root:
+                if parent not in node.summary:
+                    return "(a12) parent %r unknown at origin" % parent
+                if node.summary.is_committed(parent):
+                    return "(a12) parent %r known committed at origin" % parent
+            return None
+        if isinstance(event, Commit):
+            action = event.action
+            if action.is_root:
+                return "U never commits"
+            if self.universe.is_access(action):
+                return "commit applies only to non-access actions"
+            node = state.node(self.homes.home_of_action(action))
+            if not node.summary.is_active(action):
+                return "(b11) %r not active at its home" % action
+            for child in node.summary.vertices:
+                is_child = (
+                    child.depth == action.depth + 1
+                    and action.is_ancestor_of(child)
+                )
+                if is_child and not node.summary.is_done(child):
+                    return "(b12) child %r not done at home" % child
+            return None
+        if isinstance(event, Abort):
+            action = event.action
+            if action.is_root:
+                return "U never aborts"
+            if self.universe.is_access(action):
+                return "abort applies only to non-access actions at level 5"
+            node = state.node(self.homes.home_of_action(action))
+            if not node.summary.is_active(action):
+                return "(c11) %r not active at its home" % action
+            return None
+        if isinstance(event, Perform):
+            action = event.action
+            if not self.universe.is_access(action):
+                return "perform applies only to accesses"
+            obj = self.universe.object_of(action)
+            node = state.node(self.homes.home_of_object(obj))
+            if not node.summary.is_active(action):
+                return "(d11) %r not active at its home" % action
+            is_read = self.universe.update_of(action).is_read
+            for holder in node.values.holders(obj):
+                if not holder.is_proper_ancestor_of(action):
+                    return (
+                        "(d12-rw) write holder %r of %s is not a proper "
+                        "ancestor of %r" % (holder, obj, action)
+                    )
+            if not is_read:
+                for holder in node.reads.holders(obj):
+                    if not holder.is_proper_ancestor_of(action):
+                        return (
+                            "(d12-rw) read holder %r of %s blocks %r"
+                            % (holder, obj, action)
+                        )
+            principal = node.values.principal_value(obj)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            node = state.node(self.homes.home_of_object(event.obj))
+            holds = node.values.defined(event.obj, event.action) or node.reads.holds(
+                event.obj, event.action
+            )
+            if not holds:
+                return "(e11) %r holds no lock on %s here" % (event.action, event.obj)
+            if not node.summary.is_committed(event.action):
+                return "(e12) %r not known committed at home of %s" % (
+                    event.action,
+                    event.obj,
+                )
+            return None
+        if isinstance(event, LoseLock):
+            node = state.node(self.homes.home_of_object(event.obj))
+            holds = node.values.defined(event.obj, event.action) or node.reads.holds(
+                event.obj, event.action
+            )
+            if not holds:
+                return "(f11) %r holds no lock on %s here" % (event.action, event.obj)
+            if not any(
+                node.summary.is_aborted(anc) for anc in event.action.ancestors()
+            ):
+                return "(f12) no aborted ancestor of %r known at home of %s" % (
+                    event.action,
+                    event.obj,
+                )
+            return None
+        if isinstance(event, Send):
+            if not 0 <= event.src < self.node_count:
+                return "unknown sender %r" % event.src
+            if not 0 <= event.dst < self.node_count:
+                return "unknown destination %r" % event.dst
+            sender = state.node(event.src)
+            if not event.summary.contained_in(sender.summary):
+                return "(g11) summary not contained in sender's knowledge"
+            return None
+        if isinstance(event, Receive):
+            if not 0 <= event.dst < self.node_count:
+                return "unknown destination %r" % event.dst
+            if not event.summary.contained_in(state.channel(event.dst)):
+                return "(h11) summary not contained in M_%d" % event.dst
+            return None
+        return "event kind %s not in P-RW" % type(event).__name__
+
+    # -- effects ---------------------------------------------------------------------------
+
+    def _with_summary(
+        self, state: Level5State, i: int, action: ActionName, status: str
+    ) -> Level5State:
+        node = state.node(i)
+        return state.with_node(
+            i,
+            RWNodeState(
+                node.summary.with_status(action, status), node.values, node.reads
+            ),
+        )
+
+    def apply_effect(self, state: Level5State, event: Event) -> Level5State:
+        if isinstance(event, Create):
+            return self._with_summary(
+                state, self.homes.origin(event.action), event.action, ACTIVE
+            )
+        if isinstance(event, Commit):
+            return self._with_summary(
+                state,
+                self.homes.home_of_action(event.action),
+                event.action,
+                COMMITTED,
+            )
+        if isinstance(event, Abort):
+            return self._with_summary(
+                state,
+                self.homes.home_of_action(event.action),
+                event.action,
+                ABORTED,
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            i = self.homes.home_of_object(obj)
+            node = state.node(i)
+            summary = node.summary.with_status(event.action, COMMITTED)
+            if self.universe.update_of(event.action).is_read:
+                return state.with_node(
+                    i,
+                    RWNodeState(
+                        summary,
+                        node.values,
+                        node.reads.with_granted(obj, event.action),
+                    ),
+                )
+            new_value = self.universe.update_of(event.action)(event.value)
+            return state.with_node(
+                i,
+                RWNodeState(
+                    summary,
+                    node.values.with_performed(obj, event.action, new_value),
+                    node.reads,
+                ),
+            )
+        if isinstance(event, ReleaseLock):
+            i = self.homes.home_of_object(event.obj)
+            node = state.node(i)
+            values = node.values
+            reads = node.reads
+            if values.defined(event.obj, event.action):
+                values = values.with_released(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                if event.action.parent().is_root:
+                    reads = reads.with_lost(event.obj, event.action)
+                else:
+                    reads = reads.with_released(event.obj, event.action)
+            return state.with_node(i, RWNodeState(node.summary, values, reads))
+        if isinstance(event, LoseLock):
+            i = self.homes.home_of_object(event.obj)
+            node = state.node(i)
+            values = node.values
+            reads = node.reads
+            if values.defined(event.obj, event.action):
+                values = values.with_lost(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                reads = reads.with_lost(event.obj, event.action)
+            return state.with_node(i, RWNodeState(node.summary, values, reads))
+        if isinstance(event, Send):
+            merged = state.channel(event.dst).union(event.summary)
+            return state.with_channel(event.dst, merged)
+        if isinstance(event, Receive):
+            node = state.node(event.dst)
+            merged = node.summary.union(event.summary)
+            return state.with_node(
+                event.dst, RWNodeState(merged, node.values, node.reads)
+            )
+        raise TypeError("event kind %s not in P-RW" % type(event).__name__)
+
+
+def local_mapping_5rw_to_4rw(
+    universe: Universe, homes: HomeAssignment
+) -> LocalMapping[Level5State]:
+    """The Section 9.3 local mapping extended with read-table restriction."""
+
+    def contains_local(
+        component: object, state: Level5State, abstract: Level4RWState
+    ) -> bool:
+        tree = abstract.tree
+        if component == BUFFER:
+            return all(channel.contained_in(tree) for channel in state.channels)
+        i = component
+        node = state.node(i)
+        for action in tree.vertices:
+            if action.is_root:
+                continue
+            if homes.origin(action) == i and action not in node.summary:
+                return False
+        for action in node.summary.vertices:
+            if action not in tree:
+                return False
+        for action in tree.vertices:
+            if action.is_root:
+                continue
+            if homes.home_of_action(action) != i:
+                continue
+            if tree.is_committed(action) and not node.summary.is_committed(action):
+                return False
+            if tree.is_aborted(action) and not node.summary.is_aborted(action):
+                return False
+        for action in node.summary.vertices:
+            if node.summary.is_committed(action) and not tree.is_committed(action):
+                return False
+            if node.summary.is_aborted(action) and not tree.is_aborted(action):
+                return False
+        home_objects = homes.objects_at(i)
+        if node.values != abstract.values.restricted_to(home_objects):
+            return False
+        for obj in home_objects:
+            if node.reads.holders(obj) != abstract.reads.holders(obj):
+                return False
+        # Objects homed elsewhere must be absent locally.
+        foreign = set(node.reads._holders) - set(home_objects)
+        return all(not node.reads.holders(obj) for obj in foreign)
+
+    def witness(state: Level5State) -> Level4RWState:
+        return Level4RWState(
+            AugmentedActionTree.initial(universe),
+            ValueMap.initial(universe),
+            ReadLockTable(),
+        )
+
+    return LocalMapping(
+        interpret=interpret_drop_messages,
+        contains_local=contains_local,
+        witness=witness,
+        name="h'''-rw (5rw→4rw)",
+    )

@@ -1,0 +1,209 @@
+"""The four concrete simulation mappings of the correctness proof.
+
+* :func:`mapping_2_to_1` — h  (Section 6.4, Lemma 15): (S, data) ↦ {S},
+  events to their namesakes.
+* :func:`mapping_3_to_2` — h' (Section 7.4, Lemma 17): (T, V) ↦ {T},
+  lock events to Λ.
+* :func:`mapping_4_to_3` — h'' (Section 8.3, Lemma 20): (T, V) ↦
+  {(T, W) : eval(W) = V} — a genuinely non-singleton possibilities set.
+* :func:`local_mapping_5_to_4` — the level-5 local mapping (Section 9.3,
+  Lemmas 23-27): per-component consistency predicates whose intersection
+  is the global possibilities mapping of Lemma 28.
+
+Together with :func:`repro.core.simulation.check_possibilities_lockstep`
+and :func:`repro.core.distributed_algebra.check_local_mapping_lockstep`,
+these machine-check Figures 1-3 and drive the T29 end-to-end chain:
+any valid level-5 run projects to valid runs at levels 4, 3, 2, and 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .aat import AugmentedActionTree
+from .action_tree import ActionTree
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+)
+from .distributed_algebra import LocalMapping
+from .home import HomeAssignment
+from .level3 import Level3State
+from .level4 import Level4State
+from .level5 import BUFFER, Level5State
+from .naming import U
+from .simulation import PossibilitiesMapping, interpret_sequence
+from .universe import Universe
+from .value_map import ValueMap
+from .version_map import VersionMap
+
+
+# -- interpretations (h on events) ------------------------------------------------
+
+
+def interpret_identity(event: Event) -> Optional[Event]:
+    """Events map to their namesakes (levels 2→1 and 4→3)."""
+    return event
+
+
+def interpret_drop_locks(event: Event) -> Optional[Event]:
+    """Lock events map to Λ (level 3→2)."""
+    if isinstance(event, (ReleaseLock, LoseLock)):
+        return None
+    return event
+
+
+def interpret_drop_messages(event: Event) -> Optional[Event]:
+    """send/receive map to Λ; the rest keep their names (level 5→4)."""
+    if isinstance(event, (Send, Receive)):
+        return None
+    return event
+
+
+def interpret_5_to_1(event: Event) -> Optional[Event]:
+    """The composed interpretation h ∘ h' ∘ h'' ∘ h''' of Theorem 29."""
+    if isinstance(event, (Send, Receive, ReleaseLock, LoseLock)):
+        return None
+    return event
+
+
+# -- possibilities mappings ------------------------------------------------------------
+
+
+def mapping_2_to_1() -> PossibilitiesMapping[AugmentedActionTree, ActionTree]:
+    """h: AAT (S, data) ↦ the singleton {S}."""
+
+    return PossibilitiesMapping(
+        interpret=interpret_identity,
+        contains=lambda aat, tree: aat.tree == tree,
+        witness=lambda aat: aat.tree,
+        name="h (2→1)",
+    )
+
+
+def mapping_3_to_2() -> PossibilitiesMapping[Level3State, AugmentedActionTree]:
+    """h': (T, V) ↦ the singleton {T}."""
+
+    return PossibilitiesMapping(
+        interpret=interpret_drop_locks,
+        contains=lambda state, aat: state.aat == aat,
+        witness=lambda state: state.aat,
+        name="h' (3→2)",
+    )
+
+
+def mapping_4_to_3(universe: Universe) -> PossibilitiesMapping[Level4State, Level3State]:
+    """h'': (T, V) ↦ {(T, W) : eval(W) = V} — a non-singleton set.
+
+    The witness is only ever requested for σ''' (the lockstep checker
+    evolves it through the level-3 algebra thereafter); there the empty
+    version sequences evaluate to the initial values.
+    """
+
+    def contains(concrete: Level4State, abstract: Level3State) -> bool:
+        if concrete.aat != abstract.aat:
+            return False
+        return ValueMap.eval_of(abstract.versions, universe) == concrete.values
+
+    def witness(concrete: Level4State) -> Level3State:
+        initial = VersionMap.initial(universe.objects)
+        candidate = Level3State(concrete.aat, initial)
+        if not contains(concrete, candidate):
+            raise ValueError(
+                "witness construction only supports the initial state; "
+                "evolve witnesses through the level-3 algebra instead"
+            )
+        return candidate
+
+    return PossibilitiesMapping(
+        interpret=interpret_identity,
+        contains=contains,
+        witness=witness,
+        name="h'' (4→3)",
+    )
+
+
+# -- the level-5 local mapping -----------------------------------------------------------
+
+
+def local_mapping_5_to_4(
+    universe: Universe, homes: HomeAssignment
+) -> LocalMapping[Level5State]:
+    """h''' with its h_i: i-consistency of an abstract (T, V) with a node's
+    local knowledge, and buffer-consistency of every channel (Section 9.3)."""
+
+    def contains_local(
+        component: object, state: Level5State, abstract: Level4State
+    ) -> bool:
+        tree = abstract.tree
+        if component == BUFFER:
+            return all(
+                channel.contained_in(tree) for channel in state.channels
+            )
+        i = component
+        node = state.node(i)
+        # vertices_T ∩ {A : origin(A) = i} ⊆ i.vertices ⊆ vertices_T
+        for action in tree.vertices:
+            if action.is_root:
+                continue
+            if homes.origin(action) == i and action not in node.summary:
+                return False
+        for action in node.summary.vertices:
+            if action not in tree:
+                return False
+        # committed/aborted: home-side lower bounds, global upper bounds.
+        for action in tree.vertices:
+            if action.is_root:
+                continue
+            if homes.home_of_action(action) != i:
+                continue
+            if tree.is_committed(action) and not node.summary.is_committed(action):
+                return False
+            if tree.is_aborted(action) and not node.summary.is_aborted(action):
+                return False
+        for action in node.summary.vertices:
+            if node.summary.is_committed(action) and not tree.is_committed(action):
+                return False
+            if node.summary.is_aborted(action) and not tree.is_aborted(action):
+                return False
+        # i.V is the restriction of V to objects homed at i.
+        home_objects = homes.objects_at(i)
+        return node.values == abstract.values.restricted_to(home_objects)
+
+    def witness(state: Level5State) -> Level4State:
+        return Level4State(
+            AugmentedActionTree.initial(universe), ValueMap.initial(universe)
+        )
+
+    return LocalMapping(
+        interpret=interpret_drop_messages,
+        contains_local=contains_local,
+        witness=witness,
+        name="h''' (5→4)",
+    )
+
+
+# -- end-to-end projection (Theorem 29) -----------------------------------------------------
+
+
+def project_run(events: Sequence[Event], target_level: int) -> List[Event]:
+    """Map a level-5 event sequence down to the event vocabulary of
+    ``target_level`` by composing the interpretations.
+
+    Also correct for level-4 or level-3 inputs (the interpretations are
+    identities on event kinds those levels lack).
+    """
+    if target_level == 5:
+        return list(events)
+    if target_level in (3, 4):
+        return interpret_sequence(interpret_drop_messages, events)
+    if target_level in (1, 2):
+        return interpret_sequence(interpret_5_to_1, events)
+    raise ValueError("no level %r" % target_level)

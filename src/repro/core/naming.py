@@ -1,0 +1,184 @@
+"""Action naming scheme: the universal tree of actions (paper Section 3.1).
+
+The paper assumes all possible actions are configured *a priori* into an
+infinite tree rooted at the distinguished action ``U``, and observes that
+this configuration can be read as a "naming scheme": the name of an action
+carries within it the action's position in the universal tree.
+
+We realize the naming scheme literally.  An :class:`ActionName` is a path
+from the root — a tuple of child labels — so parenthood, ancestry, and
+least common ancestors are all computable from names alone, with no global
+registry.  ``U`` is the empty path.
+
+Child labels are arbitrary hashable, orderable atoms (ints or strings); in
+generated workloads they are small integers, while hand-written examples
+use readable strings such as ``("transfer", "debit")``.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+Atom = Union[int, str]
+
+
+@total_ordering
+class ActionName:
+    """A node of the universal action tree, identified by its root path.
+
+    Instances are immutable, hashable, and totally ordered (by path, with
+    ints sorting before strings so mixed trees stay orderable).  The
+    distinguished root action ``U`` is ``ActionName()``.
+    """
+
+    __slots__ = ("_path",)
+
+    def __init__(self, *path: Atom) -> None:
+        if len(path) == 1 and isinstance(path[0], tuple):
+            path = path[0]
+        for atom in path:
+            if not isinstance(atom, (int, str)):
+                raise TypeError(
+                    "action path atoms must be int or str, got %r" % (atom,)
+                )
+        self._path: Tuple[Atom, ...] = tuple(path)
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def path(self) -> Tuple[Atom, ...]:
+        """The path from the root ``U`` to this action."""
+        return self._path
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root; ``U`` has depth 0."""
+        return len(self._path)
+
+    @property
+    def is_root(self) -> bool:
+        """True iff this is the distinguished action ``U``."""
+        return not self._path
+
+    def parent(self) -> "ActionName":
+        """The unique parent action (paper: ``parent(A)``).
+
+        Raises :class:`ValueError` for ``U``, which has no parent.
+        """
+        if not self._path:
+            raise ValueError("U has no parent")
+        return ActionName(self._path[:-1])
+
+    def child(self, label: Atom) -> "ActionName":
+        """The child of this action with the given label."""
+        return ActionName(self._path + (label,))
+
+    def leaf_label(self) -> Atom:
+        """The final atom of the path (this action's label under its parent)."""
+        if not self._path:
+            raise ValueError("U has no label")
+        return self._path[-1]
+
+    # -- ancestry ----------------------------------------------------------
+
+    def ancestors(self) -> Iterator["ActionName"]:
+        """All ancestors of this action, itself included, root-first.
+
+        Matches the paper's ``anc(A)`` (which is reflexive: A ∈ anc(A)).
+        """
+        for i in range(len(self._path) + 1):
+            yield ActionName(self._path[:i])
+
+    def proper_ancestors(self) -> Iterator["ActionName"]:
+        """Ancestors excluding this action itself, root-first."""
+        for i in range(len(self._path)):
+            yield ActionName(self._path[:i])
+
+    def is_ancestor_of(self, other: "ActionName") -> bool:
+        """True iff self ∈ anc(other) — reflexive, as in the paper."""
+        n = len(self._path)
+        return other._path[:n] == self._path
+
+    def is_proper_ancestor_of(self, other: "ActionName") -> bool:
+        """True iff self ∈ proper-anc(other)."""
+        return self != other and self.is_ancestor_of(other)
+
+    def is_descendant_of(self, other: "ActionName") -> bool:
+        """True iff self ∈ desc(other) — reflexive."""
+        return other.is_ancestor_of(self)
+
+    def is_sibling_of(self, other: "ActionName") -> bool:
+        """True iff the two actions share a parent (paper: ``siblings``).
+
+        Following the paper's relation ``siblings ⊆ act²``, an action is a
+        sibling of itself.
+        """
+        if self.is_root or other.is_root:
+            return False
+        return self._path[:-1] == other._path[:-1]
+
+    def lca(self, other: "ActionName") -> "ActionName":
+        """Least common ancestor (paper: ``lca(A, B)``)."""
+        prefix = []
+        for a, b in zip(self._path, other._path):
+            if a != b:
+                break
+            prefix.append(a)
+        return ActionName(tuple(prefix))
+
+    def ancestor_at_depth(self, depth: int) -> "ActionName":
+        """The unique ancestor of this action at the given depth."""
+        if depth > len(self._path):
+            raise ValueError("no ancestor at depth %d of %r" % (depth, self))
+        return ActionName(self._path[:depth])
+
+    def child_toward(self, descendant: "ActionName") -> "ActionName":
+        """The unique child of self on the path to a proper descendant."""
+        if not self.is_proper_ancestor_of(descendant):
+            raise ValueError("%r is not a proper descendant of %r" % (descendant, self))
+        return ActionName(descendant._path[: len(self._path) + 1])
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __hash__(self) -> int:
+        return hash(self._path)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActionName):
+            return NotImplemented
+        return self._path == other._path
+
+    def __lt__(self, other: "ActionName") -> bool:
+        if not isinstance(other, ActionName):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self) -> Tuple[Tuple[int, str], ...]:
+        # Ints sort before strings; within a kind, natural order.
+        return tuple(
+            (0, "%020d" % atom) if isinstance(atom, int) else (1, atom)
+            for atom in self._path
+        )
+
+    def __repr__(self) -> str:
+        if not self._path:
+            return "U"
+        return "<" + "/".join(str(atom) for atom in self._path) + ">"
+
+    def __len__(self) -> int:
+        return len(self._path)
+
+
+#: The distinguished root action, parent of all top-level actions.
+U = ActionName()
+
+
+def lca_of(names: Iterable[ActionName]) -> ActionName:
+    """Least common ancestor of a non-empty collection of actions."""
+    result: Optional[ActionName] = None
+    for name in names:
+        result = name if result is None else result.lca(name)
+    if result is None:
+        raise ValueError("lca_of requires at least one action")
+    return result

@@ -1,0 +1,62 @@
+"""Shared precondition clauses for the tree events (paper Sections 4, 6-9).
+
+The ``create``/``commit``/``abort`` preconditions and effects are identical
+at levels 1-4 (and level 5 states them against local knowledge); they are
+factored here so each level's algebra reads like the paper's event tables.
+Clause labels in the returned messages ((a11), (b12), ...) match the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .action_tree import ActionTree
+from .naming import ActionName
+
+
+def create_failure(tree: ActionTree, action: ActionName) -> Optional[str]:
+    """Precondition of ``create_A``."""
+    if action.is_root:
+        return "U is never created"
+    if action in tree:
+        return "(a11) %r is already a vertex" % action
+    parent = action.parent()
+    if parent not in tree:
+        return "(a12) parent %r is not a vertex" % parent
+    if tree.is_committed(parent):
+        return "(a12) parent %r is committed" % parent
+    return None
+
+
+def commit_failure(tree: ActionTree, action: ActionName) -> Optional[str]:
+    """Precondition of ``commit_A`` (A must be a non-access)."""
+    if action.is_root:
+        return "U never commits"
+    if tree.universe.is_access(action):
+        return "commit applies only to non-access actions; %r is an access" % action
+    if not tree.is_active(action):
+        return "(b11) %r is not active" % action
+    for child in tree.children_in_tree(action):
+        if not tree.is_done(child):
+            return "(b12) child %r is not done" % child
+    return None
+
+
+def abort_failure(tree: ActionTree, action: ActionName) -> Optional[str]:
+    """Precondition of ``abort_A``."""
+    if action.is_root:
+        return "U never aborts"
+    if not tree.is_active(action):
+        return "(c11) %r is not active" % action
+    return None
+
+
+def perform_basic_failure(tree: ActionTree, action: ActionName) -> Optional[str]:
+    """Clause (d11) plus the access-shape side conditions of ``perform``."""
+    if action.is_root:
+        return "U is not an access"
+    if not tree.universe.is_access(action):
+        return "perform applies only to accesses; %r is not one" % action
+    if not tree.is_active(action):
+        return "(d11) %r is not active" % action
+    return None

@@ -1,0 +1,145 @@
+"""Human-readable renderings of runs and trees.
+
+Debugging a concurrency-control trace means reading it; this module turns
+event sequences into indented timelines (grouped per top-level
+transaction) and action trees into Graphviz DOT, with statuses, labels,
+and per-object data orders annotated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from .aat import AugmentedActionTree
+from .action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
+from .events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+    describe,
+)
+from .naming import U, ActionName
+
+
+def render_run(
+    events: Sequence[Event],
+    *,
+    numbered: bool = True,
+) -> str:
+    """A one-event-per-line timeline, indented by nesting depth.
+
+    Communication and lock events sit at the left margin; tree events are
+    indented under their top-level transaction.
+    """
+    lines: List[str] = []
+    width = len(str(len(events)))
+    for index, event in enumerate(events):
+        action = getattr(event, "action", None)
+        indent = "  " * (action.depth if action is not None else 0)
+        prefix = ("%*d  " % (width, index)) if numbered else ""
+        lines.append(prefix + indent + describe(event))
+    return "\n".join(lines)
+
+
+def render_timeline_by_transaction(events: Sequence[Event]) -> str:
+    """Events bucketed by top-level transaction, in arrival order — the
+    per-transaction view of an interleaved history."""
+    buckets: Dict[Optional[ActionName], List[str]] = {}
+    order: List[Optional[ActionName]] = []
+    for index, event in enumerate(events):
+        action = getattr(event, "action", None)
+        top = action.ancestor_at_depth(1) if action is not None and action.depth else None
+        if top not in buckets:
+            buckets[top] = []
+            order.append(top)
+        buckets[top].append("%4d  %s" % (index, describe(event)))
+    sections = []
+    for top in order:
+        title = repr(top) if top is not None else "(system: messages)"
+        sections.append(title)
+        sections.extend("  " + line for line in buckets[top])
+    return "\n".join(sections)
+
+
+_STATUS_STYLE = {
+    ACTIVE: ("ellipse", "white"),
+    COMMITTED: ("box", "palegreen"),
+    ABORTED: ("box", "lightcoral"),
+}
+
+
+def to_dot(
+    tree_or_aat: Union[ActionTree, AugmentedActionTree],
+    *,
+    title: str = "action tree",
+) -> str:
+    """Graphviz DOT for an action tree (or AAT, with data-order edges).
+
+    Statuses are color-coded; data steps show their labels; for AATs the
+    per-object version order appears as dashed edges.
+    """
+    if isinstance(tree_or_aat, AugmentedActionTree):
+        tree = tree_or_aat.tree
+        data = tree_or_aat.data
+    else:
+        tree = tree_or_aat
+        data = {}
+    lines = [
+        "digraph %s {" % _dot_id("g", title),
+        '  label="%s";' % title.replace('"', "'"),
+        "  rankdir=TB;",
+    ]
+    for vertex in sorted(tree.vertices):
+        shape, color = _STATUS_STYLE[tree.status(vertex)]
+        label = "U" if vertex.is_root else "/".join(str(a) for a in vertex.path)
+        if vertex in tree.labels:
+            label += "\\nsaw %r" % (tree.label(vertex),)
+        lines.append(
+            '  %s [label="%s", shape=%s, style=filled, fillcolor=%s];'
+            % (_node_id(vertex), label, shape, color)
+        )
+    for vertex in sorted(tree.vertices):
+        if vertex.is_root:
+            continue
+        parent = vertex.parent()
+        if parent in tree.vertices:
+            lines.append("  %s -> %s;" % (_node_id(parent), _node_id(vertex)))
+    for obj, seq in sorted(data.items()):
+        for earlier, later in zip(seq, seq[1:]):
+            lines.append(
+                '  %s -> %s [style=dashed, color=gray40, label="%s"];'
+                % (_node_id(earlier), _node_id(later), obj)
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(
+    tree_or_aat: Union[ActionTree, AugmentedActionTree],
+    destination: Union[str, TextIO],
+    **kwargs,
+) -> None:
+    """Write :func:`to_dot` output to a path or stream."""
+    text = to_dot(tree_or_aat, **kwargs)
+    if isinstance(destination, str):
+        with open(destination, "w") as fh:
+            fh.write(text)
+    else:
+        destination.write(text)
+
+
+def _node_id(name: ActionName) -> str:
+    if name.is_root:
+        return "U"
+    return _dot_id("n", "_".join(str(a) for a in name.path))
+
+
+def _dot_id(prefix: str, raw: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in raw)
+    return "%s_%s" % (prefix, safe)

@@ -1,0 +1,546 @@
+"""Moss's *complete* algorithm: the read/write extension (paper §10).
+
+The paper proves its simplified variant, in which every access conflicts
+with every other, and closes with: "Certainly, Moss's complete algorithm
+(with a distinction between read and write operations) should be proved
+correct; we do not expect this extension to be very difficult."  This
+module carries out that extension at two of the levels, in the same style:
+
+* :class:`Level2RWAlgebra` — the abstract effect of *mode-aware* locking.
+  Clause (d12) weakens to quantify over live **conflicting** data steps
+  only (two reads never conflict: identity updates commute); (d13) is
+  unchanged.  The analogue of Theorem 14 — computability here implies
+  perm(T) serializable — holds with the conflict-aware characterization
+  :func:`repro.core.characterization.is_rw_serializable`, and is
+  machine-checked by the tests and the F1-RW bench.
+
+* :class:`Level4RWAlgebra` — mode-aware lock retention over value maps:
+  write holdings live in the value map exactly as at level 4, read
+  holdings in a separate read-lock table.  ``perform`` of a read access
+  requires only the *write* holders to be proper ancestors; any other
+  access requires all holders (both kinds) to be.  ``release-lock`` /
+  ``lose-lock`` move or discard both kinds.
+
+The interpretation between them (drop the lock events) is a possibilities
+mapping, checked in lockstep exactly like h' in the simplified chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from .aat import AugmentedActionTree
+from .algebra import EventStateAlgebra
+from .events import Abort, Commit, Create, Event, LoseLock, Perform, ReleaseLock
+from .naming import U, ActionName
+from .preconditions import (
+    abort_failure,
+    commit_failure,
+    create_failure,
+    perform_basic_failure,
+)
+from .simulation import PossibilitiesMapping
+from .universe import Universe
+from .value_map import ValueMap
+from .mappings import interpret_drop_locks
+
+
+class Level2RWAlgebra(EventStateAlgebra[AugmentedActionTree]):
+    """𝒜'-RW: the abstract effect of read/write locking."""
+
+    level = 2
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> AugmentedActionTree:
+        return AugmentedActionTree.initial(self.universe)
+
+    def _conflicts(self, a: ActionName, b: ActionName) -> bool:
+        """Two accesses to the same object conflict unless both are reads."""
+        return not (
+            self.universe.update_of(a).is_read
+            and self.universe.update_of(b).is_read
+        )
+
+    def expected_value(
+        self, state: AugmentedActionTree, access: ActionName
+    ) -> object:
+        obj = self.universe.object_of(access)
+        visible = state.tree.visible_datasteps(access, obj)
+        ordered = [b for b in state.data_sequence(obj) if b in visible]
+        return self.universe.result(obj, ordered)
+
+    def precondition_failure(
+        self, state: AugmentedActionTree, event: Event
+    ) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            action = event.action
+            obj = self.universe.object_of(action)
+            try:
+                self.universe.check_label(action, event.value)
+            except ValueError as exc:
+                return "label: %s" % exc
+            for step in tree.datasteps_for(obj):
+                if not tree.is_live(step):
+                    continue
+                if not self._conflicts(step, action):
+                    continue  # read-read: no wait needed
+                if step not in tree.visible_datasteps(action, obj):
+                    return (
+                        "(d12-rw) live conflicting data step %r on %s is "
+                        "not visible to %r" % (step, obj, action)
+                    )
+            if tree.is_live(action):
+                expected = self.expected_value(state, action)
+                if event.value != expected:
+                    return "(d13) live access must see %r, not %r" % (
+                        expected,
+                        event.value,
+                    )
+            return None
+        return "event kind %s not in Π'-RW" % type(event).__name__
+
+    def apply_effect(
+        self, state: AugmentedActionTree, event: Event
+    ) -> AugmentedActionTree:
+        if isinstance(event, Create):
+            return state.with_tree(state.tree.with_created(event.action))
+        if isinstance(event, Commit):
+            return state.with_tree(
+                state.tree.with_new_status(event.action, "committed")
+            )
+        if isinstance(event, Abort):
+            return state.with_tree(
+                state.tree.with_new_status(event.action, "aborted")
+            )
+        if isinstance(event, Perform):
+            return state.with_performed(event.action, event.value)
+        raise TypeError("event kind %s not in Π'-RW" % type(event).__name__)
+
+
+# -- level 4, mode-aware -----------------------------------------------------------
+
+
+class ReadLockTable:
+    """Read holdings per object: chains of ancestors, like value maps but
+    value-free and shareable at one level... in Moss's discipline read
+    locks still form ancestor chains per *holder line*; we only need the
+    holder set and the paper-style move/discard operations."""
+
+    __slots__ = ("_holders",)
+
+    def __init__(self, holders: Mapping[str, FrozenSet[ActionName]] = ()) -> None:
+        self._holders: Dict[str, FrozenSet[ActionName]] = {
+            obj: frozenset(actions) for obj, actions in dict(holders).items()
+        }
+
+    def holders(self, obj: str) -> FrozenSet[ActionName]:
+        return self._holders.get(obj, frozenset())
+
+    def holds(self, obj: str, action: ActionName) -> bool:
+        return action in self._holders.get(obj, frozenset())
+
+    def with_granted(self, obj: str, action: ActionName) -> "ReadLockTable":
+        updated = dict(self._holders)
+        updated[obj] = self.holders(obj) | {action}
+        return ReadLockTable(updated)
+
+    def with_released(self, obj: str, action: ActionName) -> "ReadLockTable":
+        """Pass the read lock up to the parent (release-lock for reads)."""
+        remaining = (self.holders(obj) - {action}) | {action.parent()}
+        updated = dict(self._holders)
+        updated[obj] = remaining
+        return ReadLockTable(updated)
+
+    def with_lost(self, obj: str, action: ActionName) -> "ReadLockTable":
+        updated = dict(self._holders)
+        updated[obj] = self.holders(obj) - {action}
+        return ReadLockTable(updated)
+
+    def _key(self):
+        return tuple(
+            (obj, tuple(sorted(holders)))
+            for obj, holders in sorted(self._holders.items())
+            if holders
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadLockTable):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        held = sum(len(h) for h in self._holders.values())
+        return "ReadLockTable(%d holdings)" % held
+
+
+@dataclass(frozen=True)
+class Level4RWState:
+    """(T, V, R): AAT, write holdings (value map), read holdings."""
+
+    aat: AugmentedActionTree
+    values: ValueMap
+    reads: ReadLockTable
+
+    @property
+    def tree(self):
+        return self.aat.tree
+
+
+class Level4RWAlgebra(EventStateAlgebra[Level4RWState]):
+    """𝒜'''-RW: Moss's complete algorithm over value maps."""
+
+    level = 4
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> Level4RWState:
+        return Level4RWState(
+            AugmentedActionTree.initial(self.universe),
+            ValueMap.initial(self.universe),
+            ReadLockTable(),
+        )
+
+    def precondition_failure(
+        self, state: Level4RWState, event: Event
+    ) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            action = event.action
+            obj = self.universe.object_of(action)
+            is_read = self.universe.update_of(action).is_read
+            for holder in state.values.holders(obj):
+                if not holder.is_proper_ancestor_of(action):
+                    return (
+                        "(d12-rw) write holder %r of %s is not a proper "
+                        "ancestor of %r" % (holder, obj, action)
+                    )
+            if not is_read:
+                for holder in state.reads.holders(obj):
+                    if not holder.is_proper_ancestor_of(action):
+                        return (
+                            "(d12-rw) read holder %r of %s blocks the "
+                            "non-read access %r" % (holder, obj, action)
+                        )
+            principal = state.values.principal_value(obj)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            holds_write = state.values.defined(event.obj, event.action)
+            holds_read = state.reads.holds(event.obj, event.action)
+            if not (holds_write or holds_read):
+                return "(e11) %r holds no lock on %s" % (event.action, event.obj)
+            if not tree.is_committed(event.action):
+                return "(e12) %r is not committed" % event.action
+            return None
+        if isinstance(event, LoseLock):
+            holds_write = state.values.defined(event.obj, event.action)
+            holds_read = state.reads.holds(event.obj, event.action)
+            if not (holds_write or holds_read):
+                return "(f11) %r holds no lock on %s" % (event.action, event.obj)
+            if not tree.is_dead(event.action):
+                return "(f12) %r is not dead" % event.action
+            return None
+        return "event kind %s not in Π'''-RW" % type(event).__name__
+
+    def apply_effect(self, state: Level4RWState, event: Event) -> Level4RWState:
+        if isinstance(event, Create):
+            return Level4RWState(
+                state.aat.with_tree(state.tree.with_created(event.action)),
+                state.values,
+                state.reads,
+            )
+        if isinstance(event, Commit):
+            return Level4RWState(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "committed")
+                ),
+                state.values,
+                state.reads,
+            )
+        if isinstance(event, Abort):
+            return Level4RWState(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "aborted")
+                ),
+                state.values,
+                state.reads,
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            if self.universe.update_of(event.action).is_read:
+                return Level4RWState(
+                    state.aat.with_performed(event.action, event.value),
+                    state.values,
+                    state.reads.with_granted(obj, event.action),
+                )
+            new_value = self.universe.update_of(event.action)(event.value)
+            return Level4RWState(
+                state.aat.with_performed(event.action, event.value),
+                state.values.with_performed(obj, event.action, new_value),
+                state.reads,
+            )
+        if isinstance(event, ReleaseLock):
+            values = state.values
+            reads = state.reads
+            if values.defined(event.obj, event.action):
+                values = values.with_released(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                if event.action.parent().is_root:
+                    reads = reads.with_lost(event.obj, event.action)
+                else:
+                    reads = reads.with_released(event.obj, event.action)
+            return Level4RWState(state.aat, values, reads)
+        if isinstance(event, LoseLock):
+            values = state.values
+            reads = state.reads
+            if values.defined(event.obj, event.action):
+                values = values.with_lost(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                reads = reads.with_lost(event.obj, event.action)
+            return Level4RWState(state.aat, values, reads)
+        raise TypeError("event kind %s not in Π'''-RW" % type(event).__name__)
+
+
+def mapping_4rw_to_2rw() -> PossibilitiesMapping[Level4RWState, AugmentedActionTree]:
+    """The lock-dropping mapping (T, V, R) ↦ {T}, analogous to h'.
+
+    (A direct two-level hop; the factored route through 𝒜''-RW below
+    mirrors the paper's h'' ∘ h' decomposition.)
+    """
+    return PossibilitiesMapping(
+        interpret=interpret_drop_locks,
+        contains=lambda state, aat: state.aat == aat,
+        witness=lambda state: state.aat,
+        name="h'-rw (4rw→2rw)",
+    )
+
+
+# -- level 3, mode-aware: version sequences + read locks ----------------------------
+
+
+@dataclass(frozen=True)
+class Level3RWState:
+    """(T, W, R): AAT, write holdings as *version sequences*, read locks.
+
+    The mode-aware analogue of the paper's level 3: write holders retain
+    the full sequence of non-read accesses available to them; reads never
+    enter the sequences (identity updates add no information) and live in
+    the read table instead.
+    """
+
+    aat: AugmentedActionTree
+    versions: "VersionMap"
+    reads: ReadLockTable
+
+    @property
+    def tree(self):
+        return self.aat.tree
+
+
+from .version_map import VersionMap  # noqa: E402  (placed near its use)
+
+
+class Level3RWAlgebra(EventStateAlgebra[Level3RWState]):
+    """𝒜''-RW: the information-retaining mode-aware locking algebra."""
+
+    level = 3
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+
+    @property
+    def initial_state(self) -> Level3RWState:
+        return Level3RWState(
+            AugmentedActionTree.initial(self.universe),
+            VersionMap.initial(self.universe.objects),
+            ReadLockTable(),
+        )
+
+    def precondition_failure(
+        self, state: Level3RWState, event: Event
+    ) -> Optional[str]:
+        tree = state.tree
+        if isinstance(event, Create):
+            return create_failure(tree, event.action)
+        if isinstance(event, Commit):
+            return commit_failure(tree, event.action)
+        if isinstance(event, Abort):
+            return abort_failure(tree, event.action)
+        if isinstance(event, Perform):
+            failure = perform_basic_failure(tree, event.action)
+            if failure is not None:
+                return failure
+            action = event.action
+            obj = self.universe.object_of(action)
+            is_read = self.universe.update_of(action).is_read
+            for holder in state.versions.holders(obj):
+                if holder.is_root:
+                    continue
+                if not holder.is_proper_ancestor_of(action):
+                    return (
+                        "(d12-rw) write holder %r of %s is not a proper "
+                        "ancestor of %r" % (holder, obj, action)
+                    )
+            if not is_read:
+                for holder in state.reads.holders(obj):
+                    if not holder.is_proper_ancestor_of(action):
+                        return (
+                            "(d12-rw) read holder %r of %s blocks %r"
+                            % (holder, obj, action)
+                        )
+            principal = state.versions.principal_value(obj, self.universe)
+            if event.value != principal:
+                return "(d13) value must be the principal value %r, not %r" % (
+                    principal,
+                    event.value,
+                )
+            return None
+        if isinstance(event, ReleaseLock):
+            holds_write = state.versions.defined(event.obj, event.action)
+            holds_read = state.reads.holds(event.obj, event.action)
+            if not (holds_write or holds_read):
+                return "(e11) %r holds no lock on %s" % (event.action, event.obj)
+            if not tree.is_committed(event.action):
+                return "(e12) %r is not committed" % event.action
+            return None
+        if isinstance(event, LoseLock):
+            holds_write = state.versions.defined(event.obj, event.action)
+            holds_read = state.reads.holds(event.obj, event.action)
+            if not (holds_write or holds_read):
+                return "(f11) %r holds no lock on %s" % (event.action, event.obj)
+            if not tree.is_dead(event.action):
+                return "(f12) %r is not dead" % event.action
+            return None
+        return "event kind %s not in Π''-RW" % type(event).__name__
+
+    def apply_effect(self, state: Level3RWState, event: Event) -> Level3RWState:
+        if isinstance(event, Create):
+            return Level3RWState(
+                state.aat.with_tree(state.tree.with_created(event.action)),
+                state.versions,
+                state.reads,
+            )
+        if isinstance(event, Commit):
+            return Level3RWState(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "committed")
+                ),
+                state.versions,
+                state.reads,
+            )
+        if isinstance(event, Abort):
+            return Level3RWState(
+                state.aat.with_tree(
+                    state.tree.with_new_status(event.action, "aborted")
+                ),
+                state.versions,
+                state.reads,
+            )
+        if isinstance(event, Perform):
+            obj = self.universe.object_of(event.action)
+            if self.universe.update_of(event.action).is_read:
+                return Level3RWState(
+                    state.aat.with_performed(event.action, event.value),
+                    state.versions,
+                    state.reads.with_granted(obj, event.action),
+                )
+            return Level3RWState(
+                state.aat.with_performed(event.action, event.value),
+                state.versions.with_performed(obj, event.action),
+                state.reads,
+            )
+        if isinstance(event, ReleaseLock):
+            versions = state.versions
+            reads = state.reads
+            if versions.defined(event.obj, event.action):
+                versions = versions.with_released(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                if event.action.parent().is_root:
+                    reads = reads.with_lost(event.obj, event.action)
+                else:
+                    reads = reads.with_released(event.obj, event.action)
+            return Level3RWState(state.aat, versions, reads)
+        if isinstance(event, LoseLock):
+            versions = state.versions
+            reads = state.reads
+            if versions.defined(event.obj, event.action):
+                versions = versions.with_lost(event.obj, event.action)
+            if reads.holds(event.obj, event.action):
+                reads = reads.with_lost(event.obj, event.action)
+            return Level3RWState(state.aat, versions, reads)
+        raise TypeError("event kind %s not in Π''-RW" % type(event).__name__)
+
+
+def mapping_3rw_to_2rw() -> PossibilitiesMapping[Level3RWState, AugmentedActionTree]:
+    """(T, W, R) ↦ {T}: the mode-aware analogue of h' (Lemma 17)."""
+    return PossibilitiesMapping(
+        interpret=interpret_drop_locks,
+        contains=lambda state, aat: state.aat == aat,
+        witness=lambda state: state.aat,
+        name="h'-rw (3rw→2rw)",
+    )
+
+
+def mapping_4rw_to_3rw(
+    universe: Universe,
+) -> PossibilitiesMapping[Level4RWState, Level3RWState]:
+    """(T, V, R) ↦ {(T, W, R) : eval(W) = V}: the mode-aware analogue of
+    the non-singleton h'' (Lemma 20) — discarded version sequences are
+    recovered as a possibility set."""
+    from .value_map import ValueMap
+
+    def contains(concrete: Level4RWState, abstract: Level3RWState) -> bool:
+        if concrete.aat != abstract.aat:
+            return False
+        if concrete.reads != abstract.reads:
+            return False
+        return ValueMap.eval_of(abstract.versions, universe) == concrete.values
+
+    def witness(concrete: Level4RWState) -> Level3RWState:
+        initial = VersionMap.initial(universe.objects)
+        candidate = Level3RWState(concrete.aat, initial, concrete.reads)
+        if not contains(concrete, candidate):
+            raise ValueError(
+                "witness construction only supports the initial state; "
+                "evolve witnesses through the level-3-RW algebra instead"
+            )
+        return candidate
+
+    return PossibilitiesMapping(
+        interpret=lambda event: event,  # same names at both levels
+        contains=contains,
+        witness=witness,
+        name="h''-rw (4rw→3rw)",
+    )

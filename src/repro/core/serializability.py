@@ -1,0 +1,155 @@
+"""Serializability of action trees (paper Section 3.4).
+
+A *linearizing partial order* totally orders every sibling family in the
+tree; it induces a total order on data steps.  ``preds`` of a data step A
+is the sequence of visible same-object data steps induced before A, and a
+linearizing order is *serializing* when every data step's label equals the
+result of replaying its preds.  A tree is serializable when a serializing
+order exists.
+
+Deciding serializability in general requires search over sibling
+orderings; this module implements that exact (exponential, budgeted)
+search.  The polynomial sufficient condition via augmented action trees is
+in :mod:`repro.core.characterization` (Theorem 9).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .action_tree import ActionTree
+from .naming import ActionName
+
+#: A linearizing partial order, represented by its restriction to each
+#: sibling family that matters: parent → tuple of children, in order.
+SiblingOrder = Mapping[ActionName, Tuple[ActionName, ...]]
+
+
+class SearchBudgetExceeded(Exception):
+    """The exact serializability search exceeded its candidate budget."""
+
+
+def sibling_families(tree: ActionTree) -> Dict[ActionName, List[ActionName]]:
+    """The sibling families of T: parent → sorted children present in T."""
+    families: Dict[ActionName, List[ActionName]] = {}
+    for vertex in tree.vertices:
+        if vertex.is_root:
+            continue
+        families.setdefault(vertex.parent(), []).append(vertex)
+    for children in families.values():
+        children.sort()
+    return families
+
+
+def induced_before(
+    order: SiblingOrder, a: ActionName, b: ActionName
+) -> bool:
+    """(A, B) ∈ induced_{T,p} for distinct data steps A, B.
+
+    A and B have unique ancestors that are siblings (children of their
+    lca); the induced order compares those ancestors under p.
+    """
+    if a == b:
+        return False
+    lca = a.lca(b)
+    if lca == a or lca == b:
+        # One is an ancestor of the other; they are not related by the
+        # induced order (this cannot happen for two *data steps*, which
+        # are leaves, but callers may probe arbitrary pairs).
+        return False
+    a_child = lca.child_toward(a)
+    b_child = lca.child_toward(b)
+    family = order[lca]
+    return family.index(a_child) < family.index(b_child)
+
+
+def preds(
+    tree: ActionTree, order: SiblingOrder, access: ActionName
+) -> List[ActionName]:
+    """``preds_{T,p}(A)``: visible same-object data steps induced before A,
+    in induced order."""
+    obj = tree.universe.object_of(access)
+    before = [
+        b
+        for b in tree.visible_datasteps(access, obj)
+        if b != access and induced_before(order, b, access)
+    ]
+
+    def key(step: ActionName):
+        return _induced_sort_key(order, step)
+
+    before.sort(key=key)
+    return before
+
+
+def _induced_sort_key(order: SiblingOrder, step: ActionName) -> Tuple[int, ...]:
+    """Position vector of a data step under p: its ancestors' ranks within
+    their families.  Comparing key vectors realizes the induced order."""
+    ranks = []
+    for depth in range(1, step.depth + 1):
+        node = step.ancestor_at_depth(depth)
+        family = order.get(node.parent())
+        ranks.append(family.index(node) if family is not None else 0)
+    return tuple(ranks)
+
+
+def is_serializing(tree: ActionTree, order: SiblingOrder) -> bool:
+    """Check that p is a serializing partial order for T: every data step's
+    label equals the replay of its preds."""
+    universe = tree.universe
+    for step in tree.datasteps():
+        obj = universe.object_of(step)
+        expected = universe.result(obj, preds(tree, order, step))
+        if tree.label(step) != expected:
+            return False
+    return True
+
+
+def _candidate_orders(
+    families: Dict[ActionName, List[ActionName]]
+) -> Iterator[SiblingOrder]:
+    """Every assignment of a total order to each sibling family."""
+    parents = list(families)
+    permutation_sets = [
+        list(itertools.permutations(families[parent])) for parent in parents
+    ]
+    for combo in itertools.product(*permutation_sets):
+        yield dict(zip(parents, combo))
+
+
+def find_serializing_order(
+    tree: ActionTree, budget: int = 1_000_000
+) -> Optional[SiblingOrder]:
+    """Exact search for a serializing partial order of T.
+
+    Returns a witness order, or None when T is not serializable.  Raises
+    :class:`SearchBudgetExceeded` after examining ``budget`` candidates so
+    callers cannot accidentally run an unbounded exponential search.
+    """
+    families = sibling_families(tree)
+    examined = 0
+    for order in _candidate_orders(families):
+        examined += 1
+        if examined > budget:
+            raise SearchBudgetExceeded(
+                "exceeded %d candidate sibling orderings" % budget
+            )
+        if is_serializing(tree, order):
+            return order
+    return None
+
+
+def is_serializable(tree: ActionTree, budget: int = 1_000_000) -> bool:
+    """T is serializable iff some serializing partial order exists."""
+    return find_serializing_order(tree, budget) is not None
+
+
+def serial_schedule(
+    tree: ActionTree, order: SiblingOrder
+) -> List[ActionName]:
+    """All data steps of T in the total order induced by p — the serial
+    execution the tree is equivalent to."""
+    steps = list(tree.datasteps())
+    steps.sort(key=lambda step: _induced_sort_key(order, step))
+    return steps

@@ -1,0 +1,199 @@
+"""Interpretations, simulations, and possibilities mappings (Section 2.2).
+
+An *interpretation* of algebra 𝒜 by 𝒜' maps each event of 𝒜' to an event
+of 𝒜 or to the null event Λ (here, ``None``); extended homomorphically it
+maps event sequences by deleting Λs.  An interpretation is a *simulation*
+when it carries every valid sequence of 𝒜' to a valid sequence of 𝒜
+(Lemma 1 lets simulations compose).
+
+A *possibilities mapping* additionally sends each concrete state to a
+**set** of abstract states and satisfies the four conditions (a)-(d) of
+Section 2.2 (Figure 1); Lemmas 2-3 show any possibilities mapping is a
+simulation.  Because possibility sets can be infinite (the level-4 → 3
+mapping h'' sends a value map to *every* version map evaluating to it), a
+:class:`PossibilitiesMapping` here exposes the set through a membership
+predicate plus a canonical witness, and the machine checks operate on
+witnesses carried in lockstep with a concrete run — precisely the
+commuting diagram of Figure 1, instantiated at each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from .algebra import EventStateAlgebra, EventNotEnabledError
+from .events import Event, describe
+
+C = TypeVar("C")  # concrete states
+A = TypeVar("A")  # abstract states
+
+#: h restricted to Π': event → event-or-Λ.  ``None`` is Λ.
+Interpretation = Callable[[Event], Optional[Event]]
+
+
+def interpret_sequence(
+    interpretation: Interpretation, events: Iterable[Event]
+) -> List[Event]:
+    """h(Φ'): apply the interpretation homomorphically, deleting Λs."""
+    mapped = []
+    for event in events:
+        image = interpretation(event)
+        if image is not None:
+            mapped.append(image)
+    return mapped
+
+
+def compose_interpretations(
+    outer: Interpretation, inner: Interpretation
+) -> Interpretation:
+    """h ∘ h' as in Lemma 1: first ``inner`` (lower pair), then ``outer``."""
+
+    def composed(event: Event) -> Optional[Event]:
+        mid = inner(event)
+        if mid is None:
+            return None
+        return outer(mid)
+
+    return composed
+
+
+@dataclass
+class SimulationViolation(Exception):
+    """A witness that an interpretation failed to be a simulation."""
+
+    step_index: int
+    concrete_event: Event
+    detail: str
+
+    def __str__(self) -> str:
+        return "simulation violated at step %d (%s): %s" % (
+            self.step_index,
+            describe(self.concrete_event),
+            self.detail,
+        )
+
+
+def check_simulation(
+    concrete: EventStateAlgebra,
+    abstract: EventStateAlgebra,
+    interpretation: Interpretation,
+    events: Sequence[Event],
+) -> Tuple[object, object]:
+    """Verify the defining property of a simulation on one valid sequence.
+
+    Runs ``events`` in the concrete algebra (they must be valid there) and
+    checks that the interpreted sequence is valid in the abstract algebra.
+    Returns the pair of final states.  Raises :class:`SimulationViolation`
+    if the abstract run gets stuck, pinpointing the offending event.
+    """
+    concrete_state = concrete.initial_state
+    abstract_state = abstract.initial_state
+    for i, event in enumerate(events):
+        concrete_state = concrete.apply(concrete_state, event)
+        image = interpretation(event)
+        if image is None:
+            continue
+        reason = abstract.precondition_failure(abstract_state, image)
+        if reason is not None:
+            raise SimulationViolation(i, event, reason)
+        abstract_state = abstract.apply_effect(abstract_state, image)
+    return concrete_state, abstract_state
+
+
+class PossibilitiesMapping(Generic[C, A]):
+    """h: A' ∪ Π' → 𝒫(A) ∪ Π ∪ {Λ}, with the set given intensionally.
+
+    Subclasses (or the convenience constructor) provide:
+
+    * ``interpret(event)`` — h on events;
+    * ``contains(concrete, abstract)`` — abstract ∈ h(concrete);
+    * ``witness(concrete)`` — some member of h(concrete), used to seed the
+      lockstep check (for singleton mappings this is *the* possibility).
+    """
+
+    def __init__(
+        self,
+        interpret: Interpretation,
+        contains: Callable[[C, A], bool],
+        witness: Callable[[C], A],
+        name: str = "h",
+    ) -> None:
+        self.interpret = interpret
+        self.contains = contains
+        self.witness = witness
+        self.name = name
+
+
+@dataclass
+class PossibilitiesViolation(Exception):
+    """A failed clause of the possibilities-mapping definition."""
+
+    mapping: str
+    clause: str  # "a", "b", "c" or "d"
+    step_index: int
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s: possibilities clause (%s) failed at step %d: %s" % (
+            self.mapping,
+            self.clause,
+            self.step_index,
+            self.detail,
+        )
+
+
+def check_possibilities_lockstep(
+    concrete: EventStateAlgebra,
+    abstract: EventStateAlgebra,
+    mapping: PossibilitiesMapping,
+    events: Sequence[Event],
+) -> Tuple[object, object]:
+    """Machine-check Figure 1 along one valid concrete run.
+
+    Maintains an abstract witness state a ∈ h(a') in lockstep with the
+    concrete state a' and, at every step, checks:
+
+    (a) initially σ ∈ h(σ');
+    (b) if h(π') = π then a ∈ domain(π);
+    (c) if h(π') = π then π(a) ∈ h(π'(a'));
+    (d) if h(π') = Λ then a ∈ h(π'(a')).
+
+    Returns the final (concrete, abstract) state pair.
+    """
+    concrete_state = concrete.initial_state
+    abstract_state = mapping.witness(concrete_state)
+    if not mapping.contains(concrete_state, abstract.initial_state):
+        raise PossibilitiesViolation(
+            mapping.name, "a", -1, "σ not in h(σ')"
+        )
+    for i, event in enumerate(events):
+        next_concrete = concrete.apply(concrete_state, event)
+        image = mapping.interpret(event)
+        if image is None:
+            if not mapping.contains(next_concrete, abstract_state):
+                raise PossibilitiesViolation(
+                    mapping.name,
+                    "d",
+                    i,
+                    "witness fell out of h after Λ-event %s" % describe(event),
+                )
+        else:
+            reason = abstract.precondition_failure(abstract_state, image)
+            if reason is not None:
+                raise PossibilitiesViolation(
+                    mapping.name,
+                    "b",
+                    i,
+                    "abstract event %s not enabled: %s" % (describe(image), reason),
+                )
+            abstract_state = abstract.apply_effect(abstract_state, image)
+            if not mapping.contains(next_concrete, abstract_state):
+                raise PossibilitiesViolation(
+                    mapping.name,
+                    "c",
+                    i,
+                    "π(a) not in h(b') after %s" % describe(event),
+                )
+        concrete_state = next_concrete
+    return concrete_state, abstract_state

@@ -1,0 +1,161 @@
+"""Action summaries (paper Section 9.1).
+
+An action summary is a generalized action tree: a finite set of actions,
+*not* necessarily parent-closed, partitioned into active/committed/aborted.
+A node's summary is its partial knowledge of the latest status of actions;
+buffer variables M_j accumulate everything ever sent toward node j.
+
+The paper defines T ≼ T' (containment of vertices, committed, aborted) and
+T ∪ T'.  Since statuses in valid runs only move active → done and never
+change afterwards, union resolves an active/done disagreement in favour of
+done; a committed/aborted disagreement cannot arise in a valid run and is
+rejected loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from .action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
+from .naming import ActionName
+
+
+class ActionSummary:
+    """⟨vertices, active, committed, aborted⟩ with no closure requirement.
+    Immutable and hashable (summaries ride inside send/receive events)."""
+
+    __slots__ = ("_status",)
+
+    def __init__(self, status: Mapping[ActionName, str] = ()) -> None:
+        self._status: Dict[ActionName, str] = dict(status)
+
+    @classmethod
+    def empty(cls) -> "ActionSummary":
+        return cls({})
+
+    @classmethod
+    def of_tree(cls, tree: ActionTree) -> "ActionSummary":
+        """The summary carrying exactly a tree's status information."""
+        return cls({vertex: tree.status(vertex) for vertex in tree.vertices})
+
+    @classmethod
+    def single(cls, action: ActionName, status: str) -> "ActionSummary":
+        return cls({action: status})
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def vertices(self) -> FrozenSet[ActionName]:
+        return frozenset(self._status)
+
+    def __contains__(self, action: ActionName) -> bool:
+        return action in self._status
+
+    def __len__(self) -> int:
+        return len(self._status)
+
+    def status(self, action: ActionName) -> Optional[str]:
+        return self._status.get(action)
+
+    def is_active(self, action: ActionName) -> bool:
+        return self._status.get(action) == ACTIVE
+
+    def is_committed(self, action: ActionName) -> bool:
+        return self._status.get(action) == COMMITTED
+
+    def is_aborted(self, action: ActionName) -> bool:
+        return self._status.get(action) == ABORTED
+
+    def is_done(self, action: ActionName) -> bool:
+        return self._status.get(action) in (COMMITTED, ABORTED)
+
+    @property
+    def active(self) -> FrozenSet[ActionName]:
+        return frozenset(a for a, s in self._status.items() if s == ACTIVE)
+
+    @property
+    def committed(self) -> FrozenSet[ActionName]:
+        return frozenset(a for a, s in self._status.items() if s == COMMITTED)
+
+    @property
+    def aborted(self) -> FrozenSet[ActionName]:
+        return frozenset(a for a, s in self._status.items() if s == ABORTED)
+
+    def items(self) -> Iterable[Tuple[ActionName, str]]:
+        return self._status.items()
+
+    def knows_dead(self, action: ActionName) -> bool:
+        """anc(A) ∩ aborted ≠ ∅, judged from this summary's knowledge."""
+        return any(self._status.get(anc) == ABORTED for anc in action.ancestors())
+
+    # -- the ≼ relation and union (Section 9.1) -----------------------------------
+
+    def contained_in(self, other: "SummaryLike") -> bool:
+        """T ≼ T': vertices, committed, and aborted each contained."""
+        for action, status in self._status.items():
+            other_status = _status_of(other, action)
+            if other_status is None:
+                return False
+            if status == COMMITTED and other_status != COMMITTED:
+                return False
+            if status == ABORTED and other_status != ABORTED:
+                return False
+        return True
+
+    def union(self, other: "ActionSummary") -> "ActionSummary":
+        """T ∪ T', resolving active/done disagreement toward done."""
+        merged = dict(self._status)
+        for action, status in other._status.items():
+            current = merged.get(action)
+            if current is None or current == ACTIVE:
+                merged[action] = status
+            elif status != ACTIVE and status != current:
+                raise ValueError(
+                    "summaries disagree on %r: %s vs %s" % (action, current, status)
+                )
+        return ActionSummary(merged)
+
+    # -- updates (functional) -------------------------------------------------------
+
+    def with_status(self, action: ActionName, status: str) -> "ActionSummary":
+        updated = dict(self._status)
+        updated[action] = status
+        return ActionSummary(updated)
+
+    # -- value semantics --------------------------------------------------------------
+
+    def _key(self):
+        return tuple(sorted(self._status.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActionSummary):
+            return NotImplemented
+        return self._status == other._status
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return "ActionSummary(%d actions: %da/%dc/%dx)" % (
+            len(self._status),
+            len(self.active),
+            len(self.committed),
+            len(self.aborted),
+        )
+
+
+SummaryLike = object  # ActionSummary or ActionTree
+
+
+def _status_of(container: SummaryLike, action: ActionName) -> Optional[str]:
+    if isinstance(container, ActionSummary):
+        return container.status(action)
+    if isinstance(container, ActionTree):
+        return container.status_or_none(action)
+    raise TypeError("expected ActionSummary or ActionTree, got %r" % (container,))
+
+
+def summary_contained_in_tree(summary: ActionSummary, tree: ActionTree) -> bool:
+    """T' ≼ T for a summary against a full action tree (used by the level-5
+    buffer consistency conditions)."""
+    return summary.contained_in(tree)

@@ -1,0 +1,223 @@
+"""Data objects and accesses (paper Section 3.1).
+
+The paper fixes, a priori: a universal set ``obj`` of data objects, each
+with a value set and a distinguished initial value; the set ``accesses`` of
+leaf actions; a function ``object(A)`` naming the object each access
+touches; and a function ``update(A)`` describing the change each access
+makes.  "Read accesses" are those whose update is the identity and "write
+accesses" those whose update is a constant function.
+
+A :class:`Universe` bundles those a-priori choices.  Algebras at every
+level, the serializability checker, and the engine all consult the same
+universe, so an access means the same thing at every level of abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .naming import ActionName
+
+Value = Any
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """An element of ``obj``: a name, an initial value, and (optionally) a
+    finite value domain used for validation."""
+
+    name: str
+    init: Value
+    values: Optional[frozenset] = None
+
+    def check_value(self, value: Value) -> None:
+        if self.values is not None and value not in self.values:
+            raise ValueError(
+                "value %r not in values(%s)" % (value, self.name)
+            )
+
+
+@dataclass(frozen=True)
+class UpdateFunction:
+    """``update(A)``: a function on the values of A's object.
+
+    Carries a human-readable ``kind`` tag plus an argument so accesses are
+    introspectable ("read", "write 5", "add 3") and the same tag can drive
+    the engine's read/write lock-mode selection.
+    """
+
+    kind: str
+    fn: Callable[[Value], Value] = field(compare=False, hash=False)
+    arg: Value = None
+
+    def __call__(self, value: Value) -> Value:
+        return self.fn(value)
+
+    @property
+    def is_read(self) -> bool:
+        """True for the identity update, the paper's "read access"."""
+        return self.kind == "read"
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return "update:%s" % self.kind
+        return "update:%s(%r)" % (self.kind, self.arg)
+
+
+def read() -> UpdateFunction:
+    """The identity update: the paper's read access."""
+    return UpdateFunction("read", lambda v: v)
+
+
+def write(value: Value) -> UpdateFunction:
+    """A constant update: the paper's write access."""
+    return UpdateFunction("write", lambda _v: value, value)
+
+
+def add(delta: Value) -> UpdateFunction:
+    """A commutative numeric increment (a general update)."""
+    return UpdateFunction("add", lambda v: v + delta, delta)
+
+
+def apply_fn(kind: str, fn: Callable[[Value], Value], arg: Value = None) -> UpdateFunction:
+    """An arbitrary update function with a descriptive tag."""
+    return UpdateFunction(kind, fn, arg)
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """An element of ``accesses``: a leaf action bound to an object and an
+    update function."""
+
+    action: ActionName
+    obj: str
+    update: UpdateFunction
+
+
+class Universe:
+    """The a-priori structure of Section 3.1: objects plus access bindings.
+
+    Only *declared* leaf actions are accesses; every other action name is a
+    non-access (internal) action.  Declaring an access under a previously
+    declared access, or vice versa, is rejected so that accesses remain
+    leaves of the universal tree.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, ObjectSpec] = {}
+        self._accesses: Dict[ActionName, AccessSpec] = {}
+
+    # -- objects -----------------------------------------------------------
+
+    def define_object(
+        self, name: str, init: Value, values: Optional[Iterable[Value]] = None
+    ) -> ObjectSpec:
+        """Add an object with its initial value (idempotent re-definition
+        with identical parameters is allowed)."""
+        spec = ObjectSpec(name, init, frozenset(values) if values is not None else None)
+        existing = self._objects.get(name)
+        if existing is not None and existing != spec:
+            raise ValueError("object %r already defined differently" % name)
+        self._objects[name] = spec
+        return spec
+
+    def object_spec(self, name: str) -> ObjectSpec:
+        return self._objects[name]
+
+    def has_object(self, name: str) -> bool:
+        return name in self._objects
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(self._objects)
+
+    def init(self, name: str) -> Value:
+        """``init(x)``: the distinguished initial value of object x."""
+        return self._objects[name].init
+
+    def initial_assignment(self) -> Dict[str, Value]:
+        """The initial value assignment f with f(x) = init(x) for all x."""
+        return {name: spec.init for name, spec in self._objects.items()}
+
+    # -- accesses ----------------------------------------------------------
+
+    def declare_access(
+        self, action: ActionName, obj: str, update: UpdateFunction
+    ) -> AccessSpec:
+        """Bind a leaf action to an object and update function.
+
+        The binding is the paper's ``object(A)`` / ``update(A)``; it is
+        part of the a-priori structure, so re-declaring with different
+        parameters is an error.
+        """
+        if action.is_root:
+            raise ValueError("U cannot be an access")
+        if obj not in self._objects:
+            raise KeyError("unknown object %r" % obj)
+        for anc in action.proper_ancestors():
+            if anc in self._accesses:
+                raise ValueError(
+                    "%r cannot be an access: ancestor %r already is one"
+                    % (action, anc)
+                )
+        spec = AccessSpec(action, obj, update)
+        existing = self._accesses.get(action)
+        if existing is not None:
+            if existing.obj != spec.obj or existing.update != spec.update:
+                raise ValueError("access %r already declared differently" % action)
+            return existing
+        self._accesses[action] = spec
+        return spec
+
+    def is_access(self, action: ActionName) -> bool:
+        return action in self._accesses
+
+    def object_of(self, action: ActionName) -> str:
+        """``object(A)`` for an access A."""
+        return self._accesses[action].obj
+
+    def update_of(self, action: ActionName) -> UpdateFunction:
+        """``update(A)`` for an access A."""
+        return self._accesses[action].update
+
+    def access_spec(self, action: ActionName) -> AccessSpec:
+        return self._accesses[action]
+
+    def same_object(self, a: ActionName, b: ActionName) -> bool:
+        """The paper's ``sameobject`` relation on accesses."""
+        return self.object_of(a) == self.object_of(b)
+
+    @property
+    def accesses(self) -> Tuple[ActionName, ...]:
+        return tuple(self._accesses)
+
+    def accesses_to(self, obj: str) -> Iterator[ActionName]:
+        for action, spec in self._accesses.items():
+            if spec.obj == obj:
+                yield action
+
+    # -- semantics ---------------------------------------------------------
+
+    def result(self, obj: str, steps: Sequence[ActionName]) -> Value:
+        """``result(x, s)`` (Section 3.4): fold the update functions of the
+        accesses in ``s`` that involve x over init(x), in sequence order."""
+        value = self.init(obj)
+        for step in steps:
+            spec = self._accesses.get(step)
+            if spec is None:
+                raise KeyError("%r is not an access" % step)
+            if spec.obj == obj:
+                value = spec.update(value)
+        return value
+
+    def check_label(self, action: ActionName, value: Value) -> None:
+        """Validate that ``value`` lies in values(object(A))."""
+        spec = self._accesses[action]
+        self._objects[spec.obj].check_value(value)
+
+    def __repr__(self) -> str:
+        return "Universe(%d objects, %d accesses)" % (
+            len(self._objects),
+            len(self._accesses),
+        )

@@ -1,0 +1,139 @@
+"""Value maps and eval() (paper Section 8.1).
+
+A value map is the optimized form of a version map: instead of the whole
+sequence of versions, each holder keeps only the *latest value* of the
+object available to it.  ``eval(V)`` collapses a version map into a value
+map by replaying each held sequence (Lemma 19: principals agree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .naming import U, ActionName
+from .universe import Universe, Value
+from .version_map import VersionMap
+
+
+class ValueMap:
+    """Partial map obj × act → values, holders forming a descendant chain.
+    Immutable."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, Mapping[ActionName, Value]]) -> None:
+        self._entries: Dict[str, Dict[ActionName, Value]] = {
+            obj: dict(holders) for obj, holders in entries.items()
+        }
+
+    @classmethod
+    def initial(cls, universe: Universe) -> "ValueMap":
+        """σ''': V(x, U) = init(x) for every x, else undefined."""
+        return cls({obj: {U: universe.init(obj)} for obj in universe.objects})
+
+    @classmethod
+    def eval_of(cls, version_map: VersionMap, universe: Universe) -> "ValueMap":
+        """eval(V): same domain, each sequence replaced by its replay."""
+        entries: Dict[str, Dict[ActionName, Value]] = {}
+        for obj, holders in version_map.entries().items():
+            entries[obj] = {
+                action: universe.result(obj, seq) for action, seq in holders.items()
+            }
+        return cls(entries)
+
+    def validate(self, universe: Universe) -> None:
+        """Check the defining properties of a value map."""
+        for obj in universe.objects:
+            holders = self._entries.get(obj, {})
+            if U not in holders:
+                raise ValueError("V(%s, U) must be defined" % obj)
+            for action, value in holders.items():
+                universe.object_spec(obj).check_value(value)
+            chain = sorted(holders, key=lambda a: a.depth)
+            for shallower, deeper in zip(chain, chain[1:]):
+                if not shallower.is_ancestor_of(deeper):
+                    raise ValueError(
+                        "holders of %s are not a descendant chain: %r, %r"
+                        % (obj, shallower, deeper)
+                    )
+
+    # -- queries ---------------------------------------------------------------
+
+    def defined(self, obj: str, action: ActionName) -> bool:
+        return action in self._entries.get(obj, {})
+
+    def get(self, obj: str, action: ActionName) -> Optional[Value]:
+        return self._entries.get(obj, {}).get(action)
+
+    def holders(self, obj: str) -> Tuple[ActionName, ...]:
+        return tuple(sorted(self._entries.get(obj, {}), key=lambda a: a.depth))
+
+    def principal_action(self, obj: str) -> ActionName:
+        holders = self._entries.get(obj, {})
+        if not holders:
+            raise KeyError("no holder for %s" % obj)
+        return max(holders, key=lambda a: a.depth)
+
+    def principal_value(self, obj: str) -> Value:
+        return self._entries[obj][self.principal_action(obj)]
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def entries(self) -> Dict[str, Dict[ActionName, Value]]:
+        return {obj: dict(holders) for obj, holders in self._entries.items()}
+
+    def restricted_to(self, objects: Iterable[str]) -> "ValueMap":
+        """The restriction of V to {(x, A) : x ∈ objects} (used by the
+        level-5 local mappings, where each node holds its home objects)."""
+        keep = set(objects)
+        return ValueMap(
+            {obj: holders for obj, holders in self._entries.items() if obj in keep}
+        )
+
+    # -- functional updates -------------------------------------------------------
+
+    def _replace(self, obj: str, holders: Dict[ActionName, Value]) -> "ValueMap":
+        entries = {o: h for o, h in self._entries.items()}
+        entries[obj] = holders
+        return ValueMap(entries)
+
+    def with_performed(
+        self, obj: str, action: ActionName, new_value: Value
+    ) -> "ValueMap":
+        """Effect (d24) of level 4: V(x, A) ← update(A)(u)."""
+        holders = dict(self._entries.get(obj, {}))
+        holders[action] = new_value
+        return self._replace(obj, holders)
+
+    def with_released(self, obj: str, action: ActionName) -> "ValueMap":
+        holders = dict(self._entries[obj])
+        holders[action.parent()] = holders[action]
+        del holders[action]
+        return self._replace(obj, holders)
+
+    def with_lost(self, obj: str, action: ActionName) -> "ValueMap":
+        holders = dict(self._entries[obj])
+        del holders[action]
+        return self._replace(obj, holders)
+
+    # -- value semantics --------------------------------------------------------------
+
+    def _key(self):
+        return tuple(
+            (obj, tuple(sorted(holders.items())))
+            for obj, holders in sorted(self._entries.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueMap):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        held = sum(len(holders) for holders in self._entries.values())
+        return "ValueMap(%d objects, %d holdings)" % (len(self._entries), held)

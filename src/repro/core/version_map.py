@@ -1,0 +1,144 @@
+"""Version maps (paper Section 7.1).
+
+A version map V records Moss-style lock stacks: for each object x, a chain
+of actions on an ancestor line each holding a *sequence of accesses* to x
+(the versions available to that action), with deeper holders' sequences
+extending shallower ones.  V(x, U) is always defined.
+
+The *principal action* for x is the least (deepest) holder; the *principal
+value* is the replay of its sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .naming import U, ActionName
+from .universe import Universe, Value
+
+VersionSeq = Tuple[ActionName, ...]
+
+
+class VersionMap:
+    """Partial map obj × act → access sequences, with the chain and
+    extension properties of Section 7.1.  Immutable."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, Mapping[ActionName, VersionSeq]]) -> None:
+        self._entries: Dict[str, Dict[ActionName, VersionSeq]] = {
+            obj: {action: tuple(seq) for action, seq in holders.items()}
+            for obj, holders in entries.items()
+        }
+
+    @classmethod
+    def initial(cls, objects: Iterable[str]) -> "VersionMap":
+        """σ'': V(x, U) is the empty sequence for every x, else undefined."""
+        return cls({obj: {U: ()} for obj in objects})
+
+    def validate(self, universe: Universe) -> None:
+        """Check the four defining properties of a version map."""
+        for obj in universe.objects:
+            holders = self._entries.get(obj, {})
+            if U not in holders:
+                raise ValueError("V(%s, U) must be defined" % obj)
+            for action, seq in holders.items():
+                for step in seq:
+                    if universe.object_of(step) != obj:
+                        raise ValueError(
+                            "V(%s, %r) contains access %r to another object"
+                            % (obj, action, step)
+                        )
+            chain = sorted(holders, key=lambda a: a.depth)
+            for shallower, deeper in zip(chain, chain[1:]):
+                if not shallower.is_ancestor_of(deeper):
+                    raise ValueError(
+                        "holders of %s are not a descendant chain: %r, %r"
+                        % (obj, shallower, deeper)
+                    )
+                shorter = holders[shallower]
+                longer = holders[deeper]
+                if longer[: len(shorter)] != shorter:
+                    raise ValueError(
+                        "V(%s, %r) does not extend V(%s, %r)"
+                        % (obj, deeper, obj, shallower)
+                    )
+
+    # -- queries ---------------------------------------------------------------
+
+    def defined(self, obj: str, action: ActionName) -> bool:
+        return action in self._entries.get(obj, {})
+
+    def get(self, obj: str, action: ActionName) -> Optional[VersionSeq]:
+        return self._entries.get(obj, {}).get(action)
+
+    def holders(self, obj: str) -> Tuple[ActionName, ...]:
+        """Actions A with V(x, A) defined, shallowest first."""
+        return tuple(sorted(self._entries.get(obj, {}), key=lambda a: a.depth))
+
+    def principal_action(self, obj: str) -> ActionName:
+        """The least (deepest) action holding x."""
+        holders = self._entries.get(obj, {})
+        if not holders:
+            raise KeyError("no holder for %s" % obj)
+        return max(holders, key=lambda a: a.depth)
+
+    def principal_sequence(self, obj: str) -> VersionSeq:
+        return self._entries[obj][self.principal_action(obj)]
+
+    def principal_value(self, obj: str, universe: Universe) -> Value:
+        """result(x, V(x, principal))."""
+        return universe.result(obj, self.principal_sequence(obj))
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def entries(self) -> Dict[str, Dict[ActionName, VersionSeq]]:
+        return {obj: dict(holders) for obj, holders in self._entries.items()}
+
+    # -- functional updates -------------------------------------------------------
+
+    def _replace(self, obj: str, holders: Dict[ActionName, VersionSeq]) -> "VersionMap":
+        entries = {o: h for o, h in self._entries.items()}
+        entries[obj] = holders
+        return VersionMap(entries)
+
+    def with_performed(self, obj: str, action: ActionName) -> "VersionMap":
+        """Effect (d24) of level 3: V(x, A) ← V(x, principal) ∘ (A)."""
+        holders = dict(self._entries.get(obj, {}))
+        holders[action] = self.principal_sequence(obj) + (action,)
+        return self._replace(obj, holders)
+
+    def with_released(self, obj: str, action: ActionName) -> "VersionMap":
+        """Effects (e21)-(e22): pass V(x, A) up to parent(A), undefine A."""
+        holders = dict(self._entries[obj])
+        holders[action.parent()] = holders[action]
+        del holders[action]
+        return self._replace(obj, holders)
+
+    def with_lost(self, obj: str, action: ActionName) -> "VersionMap":
+        """Effect (f21): V(x, A) ← undefined."""
+        holders = dict(self._entries[obj])
+        del holders[action]
+        return self._replace(obj, holders)
+
+    # -- value semantics --------------------------------------------------------------
+
+    def _key(self):
+        return tuple(
+            (obj, tuple(sorted(holders.items())))
+            for obj, holders in sorted(self._entries.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionMap):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        held = sum(len(holders) for holders in self._entries.values())
+        return "VersionMap(%d objects, %d holdings)" % (len(self._entries), held)

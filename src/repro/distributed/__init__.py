@@ -1,0 +1,22 @@
+"""The distributed substrate: Section 9's k-node system made runnable.
+
+Every step of :class:`DistributedMossSystem` is an event of the level-5
+algebra, so simulated runs are valid computations of the paper's ℬ by
+construction and can be fed straight into the simulation checkers.
+"""
+
+from .policy import BROADCAST, GOSSIP, POLICIES, TARGETED, PolicyConfig, interested_nodes
+from .system import DistributedMossSystem, RunReport
+from .workload import random_distributed_scenario
+
+__all__ = [
+    "BROADCAST",
+    "DistributedMossSystem",
+    "GOSSIP",
+    "POLICIES",
+    "PolicyConfig",
+    "RunReport",
+    "TARGETED",
+    "interested_nodes",
+    "random_distributed_scenario",
+]

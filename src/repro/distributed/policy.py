@@ -1,0 +1,80 @@
+"""Status-propagation policies for the distributed simulation.
+
+The level-5 algebra allows *any* sub-summary of a node's knowledge to be
+sent at any time (events (g)/(h)); a real system must decide what to send
+and when.  Three policies, from chatty to frugal:
+
+* ``broadcast`` — every local status change is pushed to every other node;
+* ``targeted``  — a change is pushed only to the nodes whose preconditions
+  can depend on it (the home of the action, of its parent, of its planned
+  children's objects);
+* ``gossip``    — no push; each scheduler round, every node sends its full
+  summary to one random peer.
+
+The E5 benchmark compares the message bills of the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.explorer import Scenario
+from ..core.home import HomeAssignment
+from ..core.naming import ActionName
+
+BROADCAST = "broadcast"
+TARGETED = "targeted"
+GOSSIP = "gossip"
+
+POLICIES = (BROADCAST, TARGETED, GOSSIP)
+
+
+@dataclass
+class PolicyConfig:
+    """Which policy to use, plus the gossip fan-out parameters."""
+
+    kind: str = TARGETED
+    gossip_fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in POLICIES:
+            raise ValueError("unknown policy %r" % self.kind)
+
+
+def interested_nodes(
+    action: ActionName,
+    status: str,
+    at_node: int,
+    scenario: Scenario,
+    homes: HomeAssignment,
+) -> Set[int]:
+    """Targeted policy: nodes whose level-5 preconditions can read this
+    status change.
+
+    * any change to A matters at home(A) — (b11)/(c11)/(d11) are judged
+      there, and access statuses gate perform at the object's home;
+    * committed/aborted matters at home(parent(A)) — (b12) for the parent;
+    * committed/aborted matters at every object home in A's planned
+      subtree — release-lock's (e12) needs commits of lock-inheriting
+      ancestors, lose-lock's (f12) needs knowledge of an aborted ancestor.
+    """
+    interested: Set[int] = set()
+    universe = scenario.universe
+    if not action.is_root:
+        interested.add(homes.home_of_action(action))
+        parent = action.parent()
+        if status in (COMMITTED, ABORTED) and not parent.is_root:
+            interested.add(homes.home_of_action(parent))
+    if status in (COMMITTED, ABORTED):
+        for access in universe.accesses:
+            if action.is_ancestor_of(access):
+                interested.add(homes.home_of_object(universe.object_of(access)))
+    interested.discard(at_node)
+    return interested
+
+
+def all_other_nodes(at_node: int, node_count: int) -> Set[int]:
+    """Broadcast policy: everyone else."""
+    return {node for node in range(node_count) if node != at_node}

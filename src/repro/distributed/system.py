@@ -1,0 +1,361 @@
+"""The distributed Moss system: a scheduler over the level-5 algebra.
+
+:class:`DistributedMossSystem` runs a scenario to completion on k
+simulated nodes.  Every step it takes is a level-5 event applied through
+:class:`repro.core.level5.Level5Algebra` — so each simulated run is, by
+construction, a valid computation of the paper's algebra ℬ, and the F2/F3
+and T29 checkers can be pointed directly at the recorded event sequence.
+
+The scheduler adds what the algebra deliberately leaves open:
+
+* *which* enabled event to fire (progress priority: create, perform,
+  lock movement, commit);
+* *what to send when* (a :class:`PolicyConfig` propagation policy, with
+  messages delivered after a configurable latency in rounds);
+* *how to break lock stalls* (abort the nearest abortable ancestor of a
+  blocked access — distributed deadlock resolution by timeout-style
+  preemption).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+)
+from ..core.explorer import Scenario
+from ..core.home import HomeAssignment
+from ..core.level5 import Level5Algebra, Level5State
+from ..core.naming import U, ActionName
+from ..core.summary import ActionSummary
+from .policy import BROADCAST, GOSSIP, TARGETED, PolicyConfig, all_other_nodes, interested_nodes
+
+
+@dataclass
+class RunReport:
+    """What a distributed run did and what it cost."""
+
+    node_count: int
+    steps: int = 0
+    messages: int = 0
+    summary_entries: int = 0  # total actions carried inside sent summaries
+    receives: int = 0
+    lost: int = 0
+    performed: int = 0
+    committed: int = 0
+    aborted: int = 0
+    stalls_broken: int = 0
+    abandoned: int = 0
+    completed: bool = False
+
+    def as_row(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class DistributedMossSystem:
+    """Drive a scenario to completion on the level-5 algebra."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        homes: HomeAssignment,
+        policy: Optional[PolicyConfig] = None,
+        seed: int = 0,
+        latency_rounds: int = 1,
+        max_steps: int = 200_000,
+        spontaneous_abort_prob: float = 0.0,
+        mode: str = "single",
+        loss_prob: float = 0.0,
+    ) -> None:
+        self.scenario = scenario
+        self.homes = homes
+        self.policy = policy or PolicyConfig()
+        self.rng = random.Random(seed)
+        self.latency_rounds = latency_rounds
+        self.max_steps = max_steps
+        self.spontaneous_abort_prob = spontaneous_abort_prob
+        # Note on fidelity: the paper's buffer M_j never forgets (send is
+        # durable); "loss" here models the *delivery notification* being
+        # dropped — the summary stays in M_j and can be re-received, which
+        # only the gossip policy ever does.  One-shot push policies stall
+        # under loss; E5's robustness story.
+        self.loss_prob = loss_prob
+        if mode == "single":
+            self.algebra = Level5Algebra(scenario.universe, homes)
+        elif mode == "rw":
+            from ..core.level5rw import Level5RWAlgebra
+
+            self.algebra = Level5RWAlgebra(scenario.universe, homes)
+        else:
+            raise ValueError("mode must be 'single' or 'rw', not %r" % mode)
+        self.mode = mode
+        self.events: List[Event] = []
+        self._planned_children: Dict[ActionName, List[ActionName]] = {}
+        for action in scenario.all_actions:
+            self._planned_children.setdefault(action.parent(), []).append(action)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> Tuple[RunReport, List[Event]]:
+        """Execute to quiescence; returns the report and the full valid
+        level-5 event sequence."""
+        state = self.algebra.initial_state
+        report = RunReport(node_count=self.homes.node_count)
+        in_flight: List[Tuple[int, int, ActionSummary]] = []  # (due_round, dst, summary)
+        outbox: List[Tuple[int, int, ActionSummary]] = []  # (src, dst, summary)
+        abandoned: Set[ActionName] = set()
+        round_index = 0
+
+        def apply(event: Event) -> None:
+            nonlocal state
+            state = self.algebra.apply(state, event)
+            self.events.append(event)
+            report.steps += 1
+
+        while report.steps < self.max_steps:
+            progressed = False
+            # 1. drain local progress events, collecting policy messages.
+            while report.steps < self.max_steps:
+                event = self._next_progress_event(state, abandoned)
+                if event is None:
+                    break
+                apply(event)
+                progressed = True
+                self._note_progress(event, report)
+                outbox.extend(self._messages_for(event))
+            # 1b. spontaneous failures: some active subtransaction dies
+            #     (simulated node/application failure — the paper's whole
+            #     reason for resilience).
+            if (
+                self.spontaneous_abort_prob
+                and self.rng.random() < self.spontaneous_abort_prob
+            ):
+                casualty = self._random_abort(state)
+                if casualty is not None:
+                    apply(casualty)
+                    progressed = True
+                    self._note_progress(casualty, report)
+                    outbox.extend(self._messages_for(casualty))
+            # 2. gossip, if that is the policy.
+            if self.policy.kind == GOSSIP:
+                outbox.extend(self._gossip_round(state))
+            # 3. send everything queued; deliveries land after the latency.
+            for src, dst, summary in outbox:
+                if not len(summary) or summary.contained_in(state.channel(dst)):
+                    continue
+                apply(Send(src, dst, summary))
+                report.messages += 1
+                report.summary_entries += len(summary)
+                in_flight.append((round_index + self.latency_rounds, dst, summary))
+            outbox.clear()
+            # 4. deliver due messages (deliveries may be lost; the summary
+            #    stays in the buffer, so gossip-style re-sends recover it).
+            still_flying = []
+            for due, dst, summary in in_flight:
+                if due <= round_index:
+                    if self.loss_prob and self.rng.random() < self.loss_prob:
+                        report.lost += 1
+                        continue
+                    if not summary.contained_in(state.node(dst).summary):
+                        apply(Receive(dst, summary))
+                        report.receives += 1
+                        progressed = True
+                else:
+                    still_flying.append((due, dst, summary))
+            in_flight = still_flying
+            # 5. stall handling.
+            if not progressed and not in_flight:
+                broke = self._break_stall(state, abandoned)
+                if broke is None:
+                    break
+                apply(broke)
+                report.stalls_broken += 1
+                self._note_progress(broke, report)
+                outbox.extend(self._messages_for(broke))
+            round_index += 1
+
+        report.abandoned = len(abandoned)
+        report.completed = self._is_complete(state)
+        return report, self.events
+
+    # -- progress selection --------------------------------------------------------
+
+    def _next_progress_event(
+        self, state: Level5State, abandoned: Set[ActionName]
+    ) -> Optional[Event]:
+        universe = self.scenario.universe
+        homes = self.homes
+        # Creates first: activate everything whose origin allows it.
+        for action in self.scenario.all_actions:
+            event = Create(action)
+            if action not in state.node(homes.origin(action)).summary:
+                if self.algebra.enabled(state, event):
+                    return event
+        # Performs next.
+        for access in universe.accesses:
+            if access in abandoned:
+                continue
+            obj = universe.object_of(access)
+            node = state.node(homes.home_of_object(obj))
+            if node.summary.is_active(access):
+                event = Perform(access, node.values.principal_value(obj))
+                if self.algebra.enabled(state, event):
+                    return event
+        # Lock movement: releases and loses (write holdings, and read
+        # holdings in rw mode).
+        for i in range(homes.node_count):
+            node = state.node(i)
+            for obj in homes.objects_at(i):
+                holders = list(node.values.holders(obj))
+                read_table = getattr(node, "reads", None)
+                if read_table is not None:
+                    holders.extend(read_table.holders(obj))
+                for holder in holders:
+                    if holder.is_root:
+                        continue
+                    release = ReleaseLock(holder, obj)
+                    if self.algebra.enabled(state, release):
+                        return release
+                    lose = LoseLock(holder, obj)
+                    if self.algebra.enabled(state, lose):
+                        return lose
+        # Commits last, and only when all planned children exist somewhere.
+        for action in self.scenario.internal_actions:
+            node = state.node(homes.home_of_action(action))
+            if not node.summary.is_active(action):
+                continue
+            if not self._children_resolved(state, action, abandoned):
+                continue
+            event = Commit(action)
+            if self.algebra.enabled(state, event):
+                return event
+        return None
+
+    def _children_resolved(
+        self, state: Level5State, action: ActionName, abandoned: Set[ActionName]
+    ) -> bool:
+        """All planned children of ``action`` have been created (so a
+        commit will not foreclose them) — abandoned ones excepted."""
+        for child in self._planned_children.get(action, ()):
+            if child in abandoned:
+                continue
+            origin = self.homes.origin(child)
+            if child not in state.node(origin).summary:
+                return False
+        return True
+
+    # -- messaging ------------------------------------------------------------------
+
+    def _messages_for(self, event: Event) -> List[Tuple[int, int, ActionSummary]]:
+        """Policy messages triggered by a local status change."""
+        change: Optional[Tuple[ActionName, str]] = None
+        if isinstance(event, Create):
+            change = (event.action, ACTIVE)
+        elif isinstance(event, Commit):
+            change = (event.action, COMMITTED)
+        elif isinstance(event, Abort):
+            change = (event.action, ABORTED)
+        elif isinstance(event, Perform):
+            change = (event.action, COMMITTED)
+        if change is None:
+            return []
+        action, status = change
+        at_node = self.algebra.doer(event)
+        if self.policy.kind == BROADCAST:
+            targets = all_other_nodes(at_node, self.homes.node_count)
+        elif self.policy.kind == TARGETED:
+            targets = interested_nodes(
+                action, status, at_node, self.scenario, self.homes
+            )
+        else:  # gossip pushes nothing on change
+            targets = set()
+        summary = ActionSummary.single(action, status)
+        return [(at_node, dst, summary) for dst in sorted(targets)]
+
+    def _gossip_round(
+        self, state: Level5State
+    ) -> List[Tuple[int, int, ActionSummary]]:
+        messages = []
+        for src in range(self.homes.node_count):
+            summary = state.node(src).summary
+            if not len(summary):
+                continue
+            for _ in range(self.policy.gossip_fanout):
+                dst = self.rng.randrange(self.homes.node_count)
+                if dst != src:
+                    messages.append((src, dst, summary))
+        return messages
+
+    def _random_abort(self, state: Level5State) -> Optional[Event]:
+        """A random enabled abort of an internal action (or None)."""
+        candidates = []
+        for action in self.scenario.internal_actions:
+            event = Abort(action)
+            if self.algebra.enabled(state, event):
+                candidates.append(event)
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    # -- stall breaking ----------------------------------------------------------------
+
+    def _break_stall(
+        self, state: Level5State, abandoned: Set[ActionName]
+    ) -> Optional[Event]:
+        """A blocked access (active at the object home, perform disabled)
+        whose nearest abortable ancestor we preempt; if no ancestor can be
+        aborted, the access is abandoned."""
+        universe = self.scenario.universe
+        for access in universe.accesses:
+            if access in abandoned:
+                continue
+            obj = universe.object_of(access)
+            home = self.homes.home_of_object(obj)
+            if not state.node(home).summary.is_active(access):
+                continue
+            # Blocked: perform with the principal value is not enabled.
+            value = state.node(home).values.principal_value(obj)
+            if self.algebra.enabled(state, Perform(access, value)):
+                continue
+            ancestor = access.parent()
+            while not ancestor.is_root:
+                if not universe.is_access(ancestor):
+                    event = Abort(ancestor)
+                    if self.algebra.enabled(state, event):
+                        return event
+                ancestor = ancestor.parent()
+            abandoned.add(access)
+        return None
+
+    # -- accounting ------------------------------------------------------------------------
+
+    @staticmethod
+    def _note_progress(event: Event, report: RunReport) -> None:
+        if isinstance(event, Perform):
+            report.performed += 1
+        elif isinstance(event, Commit):
+            report.committed += 1
+        elif isinstance(event, Abort):
+            report.aborted += 1
+
+    def _is_complete(self, state: Level5State) -> bool:
+        """Every planned top-level action is done at its home node."""
+        for action in self.scenario.all_actions:
+            if action.depth != 1:
+                continue
+            home = self.homes.home_of_action(action)
+            if not state.node(home).summary.is_done(action):
+                return False
+        return True

@@ -1,0 +1,78 @@
+"""Scenario generation for the distributed simulation.
+
+Builds a random nested-transaction scenario together with a home
+assignment, with a *locality* dial: with probability ``locality`` an
+access touches an object homed where its enclosing top-level transaction
+originates, otherwise a uniformly random object.  E5 sweeps this dial.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.explorer import Scenario
+from ..core.home import HomeAssignment
+from ..core.naming import U, ActionName
+from ..core.universe import Universe, add, read, write
+
+
+def random_distributed_scenario(
+    rng: random.Random,
+    node_count: int,
+    objects_per_node: int = 3,
+    toplevel: int = 4,
+    max_depth: int = 3,
+    max_children: int = 3,
+    locality: float = 0.5,
+) -> Tuple[Scenario, HomeAssignment]:
+    """A scenario plus homes where object placement and access choice
+    respect the locality dial."""
+    universe = Universe()
+    object_homes: Dict[str, int] = {}
+    by_node: List[List[str]] = [[] for _ in range(node_count)]
+    for node in range(node_count):
+        for j in range(objects_per_node):
+            name = "x%d_%d" % (node, j)
+            universe.define_object(name, init=0)
+            object_homes[name] = node
+            by_node[node].append(name)
+
+    internal: List[ActionName] = []
+    action_homes: Dict[ActionName, int] = {}
+
+    def pick_object(home_node: int) -> str:
+        if rng.random() < locality:
+            return rng.choice(by_node[home_node])
+        return rng.choice(list(object_homes))
+
+    def grow(node_action: ActionName, depth: int, home_node: int) -> None:
+        internal.append(node_action)
+        action_homes[node_action] = home_node
+        for label in range(rng.randint(1, max_children)):
+            child = node_action.child(label)
+            is_leaf = depth + 1 >= max_depth or rng.random() < 0.55
+            if is_leaf:
+                obj = pick_object(home_node)
+                roll = rng.random()
+                if roll < 0.4:
+                    update = read()
+                elif roll < 0.7:
+                    update = write(rng.randint(0, 9))
+                else:
+                    update = add(rng.randint(1, 5))
+                universe.declare_access(child, obj, update)
+            else:
+                # Subtransactions may migrate: small chance of a new home.
+                child_home = (
+                    home_node if rng.random() < 0.8 else rng.randrange(node_count)
+                )
+                grow(child, depth + 1, child_home)
+
+    for t in range(toplevel):
+        grow(U.child(t), 1, rng.randrange(node_count))
+
+    homes = HomeAssignment(
+        universe, node_count, object_homes=object_homes, action_homes=action_homes
+    )
+    return Scenario(universe, tuple(internal)), homes

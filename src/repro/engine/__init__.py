@@ -1,0 +1,52 @@
+"""The nested-transaction engine: Moss locking, versioned storage,
+deadlock handling, failure injection, and oracle-ready trace recording."""
+
+from .database import EngineStats, NestedTransactionDB
+from .deadlock import BLOCKER, REQUESTER, YOUNGEST, WaitsForGraph, choose_victim
+from .errors import (
+    DeadlockAbort,
+    EngineError,
+    InvalidTransactionState,
+    LockTimeout,
+    TransactionAborted,
+    UnknownObject,
+)
+from .locks import READ, WRITE, ObjectLocks
+from .recovery import (
+    FailureInjector,
+    InjectedFailure,
+    recovery_block,
+    retry_subtransaction,
+)
+from .storage import VersionedStore, VersionStack
+from .trace import TraceRecord, TraceRecorder
+from .transaction import Outcome, Transaction
+
+__all__ = [
+    "BLOCKER",
+    "DeadlockAbort",
+    "EngineError",
+    "EngineStats",
+    "FailureInjector",
+    "InjectedFailure",
+    "InvalidTransactionState",
+    "LockTimeout",
+    "NestedTransactionDB",
+    "ObjectLocks",
+    "Outcome",
+    "READ",
+    "REQUESTER",
+    "TraceRecord",
+    "TraceRecorder",
+    "Transaction",
+    "TransactionAborted",
+    "UnknownObject",
+    "VersionStack",
+    "VersionedStore",
+    "WaitsForGraph",
+    "WRITE",
+    "YOUNGEST",
+    "choose_victim",
+    "recovery_block",
+    "retry_subtransaction",
+]

@@ -1,0 +1,399 @@
+"""The nested-transaction database: Moss locking over versioned storage.
+
+:class:`NestedTransactionDB` is the thread-safe engine tying together the
+lock table (:mod:`repro.engine.locks`), the version stacks
+(:mod:`repro.engine.storage`), deadlock handling
+(:mod:`repro.engine.deadlock`) and trace recording
+(:mod:`repro.engine.trace`).  One latch (a condition variable) guards all
+shared state; blocked lock requests wait on it and are re-checked whenever
+any transaction commits or aborts.
+
+Configuration axes (these drive the E1/E6 benchmarks):
+
+* ``single_mode`` — collapse read locks into write locks, giving exactly
+  the paper's simplified single-mode variant of Moss's algorithm;
+* ``deadlock_policy`` — "requester" or "youngest" victim;
+* ``lazy_lock_cleanup`` — on abort, leave dead holders' locks in place to
+  be reaped by the next conflicting request (the paper's ``lose-lock``
+  event firing late) instead of eagerly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from contextlib import contextmanager
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import U, ActionName
+from .deadlock import BLOCKER, WaitsForGraph, choose_victim
+from .errors import (
+    DeadlockAbort,
+    InvalidTransactionState,
+    LockTimeout,
+    TransactionAborted,
+    UnknownObject,
+)
+from .locks import READ, WRITE, ObjectLocks
+from .storage import VersionedStore
+from .trace import TraceRecorder
+from .transaction import Transaction
+
+
+@dataclass
+class EngineStats:
+    """Counters for benchmarking and diagnostics."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+    lock_waits: int = 0
+    deadlocks: int = 0
+    lazy_lock_reaps: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class NestedTransactionDB:
+    """A thread-safe in-process database with resilient nested transactions."""
+
+    def __init__(
+        self,
+        initial: Mapping[str, Any],
+        single_mode: bool = False,
+        deadlock_policy: str = BLOCKER,
+        detect_deadlocks: bool = True,
+        lock_timeout: float = 10.0,
+        lazy_lock_cleanup: bool = False,
+        record_trace: bool = True,
+    ) -> None:
+        self._latch = threading.Lock()
+        self._cond = threading.Condition(self._latch)
+        self._store = VersionedStore(initial)
+        self._locks: Dict[str, ObjectLocks] = {
+            obj: ObjectLocks() for obj in initial
+        }
+        self._waits = WaitsForGraph()
+        self._txns: Dict[ActionName, Transaction] = {}
+        self._top_counter = itertools.count()
+        self.single_mode = single_mode
+        self.deadlock_policy = deadlock_policy
+        self.detect_deadlocks = detect_deadlocks
+        self.lock_timeout = lock_timeout
+        self.lazy_lock_cleanup = lazy_lock_cleanup
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder() if record_trace else None
+        )
+        self.stats = EngineStats()
+        self._object_waits: Dict[str, int] = {obj: 0 for obj in initial}
+
+    # -- public API ------------------------------------------------------------
+
+    def begin_transaction(self) -> Transaction:
+        """Begin a new top-level transaction."""
+        with self._cond:
+            name = U.child(next(self._top_counter))
+            return self._begin_locked(name, parent=None)
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with db.transaction() as t``: commit on exit, abort on error.
+
+        A :class:`TransactionAborted` (deadlock victim, explicit abort) is
+        re-raised so callers can retry; see :meth:`run_transaction`.
+        """
+        txn = self.begin_transaction()
+        try:
+            yield txn
+        except BaseException:
+            txn.abort()
+            raise
+        else:
+            txn.commit()
+
+    def run_transaction(
+        self,
+        fn: Callable[[Transaction], Any],
+        max_retries: int = 20,
+        backoff: float = 0.0005,
+    ) -> Any:
+        """Run ``fn`` in a top-level transaction, retrying on abort
+        (deadlock victims retry with a small backoff)."""
+        attempt = 0
+        while True:
+            txn = self.begin_transaction()
+            try:
+                value = fn(txn)
+                txn.commit()
+                return value
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                if backoff:
+                    time.sleep(backoff * attempt)
+            except BaseException:
+                txn.abort()  # application bugs must not leak transactions
+                raise
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Permanently committed values of all objects."""
+        with self._cond:
+            return self._store.snapshot()
+
+    @property
+    def initial_values(self) -> Dict[str, Any]:
+        """The initial value assignment (the oracle replays from it)."""
+        return {obj: self._store.initial_value(obj) for obj in self._store.objects}
+
+    def contention_profile(self, top: int = 10) -> List[Tuple[str, int]]:
+        """The hottest objects by lock-wait count, descending — the first
+        thing to look at when throughput sags."""
+        with self._cond:
+            ranked = sorted(
+                self._object_waits.items(), key=lambda kv: kv[1], reverse=True
+            )
+        return [(obj, waits) for obj, waits in ranked[:top] if waits > 0]
+
+    def assert_quiescent(self) -> None:
+        """Assert the engine is at rest: no active transactions, no held
+        locks (with eager cleanup), and every version stack collapsed to
+        its base entry owned by U.
+
+        A leaked lock or dangling version after all transactions finish is
+        a bug in lock inheritance or abort cleanup; tests call this after
+        every stress run.
+        """
+        with self._cond:
+            active = [
+                txn.name for txn in self._txns.values() if txn.status == ACTIVE
+            ]
+            if active:
+                raise AssertionError("active transactions remain: %r" % active)
+            if not self.lazy_lock_cleanup:
+                for obj, locks in self._locks.items():
+                    if locks.holders:
+                        raise AssertionError(
+                            "locks leaked on %s: %r" % (obj, locks)
+                        )
+                for obj in self._store.objects:
+                    stack = self._store.stack(obj)
+                    if len(stack.entries) != 1 or stack.owner != U:
+                        raise AssertionError(
+                            "version stack not collapsed for %s: %r"
+                            % (obj, stack)
+                        )
+            if len(self._waits):
+                raise AssertionError("waits-for graph not empty")
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        return self._store.objects
+
+    def read_committed(self, obj: str) -> Any:
+        """The permanently committed value of one object."""
+        with self._cond:
+            if obj not in self._store:
+                raise UnknownObject(obj)
+            return self._store.snapshot()[obj]
+
+    # -- lifecycle internals (called by Transaction) --------------------------------
+
+    def _begin(self, parent: Transaction) -> Transaction:
+        with self._cond:
+            if parent.status != ACTIVE:
+                raise InvalidTransactionState(
+                    "cannot begin a child of %s transaction %r"
+                    % (parent.status, parent.name)
+                )
+            self._check_live_locked(parent)
+            name = parent._next_child_name()
+            return self._begin_locked(name, parent)
+
+    def _begin_locked(
+        self, name: ActionName, parent: Optional[Transaction]
+    ) -> Transaction:
+        txn = Transaction(self, name, parent)
+        self._txns[name] = txn
+        if parent is not None:
+            parent.children.append(txn)
+        self.stats.begun += 1
+        if self.trace is not None:
+            self.trace.record_create(name)
+        return txn
+
+    def _commit(self, txn: Transaction) -> None:
+        with self._cond:
+            if txn.status == ABORTED:
+                raise TransactionAborted(txn.name, "commit after abort")
+            if txn.status == COMMITTED:
+                raise InvalidTransactionState("%r already committed" % txn.name)
+            self._check_live_locked(txn)
+            for child in txn.children:
+                if child.status == ACTIVE:
+                    raise InvalidTransactionState(
+                        "cannot commit %r: child %r still active"
+                        % (txn.name, child.name)
+                    )
+            txn.status = COMMITTED
+            if self.trace is not None:
+                self.trace.record_commit(txn.name)
+            self._inherit_locks(txn)
+            self._waits.remove_transaction(txn.name)
+            self.stats.committed += 1
+            self._cond.notify_all()
+
+    def _inherit_locks(self, txn: Transaction) -> None:
+        parent = txn.parent
+        for obj in txn.held_objects:
+            locks = self._locks[obj]
+            if parent is None:
+                locks.discard(txn.name)  # inherited by U: retained forever, blocks no one
+            else:
+                locks.inherit(txn.name)
+            self._store.stack(obj).commit_to_parent(txn.name)
+        if parent is not None:
+            parent.held_objects |= txn.held_objects
+        txn.held_objects = set()
+
+    def _abort(self, txn: Transaction) -> None:
+        with self._cond:
+            self._abort_subtree_locked(txn, reason="explicit abort")
+            self._cond.notify_all()
+
+    def _abort_subtree_locked(self, txn: Transaction, reason: str) -> None:
+        """Abort every active transaction in txn's subtree, deepest first,
+        releasing locks and popping versions (unless lazy cleanup)."""
+        if txn.status != ACTIVE:
+            return  # idempotent; committed subtrees die via ancestor deadness
+        for child in txn.children:
+            self._abort_subtree_locked(child, reason)
+        txn.status = ABORTED
+        if self.trace is not None:
+            self.trace.record_abort(txn.name)
+        if not self.lazy_lock_cleanup:
+            for obj in txn.held_objects:
+                self._locks[obj].discard(txn.name)
+                self._store.stack(obj).discard(txn.name)
+            txn.held_objects = set()
+        self._waits.remove_transaction(txn.name)
+        self.stats.aborted += 1
+
+    def _is_live(self, txn: Transaction) -> bool:
+        with self._cond:
+            return self._live_status_locked(txn)
+
+    def _live_status_locked(self, txn: Transaction) -> bool:
+        node: Optional[Transaction] = txn
+        while node is not None:
+            if node.status == ABORTED:
+                return False
+            node = node.parent
+        return True
+
+    def _check_live_locked(self, txn: Transaction) -> None:
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.name)
+        if not self._live_status_locked(txn):
+            # An ancestor died; this transaction is an orphan.  Kill its
+            # subtree so its locks do not linger.
+            self._abort_subtree_locked(txn, reason="ancestor aborted")
+            raise TransactionAborted(txn.name, "ancestor aborted")
+
+    # -- data operation internals ------------------------------------------------------
+
+    def _read(self, txn: Transaction, obj: str, for_update: bool = False) -> Any:
+        mode = WRITE if (self.single_mode or for_update) else READ
+        with self._cond:
+            self._acquire_locked(txn, obj, mode)
+            value = self._store.stack(obj).current
+            self.stats.reads += 1
+            if self.trace is not None:
+                access = txn.next_access_name("read")
+                self.trace.record_perform(txn.name, access, obj, "read", value)
+            return value
+
+    def _write(self, txn: Transaction, obj: str, value: Any) -> None:
+        with self._cond:
+            self._acquire_locked(txn, obj, WRITE)
+            stack = self._store.stack(obj)
+            seen = stack.current
+            stack.ensure_version(txn.name)
+            stack.set_value(txn.name, value)
+            self.stats.writes += 1
+            if self.trace is not None:
+                access = txn.next_access_name("write")
+                self.trace.record_perform(
+                    txn.name, access, obj, "write", seen, value
+                )
+
+    def _acquire_locked(self, txn: Transaction, obj: str, mode: str) -> None:
+        if obj not in self._locks:
+            raise UnknownObject(obj)
+        locks = self._locks[obj]
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            self._check_live_locked(txn)
+            conflicts = locks.conflicts_with(txn.name, mode)
+            if conflicts and self.lazy_lock_cleanup:
+                conflicts = self._reap_dead_holders_locked(obj, conflicts)
+            if not conflicts:
+                locks.grant(txn.name, mode)
+                txn.held_objects.add(obj)
+                if mode == WRITE:
+                    self._store.stack(obj).ensure_version(txn.name)
+                self._waits.clear_waits(txn.name)
+                return
+            self._waits.set_waits(txn.name, conflicts)
+            if self.detect_deadlocks:
+                cycle = self._waits.find_cycle_from(txn.name)
+                if cycle is not None:
+                    self.stats.deadlocks += 1
+                    victim_name = choose_victim(
+                        cycle, self.deadlock_policy, txn.name
+                    )
+                    victim = self._txns[victim_name]
+                    self._waits.clear_waits(txn.name)
+                    self._abort_subtree_locked(victim, reason="deadlock")
+                    self._cond.notify_all()
+                    if victim_name.is_ancestor_of(txn.name):
+                        raise DeadlockAbort(txn.name, cycle)
+                    continue
+            self.stats.lock_waits += 1
+            self._object_waits[obj] += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                self._waits.clear_waits(txn.name)
+                raise LockTimeout(txn.name, obj)
+
+    def _reap_dead_holders_locked(
+        self, obj: str, conflicts: List[ActionName]
+    ) -> List[ActionName]:
+        """Lazy lose-lock: conflicting holders that are dead get their lock
+        and version discarded now; the survivors still conflict."""
+        locks = self._locks[obj]
+        survivors = []
+        for holder in conflicts:
+            holder_txn = self._txns.get(holder)
+            if holder_txn is not None and not self._live_status_locked(holder_txn):
+                locks.discard(holder)
+                self._store.stack(obj).discard(holder)
+                holder_txn.held_objects.discard(obj)
+                self.stats.lazy_lock_reaps += 1
+            else:
+                survivors.append(holder)
+        return survivors
+
+    def __repr__(self) -> str:
+        return "NestedTransactionDB(%d objects, %s)" % (
+            len(self._store.objects),
+            "single-mode" if self.single_mode else "read/write",
+        )

@@ -1,0 +1,109 @@
+"""Waits-for graph and deadlock victim selection.
+
+The paper proves safety only; a runnable locking system also needs a
+liveness mechanism.  We maintain a waits-for graph — an edge from a waiter
+to each conflicting holder — and check for a cycle on every new wait.
+Victim policies: the *requester* (simple, always makes progress) or the
+*youngest* transaction on the cycle (minimizes lost work for long-running
+ancestors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.naming import ActionName
+
+REQUESTER = "requester"
+YOUNGEST = "youngest"
+BLOCKER = "blocker"
+
+
+class WaitsForGraph:
+    """waiter → blockers; edges exist only while a request is blocked."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[ActionName, Set[ActionName]] = {}
+
+    def set_waits(self, waiter: ActionName, blockers: Iterable[ActionName]) -> None:
+        blockers = set(blockers)
+        if blockers:
+            self._edges[waiter] = blockers
+        else:
+            self._edges.pop(waiter, None)
+
+    def clear_waits(self, waiter: ActionName) -> None:
+        self._edges.pop(waiter, None)
+
+    def remove_transaction(self, txn: ActionName) -> None:
+        """Drop a finished/aborted transaction from both edge sides."""
+        self._edges.pop(txn, None)
+        for blockers in self._edges.values():
+            blockers.discard(txn)
+
+    def find_cycle_from(self, start: ActionName) -> Optional[List[ActionName]]:
+        """A deadlock involving ``start``, if one exists.
+
+        Nested-aware: a holder H is transitively blocked whenever any
+        transaction in H's subtree is waiting (H cannot commit, hence
+        cannot release, until its descendants finish), so from a blocker
+        we continue through the explicit waits of every transaction in its
+        subtree.  A deadlock exists when the chain reaches ``start`` or an
+        ancestor of it — an ancestor's progress requires ``start`` to
+        finish first.
+
+        Returns the blocking chain, ``start`` first.
+        """
+        target = set(start.ancestors())  # ancestors of start, start included
+        visited: Set[ActionName] = set()
+        stack: List[Tuple[ActionName, Tuple[ActionName, ...]]] = [
+            (blocker, (start, blocker))
+            for blocker in self._edges.get(start, ())
+        ]
+        while stack:
+            node, path = stack.pop()
+            if node in target:
+                return list(path)
+            if node in visited:
+                continue
+            visited.add(node)
+            for waiter, blockers in self._edges.items():
+                if not node.is_ancestor_of(waiter):
+                    continue
+                for blocker in blockers:
+                    if blocker in target:
+                        return list(path) + [blocker]
+                    if blocker not in visited:
+                        stack.append((blocker, path + (blocker,)))
+        return None
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+def choose_victim(
+    cycle: Sequence[ActionName], policy: str, requester: ActionName
+) -> ActionName:
+    """Pick the transaction to abort to break the cycle.
+
+    * ``requester`` — abort the transaction that just blocked (cheapest
+      single abort, but with parent-retained locks the retry can re-enter
+      the same cycle);
+    * ``youngest`` — abort the deepest/latest transaction on the chain;
+    * ``blocker`` — abort the first lock retainer on the chain that is not
+      an ancestor of the requester: releases exactly what the requester
+      needs, so each conflict costs one deadlock (at the price of killing
+      that retainer's subtree).
+    """
+    if policy == REQUESTER:
+        return requester
+    if policy == YOUNGEST:
+        # Deeper-and-later names are "younger"; ties broken by name so the
+        # choice is deterministic.
+        return max(cycle, key=lambda t: (t.depth, t))
+    if policy == BLOCKER:
+        for node in cycle:
+            if node != requester and not node.is_ancestor_of(requester):
+                return node
+        return requester
+    raise ValueError("unknown victim policy %r" % policy)

@@ -1,0 +1,53 @@
+"""Exceptions raised by the nested-transaction engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for engine errors."""
+
+
+class TransactionAborted(EngineError):
+    """The transaction (or one of its ancestors) has aborted.
+
+    Operations on an aborted transaction raise this; callers at the right
+    nesting level catch it, and — this being the whole point of resilient
+    nested transactions — the *parent* survives and can retry or proceed.
+    """
+
+    def __init__(self, txn_name, reason: str = "") -> None:
+        detail = " (%s)" % reason if reason else ""
+        super().__init__("transaction %r aborted%s" % (txn_name, detail))
+        self.txn_name = txn_name
+        self.reason = reason
+
+
+class DeadlockAbort(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txn_name, cycle) -> None:
+        super().__init__(txn_name, "deadlock victim; cycle %s" % (cycle,))
+        self.cycle = cycle
+
+
+class LockTimeout(EngineError):
+    """A lock request exceeded its wait budget without deadlock detection
+    naming a victim (only possible when detection is disabled)."""
+
+    def __init__(self, txn_name, obj: str) -> None:
+        super().__init__("%r timed out waiting for %r" % (txn_name, obj))
+        self.txn_name = txn_name
+        self.obj = obj
+
+
+class InvalidTransactionState(EngineError):
+    """An operation was attempted in the wrong lifecycle state (e.g.
+    committing a transaction with active children)."""
+
+
+class UnknownObject(EngineError):
+    """The database has no object with the requested key."""
+
+    def __init__(self, obj: str) -> None:
+        super().__init__("unknown object %r" % obj)
+        self.obj = obj

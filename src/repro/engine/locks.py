@@ -1,0 +1,81 @@
+"""Moss lock table state (per-object holders and modes).
+
+This implements the *full* Moss rules, with a read/write distinction (the
+extension the paper's Section 10 leaves as future work):
+
+* T may acquire a **write** lock on x when every holder of x (any mode)
+  is T itself or a proper ancestor of T;
+* T may acquire a **read** lock on x when every *write*-holder of x is T
+  itself or a proper ancestor of T;
+* on commit, T's locks are inherited by parent(T) (modes merged upward);
+* on abort, T's locks are discarded.
+
+Setting ``single_mode=True`` on the manager collapses both modes into
+write, which is exactly the paper's simplified variant (every access
+conflicts) — used when engine traces are replayed through the level-2
+algebra for conformance checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.naming import ActionName
+
+READ = "read"
+WRITE = "write"
+
+
+class ObjectLocks:
+    """Lock holders for a single object: txn → mode."""
+
+    __slots__ = ("holders",)
+
+    def __init__(self) -> None:
+        self.holders: Dict[ActionName, str] = {}
+
+    def mode_of(self, txn: ActionName) -> Optional[str]:
+        return self.holders.get(txn)
+
+    def write_holders(self) -> Iterator[ActionName]:
+        return (t for t, m in self.holders.items() if m == WRITE)
+
+    def conflicts_with(self, txn: ActionName, mode: str) -> List[ActionName]:
+        """Holders that block a request by ``txn`` in ``mode`` — everyone
+        relevant who is neither txn itself nor a proper ancestor of it."""
+        relevant = (
+            self.holders.items()
+            if mode == WRITE
+            else ((t, m) for t, m in self.holders.items() if m == WRITE)
+        )
+        return [
+            holder
+            for holder, _mode in relevant
+            if holder != txn and not holder.is_proper_ancestor_of(txn)
+        ]
+
+    def grant(self, txn: ActionName, mode: str) -> None:
+        current = self.holders.get(txn)
+        if current is None or (current == READ and mode == WRITE):
+            self.holders[txn] = mode
+
+    def inherit(self, txn: ActionName) -> None:
+        """Commit of txn: its lock (if any) passes to its parent, merging
+        modes (write wins)."""
+        mode = self.holders.pop(txn, None)
+        if mode is None:
+            return
+        parent = txn.parent()
+        existing = self.holders.get(parent)
+        if existing is None or (existing == READ and mode == WRITE):
+            self.holders[parent] = mode
+
+    def discard(self, txn: ActionName) -> None:
+        """Abort of txn: its lock (if any) evaporates."""
+        self.holders.pop(txn, None)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%r:%s" % (t, m[0]) for t, m in sorted(self.holders.items())
+        )
+        return "ObjectLocks{%s}" % parts

@@ -1,0 +1,78 @@
+"""Failure injection for resilience experiments (paper Section 1).
+
+The paper's motivation is that nested transactions localize failures: a
+parent tolerates reported child failures and decides how to proceed — the
+recovery-block style generalized to concurrency.  This module provides a
+seeded injector that makes subtransactions fail at controlled rates, and a
+retry combinator implementing the recovery-block pattern over the engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence
+
+from .errors import EngineError, TransactionAborted
+from .transaction import Transaction
+
+
+class InjectedFailure(EngineError):
+    """A deliberately injected fault (stands in for crashes, timeouts,
+    integrity-check failures — anything that kills a subtransaction)."""
+
+    def __init__(self, label: str = "") -> None:
+        super().__init__("injected failure%s" % (" at %s" % label if label else ""))
+        self.label = label
+
+
+class FailureInjector:
+    """Raises :class:`InjectedFailure` with a given probability at each
+    named failure point.  Deterministic under a seed."""
+
+    def __init__(self, failure_prob: float, seed: int = 0) -> None:
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError("failure_prob must be in [0, 1]")
+        self.failure_prob = failure_prob
+        self._rng = random.Random(seed)
+        self.injected = 0
+
+    def point(self, label: str = "") -> None:
+        """A potential failure site; call inside subtransaction bodies."""
+        if self._rng.random() < self.failure_prob:
+            self.injected += 1
+            raise InjectedFailure(label)
+
+
+def recovery_block(
+    parent: Transaction,
+    alternates: Sequence[Callable[[Transaction], Any]],
+) -> Any:
+    """Run alternates in fresh subtransactions until one commits.
+
+    The classic recovery-block: each alternate runs in its own child; a
+    failure (any exception) aborts that child — leaving the parent's state
+    exactly as before — and the next alternate is tried.  Raises the last
+    error if every alternate fails.
+    """
+    last_error: Optional[BaseException] = None
+    for alternate in alternates:
+        child = parent.begin_subtransaction()
+        try:
+            value = alternate(child)
+            child.commit()
+            return value
+        except BaseException as error:  # noqa: BLE001 - contained by design
+            child.abort()
+            last_error = error
+    if last_error is not None:
+        raise last_error
+    raise ValueError("recovery_block needs at least one alternate")
+
+
+def retry_subtransaction(
+    parent: Transaction,
+    fn: Callable[[Transaction], Any],
+    attempts: int = 3,
+) -> Any:
+    """Retry one body up to ``attempts`` times in fresh subtransactions."""
+    return recovery_block(parent, [fn] * attempts)

@@ -1,0 +1,123 @@
+"""Versioned object store (Moss version stacks; paper Sections 7-8).
+
+Each object carries a stack of versions owned by a chain of transactions,
+the root ``U`` at the bottom holding the last permanently-committed value.
+The top of the stack is the *principal value* — what the deepest current
+writer sees.  A transaction's first write pushes a version it owns; commit
+merges the top version into the parent's; abort pops it, restoring the
+value beneath: exactly the value-map transitions of the level-4 algebra,
+specialized to the lock discipline the manager enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.naming import U, ActionName
+
+Value = Any
+
+
+class VersionStack:
+    """The version chain for one object: (owner, value) pairs, U-first."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, initial: Value) -> None:
+        self.entries: List[Tuple[ActionName, Value]] = [(U, initial)]
+
+    @property
+    def current(self) -> Value:
+        """The principal value (top of stack)."""
+        return self.entries[-1][1]
+
+    @property
+    def owner(self) -> ActionName:
+        return self.entries[-1][0]
+
+    def owns_version(self, txn: ActionName) -> bool:
+        return any(owner == txn for owner, _value in self.entries)
+
+    def ensure_version(self, txn: ActionName) -> None:
+        """First write by txn: push a version owned by it (copying the
+        current value) so an abort can restore what was beneath."""
+        if self.entries[-1][0] != txn:
+            self.entries.append((txn, self.entries[-1][1]))
+
+    def set_value(self, txn: ActionName, value: Value) -> None:
+        owner, _old = self.entries[-1]
+        if owner != txn:
+            raise AssertionError(
+                "write by %r but top version owned by %r" % (txn, owner)
+            )
+        self.entries[-1] = (owner, value)
+
+    def commit_to_parent(self, txn: ActionName) -> None:
+        """Merge txn's version into its parent's (level-4 release-lock)."""
+        index = self._index_of(txn)
+        if index is None:
+            return
+        owner, value = self.entries[index]
+        parent = txn.parent()
+        if index > 0 and self.entries[index - 1][0] == parent:
+            self.entries[index - 1] = (parent, value)
+            del self.entries[index]
+        else:
+            self.entries[index] = (parent, value)
+
+    def discard(self, txn: ActionName) -> None:
+        """Abort of txn: drop its version (level-4 lose-lock)."""
+        index = self._index_of(txn)
+        if index is not None:
+            del self.entries[index]
+
+    def _index_of(self, txn: ActionName) -> Optional[int]:
+        for i, (owner, _value) in enumerate(self.entries):
+            if owner == txn:
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        return "VersionStack[%s]" % ", ".join(
+            "%r=%r" % (owner, value) for owner, value in self.entries
+        )
+
+
+class VersionedStore:
+    """All objects' version stacks, plus snapshot/reset helpers."""
+
+    def __init__(self, initial: Mapping[str, Value]) -> None:
+        self._stacks: Dict[str, VersionStack] = {
+            obj: VersionStack(value) for obj, value in initial.items()
+        }
+        self._initial = dict(initial)
+
+    def __contains__(self, obj: str) -> bool:
+        return obj in self._stacks
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(self._stacks)
+
+    def stack(self, obj: str) -> VersionStack:
+        return self._stacks[obj]
+
+    def read(self, obj: str) -> Value:
+        return self._stacks[obj].current
+
+    def snapshot(self) -> Dict[str, Value]:
+        """The committed-to-U value of every object (bottom entries owned
+        by U; the top value of a quiescent store)."""
+        result = {}
+        for obj, stack in self._stacks.items():
+            base = stack.entries[0]
+            result[obj] = base[1] if base[0] == U else self._initial[obj]
+        return result
+
+    def initial_value(self, obj: str) -> Value:
+        return self._initial[obj]
+
+    def reset(self) -> None:
+        self._stacks = {
+            obj: VersionStack(value) for obj, value in self._initial.items()
+        }

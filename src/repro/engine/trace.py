@@ -1,0 +1,144 @@
+"""Execution trace recording.
+
+Every lifecycle event and data access the engine performs is appended (in
+global latch order, so the trace is a linearization of what happened) to a
+:class:`TraceRecorder`.  The checker package replays traces through the
+formal algebras — the engine is *oracle-checked*: after any run, its trace
+must form an action tree whose permanent subtree is serializable.
+
+Traces serialize to JSON lines (:meth:`TraceRecorder.dump` /
+:meth:`TraceRecorder.load`), so executions can be archived and audited
+offline — certify last night's production run on your laptop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, IO, Iterable, List, Optional, Tuple, Union
+
+from ..core.naming import ActionName
+
+CREATE = "create"
+PERFORM = "perform"
+COMMIT = "commit"
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One engine event.
+
+    For ``perform`` records, ``access`` is the synthetic leaf action (a
+    child of the transaction) modelling the read/write as a paper access,
+    ``kind`` is "read" or "write", ``seen`` is the value the access
+    observed (the paper's label u), and ``arg`` is the written value for
+    writes (None for reads).
+    """
+
+    op: str
+    txn: ActionName
+    access: Optional[ActionName] = None
+    obj: Optional[str] = None
+    kind: Optional[str] = None
+    seen: Any = None
+    arg: Any = None
+
+
+class TraceRecorder:
+    """An append-only linearized event log (caller provides locking)."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record_create(self, txn: ActionName) -> None:
+        self._records.append(TraceRecord(CREATE, txn))
+
+    def record_commit(self, txn: ActionName) -> None:
+        self._records.append(TraceRecord(COMMIT, txn))
+
+    def record_abort(self, txn: ActionName) -> None:
+        self._records.append(TraceRecord(ABORT, txn))
+
+    def record_perform(
+        self,
+        txn: ActionName,
+        access: ActionName,
+        obj: str,
+        kind: str,
+        seen: Any,
+        arg: Any = None,
+    ) -> None:
+        self._records.append(
+            TraceRecord(PERFORM, txn, access, obj, kind, seen, arg)
+        )
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # -- persistence (JSON lines) ---------------------------------------------
+
+    def dump(self, destination: Union[str, IO[str]]) -> None:
+        """Write the trace as JSON lines (one record per line).
+
+        Values must be JSON-serializable (ints/strings in all shipped
+        workloads).
+        """
+        if isinstance(destination, str):
+            with open(destination, "w") as fh:
+                self.dump(fh)
+            return
+        for record in self._records:
+            destination.write(json.dumps(_record_to_json(record)) + "\n")
+
+    @classmethod
+    def load(cls, source: Union[str, IO[str]]) -> "TraceRecorder":
+        """Read a trace previously written by :meth:`dump`."""
+        if isinstance(source, str):
+            with open(source) as fh:
+                return cls.load(fh)
+        recorder = cls()
+        for line in source:
+            line = line.strip()
+            if line:
+                recorder._records.append(_record_from_json(json.loads(line)))
+        return recorder
+
+
+def _name_to_json(name: Optional[ActionName]) -> Optional[list]:
+    return None if name is None else list(name.path)
+
+
+def _name_from_json(path: Optional[list]) -> Optional[ActionName]:
+    return None if path is None else ActionName(tuple(path))
+
+
+def _record_to_json(record: TraceRecord) -> dict:
+    return {
+        "op": record.op,
+        "txn": _name_to_json(record.txn),
+        "access": _name_to_json(record.access),
+        "obj": record.obj,
+        "kind": record.kind,
+        "seen": record.seen,
+        "arg": record.arg,
+    }
+
+
+def _record_from_json(data: dict) -> TraceRecord:
+    return TraceRecord(
+        op=data["op"],
+        txn=_name_from_json(data["txn"]),
+        access=_name_from_json(data.get("access")),
+        obj=data.get("obj"),
+        kind=data.get("kind"),
+        seen=data.get("seen"),
+        arg=data.get("arg"),
+    )

@@ -1,0 +1,175 @@
+"""Transaction handles: the engine's user-facing API.
+
+A :class:`Transaction` is a node of the action tree.  It can read and
+write objects (each operation is modelled as a leaf access child, per the
+paper), begin subtransactions (sequentially or in parallel threads), and
+commit or abort.  Aborting a subtransaction never disturbs its parent —
+the parent observes the failure as a :class:`TransactionAborted` exception
+at the subtransaction boundary and carries on: the "resilience" of the
+title.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Set, TYPE_CHECKING
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import ActionName
+from .errors import InvalidTransactionState, TransactionAborted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import NestedTransactionDB
+
+
+@dataclass
+class Outcome:
+    """Result of one parallel subtransaction: value or error, never both."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+class Transaction:
+    """A (possibly nested) transaction handle.
+
+    Handles are not thread-safe individually — use one handle per thread,
+    creating sibling subtransactions for parallel work.  All shared state
+    lives in the database under its latch.
+    """
+
+    def __init__(
+        self,
+        db: "NestedTransactionDB",
+        name: ActionName,
+        parent: Optional["Transaction"],
+    ) -> None:
+        self._db = db
+        self.name = name
+        self.parent = parent
+        self.status = ACTIVE
+        self.children: List["Transaction"] = []
+        self._child_counter = 0
+        self._access_counter = 0
+        self.held_objects: Set[str] = set()
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self.name.depth
+
+    def is_ancestor_of(self, other: "Transaction") -> bool:
+        return self.name.is_ancestor_of(other.name)
+
+    def _next_child_name(self) -> ActionName:
+        label = self._child_counter
+        self._child_counter += 1
+        return self.name.child(label)
+
+    def next_access_name(self, kind: str) -> ActionName:
+        label = "%s%d" % (kind[0], self._access_counter)
+        self._access_counter += 1
+        return self.name.child(label)
+
+    # -- data operations -----------------------------------------------------
+
+    def read(self, obj: str) -> Any:
+        """Read the current value of an object (acquires a read lock, or a
+        write lock in single-mode)."""
+        return self._db._read(self, obj)
+
+    def write(self, obj: str, value: Any) -> None:
+        """Write an object (acquires a write lock; undone if we abort)."""
+        self._db._write(self, obj, value)
+
+    def read_for_update(self, obj: str) -> Any:
+        """Read with write intent: acquires the write lock up front, so a
+        following :meth:`write` cannot hit an upgrade deadlock (the
+        SELECT FOR UPDATE idiom)."""
+        return self._db._read(self, obj, for_update=True)
+
+    def update(self, obj: str, fn: Callable[[Any], Any]) -> Any:
+        """Read-modify-write; returns the new value (write-intent read)."""
+        new_value = fn(self.read_for_update(obj))
+        self.write(obj, new_value)
+        return new_value
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def begin_subtransaction(self) -> "Transaction":
+        """Create an active child transaction."""
+        return self._db._begin(self)
+
+    @contextmanager
+    def subtransaction(self) -> Iterator["Transaction"]:
+        """``with t.subtransaction() as s``: commits on normal exit, aborts
+        on exception.  A :class:`TransactionAborted` raised inside (e.g. a
+        deadlock victim) is absorbed after aborting — the parent survives
+        and sees the child simply not have happened; re-raise semantics can
+        be had with :meth:`begin_subtransaction` directly."""
+        child = self.begin_subtransaction()
+        try:
+            yield child
+        except TransactionAborted:
+            child.abort()
+        except BaseException:
+            child.abort()
+            raise
+        else:
+            child.commit()
+
+    def commit(self) -> None:
+        """Commit to the parent.  Requires all children done."""
+        self._db._commit(self)
+
+    def abort(self) -> None:
+        """Abort this transaction and its entire live subtree (idempotent)."""
+        self._db._abort(self)
+
+    @property
+    def is_live(self) -> bool:
+        """No ancestor (this transaction included) has aborted."""
+        return self._db._is_live(self)
+
+    # -- parallel children ----------------------------------------------------------
+
+    def parallel(
+        self, fns: Sequence[Callable[["Transaction"], Any]]
+    ) -> List[Outcome]:
+        """Run each function in its own subtransaction on its own thread.
+
+        Each function receives its subtransaction; normal return commits
+        it, an exception aborts it.  Failures are *contained*: the parent
+        gets an :class:`Outcome` per child and decides what to do —
+        the recovery-block programming style the paper generalizes.
+        """
+        outcomes: List[Optional[Outcome]] = [None] * len(fns)
+        children = [self.begin_subtransaction() for _ in fns]
+
+        def runner(index: int) -> None:
+            child = children[index]
+            try:
+                value = fns[index](child)
+                child.commit()
+            except BaseException as error:  # noqa: BLE001 - contained by design
+                child.abort()
+                outcomes[index] = Outcome(ok=False, error=error)
+            else:
+                outcomes[index] = Outcome(ok=True, value=value)
+
+        threads = [
+            threading.Thread(target=runner, args=(i,), daemon=True)
+            for i in range(len(fns))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def __repr__(self) -> str:
+        return "Transaction(%r, %s)" % (self.name, self.status)

@@ -1,0 +1,30 @@
+"""Workload generation and execution: program shapes, Zipf-skewed access
+patterns, and a threaded executor that runs on any of the databases."""
+
+from .executor import ExecutionReport, all_failure_points, execute
+from .generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    ZipfSampler,
+    initial_values,
+    object_names,
+)
+from .shapes import Block, Op, Program, bushy, chain, flat, nested_uniform
+
+__all__ = [
+    "Block",
+    "ExecutionReport",
+    "Op",
+    "Program",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ZipfSampler",
+    "all_failure_points",
+    "bushy",
+    "chain",
+    "execute",
+    "flat",
+    "initial_values",
+    "nested_uniform",
+    "object_names",
+]

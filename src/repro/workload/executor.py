@@ -1,0 +1,304 @@
+"""Multi-threaded workload execution against any of the databases.
+
+The executor interprets :class:`~repro.workload.shapes.Program` trees
+against the common transaction API (engine, flat 2PL, global lock, MVTO).
+Sub-blocks run in ``subtransaction`` scopes — in parallel threads when the
+block says so and the system supports it; injected failures fire at
+marked failure points, and what happens next depends on the system under
+test: the nested engine contains the failure to one subtransaction, flat
+2PL loses the whole transaction and retries.  That asymmetry *is*
+experiment E2.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.errors import LockTimeout, TransactionAborted
+from ..engine.recovery import InjectedFailure
+from .shapes import Block, Op, Program
+
+
+@dataclass
+class ExecutionReport:
+    """What a workload run achieved and what it cost."""
+
+    duration: float = 0.0
+    programs: int = 0
+    committed_programs: int = 0
+    failed_programs: int = 0
+    retries: int = 0
+    ops_attempted: int = 0
+    ops_committed: int = 0
+    child_aborts: int = 0
+    injected: int = 0
+    db_stats: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)  # per committed program
+
+    @property
+    def throughput(self) -> float:
+        """Committed programs per second."""
+        return self.committed_programs / self.duration if self.duration else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Committed operations per second."""
+        return self.ops_committed / self.duration if self.duration else 0.0
+
+    @property
+    def wasted_ops(self) -> int:
+        return self.ops_attempted - self.ops_committed
+
+    def latency_percentile(self, q: float) -> float:
+        """Per-program commit latency at quantile q ∈ [0, 1] (seconds);
+        0.0 when nothing committed."""
+        if not self.latencies:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def as_row(self) -> Dict[str, object]:
+        row = dict(self.__dict__)
+        row.pop("db_stats", None)
+        row.pop("latencies", None)
+        row["throughput"] = round(self.throughput, 1)
+        row["goodput"] = round(self.goodput, 1)
+        row["p95_ms"] = round(self.latency_percentile(0.95) * 1000, 2)
+        return row
+
+
+class _Counters:
+    """Thread-safe accumulation for the report, plus run-wide knobs."""
+
+    def __init__(self, op_delay: float = 0.0) -> None:
+        self.lock = threading.Lock()
+        self.op_delay = op_delay
+        self.committed_programs = 0
+        self.failed_programs = 0
+        self.retries = 0
+        self.ops_attempted = 0
+        self.ops_committed = 0
+        self.child_aborts = 0
+        self.injected = 0
+        self.latencies: List[float] = []
+
+
+def all_failure_points(program: Program) -> List[Block]:
+    """The blocks of a program marked as potential failure sites."""
+    found: List[Block] = []
+
+    def walk(block: Block) -> None:
+        if block.failure_point:
+            found.append(block)
+        for child in block.children:
+            if isinstance(child, Block):
+                walk(child)
+
+    walk(program.root)
+    return found
+
+
+class _Firing:
+    """The failure points of one program attempt that will fire (identity
+    based, consumed on first firing so retries make progress)."""
+
+    def __init__(self, blocks: Set[int]) -> None:
+        self._lock = threading.Lock()
+        self._blocks = set(blocks)
+
+    def fires(self, block: Block) -> bool:
+        with self._lock:
+            if id(block) in self._blocks:
+                self._blocks.discard(id(block))
+                return True
+            return False
+
+
+def _do_op(txn, op: Op, counters: _Counters) -> None:
+    with counters.lock:
+        counters.ops_attempted += 1
+    if op.kind == "read":
+        txn.read(op.obj)
+    elif op.kind == "write":
+        txn.write(op.obj, op.value)
+    else:  # rmw — write-intent read avoids upgrade deadlocks
+        reader = getattr(txn, "read_for_update", txn.read)
+        txn.write(op.obj, reader(op.obj) + op.value)
+    if counters.op_delay:
+        # Simulated storage/compute latency, spent while holding locks.
+        # time.sleep releases the GIL, so disjoint transactions overlap —
+        # this is what makes lock granularity visible on one machine.
+        time.sleep(counters.op_delay)
+
+
+def _run_block(txn, block: Block, firing: _Firing, counters: _Counters) -> int:
+    """Interpret a block's children inside transaction scope ``txn``;
+    returns ops completed.  Raises InjectedFailure when this block's
+    failure point fires (after its body, so there is work to lose)."""
+    done = 0
+    if block.parallel and hasattr(txn, "parallel"):
+        ops = [child for child in block.children if isinstance(child, Op)]
+        subs = [child for child in block.children if isinstance(child, Block)]
+        for op in ops:
+            _do_op(txn, op, counters)
+            done += 1
+        if subs:
+            bodies = [
+                (lambda sub, blk=child: _run_block(sub, blk, firing, counters))
+                for child in subs
+            ]
+            outcomes = txn.parallel(bodies)
+            for outcome in outcomes:
+                if outcome.ok:
+                    done += outcome.value
+                elif isinstance(outcome.error, InjectedFailure):
+                    with counters.lock:
+                        counters.child_aborts += 1
+                else:
+                    raise outcome.error
+    else:
+        for child in block.children:
+            if isinstance(child, Op):
+                _do_op(txn, child, counters)
+                done += 1
+            else:
+                done += _run_child_block(txn, child, firing, counters)
+    if firing.fires(block):
+        with counters.lock:
+            counters.injected += 1
+        raise InjectedFailure()
+    return done
+
+
+def _run_child_block(
+    txn, child: Block, firing: _Firing, counters: _Counters, retries: int = 2
+) -> int:
+    """Run a child block in a subtransaction scope.
+
+    A contained *injected* failure contributes zero ops and bumps
+    child_aborts — the parent tolerates it by design.  A child that
+    aborted for concurrency reasons (deadlock victim) is retried in a
+    fresh subtransaction — the nested engine's partial-retry advantage;
+    flat systems escalate instead because their ``subtransaction`` cannot
+    contain anything.  If retries are exhausted, or the parent itself has
+    died, the whole transaction aborts.
+    """
+    for _attempt in range(retries + 1):
+        done = 0
+        sub = None
+        try:
+            with txn.subtransaction() as scope:
+                sub = scope
+                done = _run_block(scope, child, firing, counters)
+        except InjectedFailure:
+            with counters.lock:
+                counters.child_aborts += 1
+            return 0
+        if sub is None or getattr(sub, "status", None) != "aborted":
+            return done
+        # Child was a deadlock victim (abort absorbed by the engine ctx).
+        with counters.lock:
+            counters.child_aborts += 1
+        if hasattr(txn, "is_live") and not txn.is_live:
+            break
+        time.sleep(0.0002 * (_attempt + 1))  # back off before the retry
+    raise TransactionAborted(getattr(txn, "name", None), "child retries exhausted")
+
+
+def execute(
+    db,
+    programs: Sequence[Program],
+    threads: int = 4,
+    failure_prob: float = 0.0,
+    seed: int = 0,
+    max_retries: int = 50,
+    op_delay: float = 0.0,
+) -> ExecutionReport:
+    """Run the programs on ``threads`` worker threads and report.
+
+    Each program retries (as a whole) when its top-level transaction
+    aborts — deadlock victimhood or, on non-nested systems, a failure that
+    could not be contained.  Injected failures fire once per marked point
+    per program, so retries always make progress.  ``op_delay`` adds
+    simulated per-operation latency spent while holding locks.
+    """
+    counters = _Counters(op_delay)
+    rng = random.Random(seed)
+    queue: List[Tuple[Program, _Firing]] = []
+    for program in programs:
+        ids = {
+            id(block)
+            for block in all_failure_points(program)
+            if rng.random() < failure_prob
+        }
+        queue.append((program, _Firing(ids)))
+    index_lock = threading.Lock()
+    next_index = [0]
+
+    def worker() -> None:
+        while True:
+            with index_lock:
+                if next_index[0] >= len(queue):
+                    return
+                program, firing = queue[next_index[0]]
+                next_index[0] += 1
+            attempts = 0
+            program_start = time.perf_counter()
+            while True:
+                txn = db.begin_transaction()
+                try:
+                    done = _run_block(txn, program.root, firing, counters)
+                    txn.commit()
+                except InjectedFailure:
+                    # The root block itself failed: nothing contains it.
+                    txn.abort()
+                    with counters.lock:
+                        counters.failed_programs += 1
+                    break
+                except (TransactionAborted, LockTimeout):
+                    txn.abort()
+                    attempts += 1
+                    with counters.lock:
+                        counters.retries += 1
+                    if attempts > max_retries:
+                        with counters.lock:
+                            counters.failed_programs += 1
+                        break
+                    time.sleep(0.0002 * attempts)
+                    continue
+                with counters.lock:
+                    counters.committed_programs += 1
+                    counters.ops_committed += done
+                    counters.latencies.append(
+                        time.perf_counter() - program_start
+                    )
+                break
+
+    pool = [threading.Thread(target=worker, daemon=True) for _ in range(threads)]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    duration = time.perf_counter() - start
+
+    return ExecutionReport(
+        duration=duration,
+        programs=len(programs),
+        committed_programs=counters.committed_programs,
+        failed_programs=counters.failed_programs,
+        retries=counters.retries,
+        ops_attempted=counters.ops_attempted,
+        ops_committed=counters.ops_committed,
+        child_aborts=counters.child_aborts,
+        injected=counters.injected,
+        db_stats=db.stats.snapshot() if hasattr(db, "stats") else {},
+        latencies=counters.latencies,
+    )

@@ -1,0 +1,136 @@
+"""Random workload generation: object populations, skewed access choice,
+and program mixes.
+
+Object hotness follows a Zipf-like power law with exponent θ (θ = 0 is
+uniform; θ ≈ 0.9 is the classic skewed OLTP setting; θ > 1 concentrates
+almost all traffic on a few objects).  The sampler is hand-rolled on
+``random.Random`` so every workload is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .shapes import Block, Op, Program, bushy, chain, flat, nested_uniform
+
+
+class ZipfSampler:
+    """Power-law sampling over ``range(n)`` with exponent theta."""
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("need at least one item")
+        self._rng = rng
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    def sample(self) -> int:
+        roll = self._rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < roll:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+@dataclass
+class WorkloadConfig:
+    """The knobs the benchmark sweeps turn."""
+
+    objects: int = 64
+    theta: float = 0.0  # access skew
+    read_ratio: float = 0.5
+    ops_per_transaction: int = 8
+    shape: str = "bushy"  # flat | chain | bushy | uniform
+    groups: int = 4  # subtransactions per bushy program
+    depth: int = 3  # chain / uniform depth
+    fanout: int = 2  # uniform fanout
+    parallel_blocks: bool = False
+    programs: int = 100
+    seed: int = 0
+
+
+def object_names(count: int) -> List[str]:
+    return ["obj%04d" % i for i in range(count)]
+
+
+def initial_values(count: int, value: int = 0) -> Dict[str, int]:
+    return {name: value for name in object_names(count)}
+
+
+class WorkloadGenerator:
+    """Generate reproducible program lists from a config."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._objects = object_names(config.objects)
+        self._sampler = ZipfSampler(config.objects, config.theta, self._rng)
+
+    def _random_op(self) -> Op:
+        obj = self._objects[self._sampler.sample()]
+        roll = self._rng.random()
+        if roll < self.config.read_ratio:
+            return Op("read", obj)
+        if roll < self.config.read_ratio + (1 - self.config.read_ratio) / 2:
+            return Op("write", obj, self._rng.randint(0, 99))
+        return Op("rmw", obj, self._rng.randint(1, 5))
+
+    def _random_ops(self, count: int) -> List[Op]:
+        return [self._random_op() for _ in range(count)]
+
+    def one_program(self, index: int) -> Program:
+        cfg = self.config
+        label = "%s#%d" % (cfg.shape, index)
+        if cfg.shape == "mixed":
+            # A workload mixing all shapes, weighted toward the nested ones
+            # (a stand-in for a real application's variety).
+            shape = self._rng.choices(
+                ["flat", "chain", "bushy", "uniform"],
+                weights=[2, 2, 3, 1],
+                k=1,
+            )[0]
+            return self._shaped_program(shape, index, "mixed#%d" % index)
+        return self._shaped_program(cfg.shape, index, label)
+
+    def _shaped_program(self, shape: str, index: int, label: str) -> Program:
+        cfg = self.config
+        if shape == "flat":
+            return flat(self._random_ops(cfg.ops_per_transaction), label)
+        if shape == "chain":
+            per_level = max(1, cfg.ops_per_transaction // cfg.depth)
+            return chain(
+                [self._random_ops(per_level) for _ in range(cfg.depth)], label
+            )
+        if shape == "bushy":
+            per_group = max(1, cfg.ops_per_transaction // cfg.groups)
+            return bushy(
+                [self._random_ops(per_group) for _ in range(cfg.groups)],
+                parallel=cfg.parallel_blocks,
+                label=label,
+            )
+        if shape == "uniform":
+            leaves = cfg.fanout ** cfg.depth
+            per_leaf = max(1, cfg.ops_per_transaction // max(1, leaves))
+            return nested_uniform(
+                cfg.depth,
+                cfg.fanout,
+                self._random_ops(per_leaf),
+                parallel=cfg.parallel_blocks,
+                label=label,
+            )
+        raise ValueError("unknown shape %r" % shape)
+
+    def programs(self) -> List[Program]:
+        return [self.one_program(i) for i in range(self.config.programs)]

@@ -1,0 +1,126 @@
+"""Transaction programs and their shapes.
+
+A *program* is the static plan of one nested transaction: a tree whose
+leaves are read/write operations and whose internal nodes are
+subtransactions (optionally marked parallel).  Shapes named here cover the
+E1-E4 benchmark axes: flat (the classical single-level transaction),
+chains (deep sequential nesting), bushy trees (wide parallel nesting) and
+mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Op:
+    """A leaf operation on one object."""
+
+    kind: str  # "read", "write" or "rmw" (read-modify-write increment)
+    obj: str
+    value: int = 0  # written value (write) or delta (rmw)
+
+
+@dataclass
+class Block:
+    """An internal node: a subtransaction containing children.
+
+    ``parallel`` blocks run their child blocks in sibling subtransactions
+    on separate threads; sequential blocks run children in order.
+    ``failure_point`` marks where an injected failure may fire (the E2
+    resilience experiments abort exactly one subtransaction, not the
+    whole program).
+    """
+
+    children: List[Union["Block", Op]] = field(default_factory=list)
+    parallel: bool = False
+    failure_point: bool = False
+
+    def ops(self) -> List[Op]:
+        """All leaf operations, in plan order."""
+        collected: List[Op] = []
+        for child in self.children:
+            if isinstance(child, Op):
+                collected.append(child)
+            else:
+                collected.extend(child.ops())
+        return collected
+
+    def depth(self) -> int:
+        child_depths = [
+            child.depth() for child in self.children if isinstance(child, Block)
+        ]
+        return 1 + max(child_depths, default=0)
+
+    def count_blocks(self) -> int:
+        return 1 + sum(
+            child.count_blocks() for child in self.children if isinstance(child, Block)
+        )
+
+
+@dataclass(frozen=True)
+class Program:
+    """One transaction's plan: a root block plus bookkeeping for reports."""
+
+    root: Block
+    label: str = "program"
+
+    @property
+    def op_count(self) -> int:
+        return len(self.root.ops())
+
+
+def flat(ops: Sequence[Op], label: str = "flat") -> Program:
+    """A classical single-level transaction: just a list of operations."""
+    return Program(Block(list(ops)), label)
+
+
+def chain(ops_per_level: Sequence[Sequence[Op]], label: str = "chain") -> Program:
+    """Nesting as a chain: each level does its ops then descends once."""
+    root = Block()
+    cursor = root
+    for i, level_ops in enumerate(ops_per_level):
+        cursor.children.extend(level_ops)
+        if i + 1 < len(ops_per_level):
+            nxt = Block(failure_point=True)
+            cursor.children.append(nxt)
+            cursor = nxt
+    return Program(root, label)
+
+
+def bushy(
+    groups: Sequence[Sequence[Op]], parallel: bool = True, label: str = "bushy"
+) -> Program:
+    """One subtransaction per group, side by side (optionally parallel)."""
+    root = Block(parallel=parallel)
+    for group in groups:
+        root.children.append(Block(list(group), failure_point=True))
+    return Program(root, label)
+
+
+def nested_uniform(
+    depth: int,
+    fanout: int,
+    ops_per_leaf_block: Sequence[Op],
+    parallel: bool = False,
+    label: str = "uniform",
+) -> Program:
+    """A uniform tree of subtransactions: ``fanout`` children per level to
+    ``depth`` levels, operations at the leaves (the E3 depth sweep)."""
+
+    ops = list(ops_per_leaf_block)
+
+    def build(level: int, offset: int) -> Block:
+        if level >= depth:
+            start = offset % max(1, len(ops))
+            rotated = ops[start:] + ops[:start]
+            return Block(list(rotated), failure_point=True)
+        return Block(
+            [build(level + 1, offset * fanout + i) for i in range(fanout)],
+            parallel=parallel,
+            failure_point=True,
+        )
+
+    return Program(build(0, 0), label)

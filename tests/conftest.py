@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ActionName,
+    Level2Algebra,
+    Scenario,
+    U,
+    Universe,
+    add,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def bank_universe():
+    """A small hand-built universe: two accounts and a transfer tree.
+
+    U
+    └── transfer (t)
+        ├── debit  (access: acct_a, add -10)
+        ├── credit (access: acct_b, add +10)
+        └── audit  (subtransaction)
+            ├── check_a (access: acct_a, read)
+            └── check_b (access: acct_b, read)
+    """
+    universe = Universe()
+    universe.define_object("acct_a", init=100)
+    universe.define_object("acct_b", init=50)
+    t = U.child("transfer")
+    universe.declare_access(t.child("debit"), "acct_a", add(-10))
+    universe.declare_access(t.child("credit"), "acct_b", add(10))
+    audit = t.child("audit")
+    universe.declare_access(audit.child("check_a"), "acct_a", read())
+    universe.declare_access(audit.child("check_b"), "acct_b", read())
+    return universe
+
+
+@pytest.fixture
+def bank_actions():
+    t = U.child("transfer")
+    audit = t.child("audit")
+    return {
+        "t": t,
+        "debit": t.child("debit"),
+        "credit": t.child("credit"),
+        "audit": audit,
+        "check_a": audit.child("check_a"),
+        "check_b": audit.child("check_b"),
+    }
+
+
+@pytest.fixture
+def bank_scenario(bank_universe, bank_actions):
+    return Scenario(
+        bank_universe, (bank_actions["t"], bank_actions["audit"])
+    )
+
+
+def make_level2_run(seed: int, **scenario_kwargs):
+    """A (scenario, events, final AAT) triple from a seeded random walk."""
+    rng = random.Random(seed)
+    scenario = random_scenario(rng, **scenario_kwargs)
+    algebra = Level2Algebra(scenario.universe)
+    events = random_run(algebra, scenario, rng)
+    return scenario, algebra, events

@@ -1,0 +1,190 @@
+"""Unit tests for augmented action trees (paper Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ACTIVE,
+    COMMITTED,
+    ActionTree,
+    AugmentedActionTree,
+    U,
+    Universe,
+    add,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    universe.define_object("y", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(5))
+    universe.declare_access(t2.child("r"), "x", read())
+    universe.declare_access(t2.child("p"), "y", add(1))
+    return universe
+
+
+@pytest.fixture
+def aat(uni):
+    """Both transactions fully committed; data order: t1.w then t2.r on x."""
+    t1, t2 = U.child(1), U.child(2)
+    status = {
+        U: ACTIVE,
+        t1: COMMITTED,
+        t1.child("w"): COMMITTED,
+        t2: COMMITTED,
+        t2.child("r"): COMMITTED,
+        t2.child("p"): COMMITTED,
+    }
+    labels = {t1.child("w"): 0, t2.child("r"): 5, t2.child("p"): 0}
+    tree = ActionTree(uni, status, labels)
+    data = {
+        "x": (t1.child("w"), t2.child("r")),
+        "y": (t2.child("p"),),
+    }
+    return AugmentedActionTree(tree, data)
+
+
+class TestStructure:
+    def test_initial(self, uni):
+        aat = AugmentedActionTree.initial(uni)
+        assert aat.tree.vertices == frozenset([U])
+        assert aat.data == {}
+        aat.validate()
+
+    def test_validate_accepts(self, aat):
+        aat.validate()
+
+    def test_validate_rejects_wrong_object(self, uni, aat):
+        t1, t2 = U.child(1), U.child(2)
+        bad = AugmentedActionTree(
+            aat.tree, {"x": (t1.child("w"), t2.child("p"))}
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_incomplete_order(self, aat):
+        bad = AugmentedActionTree(aat.tree, {"x": (U.child(1).child("w"),)})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_duplicates(self, aat):
+        w = U.child(1).child("w")
+        bad = AugmentedActionTree(aat.tree, {"x": (w, w)})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_delegation_to_tree(self, aat):
+        assert aat.is_committed(U.child(1))
+        assert set(aat.datasteps_for("x")) == {
+            U.child(1).child("w"),
+            U.child(2).child("r"),
+        }
+
+    def test_equality(self, uni, aat):
+        same = AugmentedActionTree(aat.tree, aat.data)
+        assert aat == same
+        assert hash(aat) == hash(same)
+        different = AugmentedActionTree(
+            aat.tree,
+            {"x": tuple(reversed(aat.data_sequence("x"))), "y": aat.data_sequence("y")},
+        )
+        assert aat != different
+
+
+class TestDataOrder:
+    def test_data_before(self, aat):
+        w, r = U.child(1).child("w"), U.child(2).child("r")
+        assert aat.data_before(w, r)
+        assert not aat.data_before(r, w)
+        # Reflexive on members.
+        assert aat.data_before(w, w)
+        # Cross-object pairs are unrelated.
+        assert not aat.data_before(U.child(2).child("p"), r)
+
+    def test_data_before_non_member(self, aat):
+        stranger = U.child(9)
+        assert not aat.data_before(stranger, stranger)
+
+    def test_v_data(self, aat):
+        r = U.child(2).child("r")
+        assert aat.v_data(r) == [U.child(1).child("w")]
+        assert aat.v_data(U.child(1).child("w")) == []
+
+    def test_v_data_excludes_invisible(self, uni):
+        """A live-but-uncommitted chain hides its data steps."""
+        t1, t2 = U.child(1), U.child(2)
+        status = {
+            U: ACTIVE,
+            t1: ACTIVE,  # not committed: its write is not visible to t2
+            t1.child("w"): COMMITTED,
+            t2: COMMITTED,
+            t2.child("r"): COMMITTED,
+        }
+        labels = {t1.child("w"): 0, t2.child("r"): 0}
+        tree = ActionTree(uni, status, labels)
+        aat = AugmentedActionTree(
+            tree, {"x": (t1.child("w"), t2.child("r"))}
+        )
+        assert aat.v_data(t2.child("r")) == []
+
+    def test_sibling_data_edges(self, aat):
+        t1, t2 = U.child(1), U.child(2)
+        assert aat.sibling_data_edges() == {(t1, t2)}
+
+    def test_sibling_data_skips_ancestor_pairs(self, uni):
+        """Data steps in the same subtree produce edges at the deepest
+        divergence only."""
+        t = U.child(1)
+        universe = Universe()
+        universe.define_object("x", init=0)
+        universe.declare_access(t.child(0), "x", write(1))
+        universe.declare_access(t.child(1), "x", read())
+        status = {
+            U: ACTIVE,
+            t: COMMITTED,
+            t.child(0): COMMITTED,
+            t.child(1): COMMITTED,
+        }
+        labels = {t.child(0): 0, t.child(1): 1}
+        tree = ActionTree(universe, status, labels)
+        aat = AugmentedActionTree(tree, {"x": (t.child(0), t.child(1))})
+        assert aat.sibling_data_edges() == {(t.child(0), t.child(1))}
+
+
+class TestUpdates:
+    def test_with_performed_appends(self, uni):
+        t1 = U.child(1)
+        aat = (
+            AugmentedActionTree.initial(uni)
+            .with_tree(
+                ActionTree.initial(uni)
+                .with_created(t1)
+                .with_created(t1.child("w"))
+            )
+            .with_performed(t1.child("w"), 0)
+        )
+        assert aat.data_sequence("x") == (t1.child("w"),)
+        assert aat.tree.label(t1.child("w")) == 0
+
+    def test_perm_restricts_data(self, uni):
+        """Data steps outside perm(T) drop out of the data order."""
+        t1, t2 = U.child(1), U.child(2)
+        status = {
+            U: ACTIVE,
+            t1: COMMITTED,
+            t1.child("w"): COMMITTED,
+            t2: ACTIVE,  # t2 still active: its subtree is not permanent
+            t2.child("r"): COMMITTED,
+        }
+        labels = {t1.child("w"): 0, t2.child("r"): 5}
+        tree = ActionTree(uni, status, labels)
+        aat = AugmentedActionTree(tree, {"x": (t1.child("w"), t2.child("r"))})
+        perm = aat.perm()
+        assert perm.data_sequence("x") == (t1.child("w"),)
+        assert t2.child("r") not in perm.tree.vertices

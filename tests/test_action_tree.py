@@ -1,0 +1,215 @@
+"""Unit tests for action trees, visibility, and perm(T) (Sections 3.2-3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ABORTED, ACTIVE, COMMITTED, ActionTree, U, Universe, read, write
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("a"), "x", write(1))
+    universe.declare_access(t2.child("b"), "x", read())
+    return universe
+
+
+@pytest.fixture
+def tree(uni):
+    """U active; t1 committed with committed access a; t2 active with
+    active child b; t3 aborted."""
+    t1, t2, t3 = U.child(1), U.child(2), U.child(3)
+    status = {
+        U: ACTIVE,
+        t1: COMMITTED,
+        t1.child("a"): COMMITTED,
+        t2: ACTIVE,
+        t2.child("b"): ACTIVE,
+        t3: ABORTED,
+    }
+    return ActionTree(uni, status, {t1.child("a"): 0})
+
+
+class TestStructure:
+    def test_initial(self, uni):
+        tree = ActionTree.initial(uni)
+        assert tree.vertices == frozenset([U])
+        assert tree.is_active(U)
+        assert len(tree) == 1
+
+    def test_status_queries(self, tree):
+        t1 = U.child(1)
+        assert tree.is_committed(t1)
+        assert tree.is_done(t1)
+        assert not tree.is_done(U.child(2))
+        assert tree.is_aborted(U.child(3))
+        assert tree.status(t1) == COMMITTED
+        assert tree.status_or_none(U.child(99)) is None
+        with pytest.raises(KeyError):
+            tree.status(U.child(99))
+
+    def test_partitions(self, tree):
+        assert U in tree.active
+        assert U.child(1) in tree.committed
+        assert U.child(3) in tree.aborted
+        assert tree.active | tree.committed | tree.aborted == tree.vertices
+
+    def test_datasteps(self, tree):
+        assert set(tree.datasteps()) == {U.child(1).child("a")}
+        assert set(tree.datasteps_for("x")) == {U.child(1).child("a")}
+        assert set(tree.accesses_in_tree()) == {
+            U.child(1).child("a"),
+            U.child(2).child("b"),
+        }
+
+    def test_children_in_tree(self, tree):
+        assert set(tree.children_in_tree(U)) == {U.child(1), U.child(2), U.child(3)}
+        assert set(tree.children_in_tree(U.child(2))) == {U.child(2).child("b")}
+
+    def test_labels(self, tree):
+        assert tree.label(U.child(1).child("a")) == 0
+        assert tree.labels == {U.child(1).child("a"): 0}
+
+    def test_validate_accepts_good_tree(self, tree):
+        tree.validate()
+
+    def test_validate_rejects_orphan_vertex(self, uni):
+        bad = ActionTree(uni, {U: ACTIVE, U.child(1).child(2): ACTIVE}, {})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_missing_label(self, uni):
+        t1 = U.child(1)
+        bad = ActionTree(
+            uni, {U: ACTIVE, t1: ACTIVE, t1.child("a"): COMMITTED}, {}
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_label_on_active(self, uni):
+        t1 = U.child(1)
+        bad = ActionTree(
+            uni,
+            {U: ACTIVE, t1: ACTIVE, t1.child("a"): ACTIVE},
+            {t1.child("a"): 0},
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_equality_and_hash(self, uni):
+        a = ActionTree.initial(uni)
+        b = ActionTree.initial(uni)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.with_created(U.child(1))
+        assert a != 42
+
+    def test_pretty(self, tree):
+        text = tree.pretty()
+        assert "U" in text
+        assert "saw" in text
+
+
+class TestVisibility:
+    def test_self_visible(self, tree):
+        for vertex in tree.vertices:
+            assert tree.is_visible_to(vertex, vertex)
+
+    def test_ancestors_visible(self, tree):
+        b = U.child(2).child("b")
+        assert tree.is_visible_to(U, b)
+        assert tree.is_visible_to(U.child(2), b)
+
+    def test_committed_chain_is_visible_across(self, tree):
+        # t1 and its access committed, so both are visible to t2's subtree.
+        b = U.child(2).child("b")
+        assert tree.is_visible_to(U.child(1), b)
+        assert tree.is_visible_to(U.child(1).child("a"), b)
+
+    def test_active_sibling_not_visible(self, tree):
+        # t2 is active, so t2's subtree is not visible to t1.
+        assert not tree.is_visible_to(U.child(2), U.child(1))
+        assert not tree.is_visible_to(U.child(2).child("b"), U.child(1))
+
+    def test_aborted_not_visible_across(self, tree):
+        assert not tree.is_visible_to(U.child(3), U.child(1))
+
+    def test_non_vertex_never_visible(self, tree):
+        assert not tree.is_visible_to(U.child(99), U)
+        assert not tree.is_visible_to(U, U.child(99))
+
+    def test_visible_set(self, tree):
+        visible_to_u = tree.visible(U)
+        assert U in visible_to_u
+        assert U.child(1) in visible_to_u
+        assert U.child(1).child("a") in visible_to_u
+        assert U.child(2) not in visible_to_u  # active
+        assert U.child(3) not in visible_to_u  # aborted
+
+    def test_visible_datasteps(self, tree):
+        b = U.child(2).child("b")
+        assert tree.visible_datasteps(b, "x") == frozenset(
+            [U.child(1).child("a")]
+        )
+
+
+class TestLiveness:
+    def test_live_and_dead(self, tree):
+        assert tree.is_live(U)
+        assert tree.is_live(U.child(2).child("b"))
+        assert tree.is_dead(U.child(3))
+        # A (hypothetical) descendant of an aborted action is dead.
+        assert tree.is_live(U.child(1))
+
+    def test_descendant_of_aborted_is_dead(self, uni):
+        t3 = U.child(3)
+        status = {U: ACTIVE, t3: ABORTED, t3.child(1): ACTIVE}
+        tree = ActionTree(uni, status, {})
+        assert tree.is_dead(t3.child(1))
+
+
+class TestPerm:
+    def test_perm_keeps_committed_chain(self, tree):
+        perm = tree.perm()
+        assert U.child(1) in perm.vertices
+        assert U.child(1).child("a") in perm.vertices
+        assert U in perm.vertices
+
+    def test_perm_drops_active_and_aborted(self, tree):
+        perm = tree.perm()
+        assert U.child(2) not in perm.vertices
+        assert U.child(3) not in perm.vertices
+
+    def test_perm_preserves_status_and_labels(self, tree):
+        perm = tree.perm()
+        assert perm.status(U.child(1)) == COMMITTED
+        assert perm.label(U.child(1).child("a")) == 0
+
+    def test_perm_is_a_tree(self, tree):
+        perm = tree.perm()
+        perm.validate()
+
+
+class TestUpdates:
+    def test_with_created(self, uni):
+        tree = ActionTree.initial(uni).with_created(U.child(1))
+        assert tree.is_active(U.child(1))
+
+    def test_updates_do_not_mutate(self, uni):
+        tree = ActionTree.initial(uni)
+        tree.with_created(U.child(1))
+        assert U.child(1) not in tree
+
+    def test_with_performed(self, uni):
+        t1a = U.child(1).child("a")
+        tree = (
+            ActionTree.initial(uni)
+            .with_created(U.child(1))
+            .with_created(t1a)
+            .with_performed(t1a, 0)
+        )
+        assert tree.is_committed(t1a)
+        assert tree.label(t1a) == 0

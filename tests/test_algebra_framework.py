@@ -1,0 +1,163 @@
+"""The generic event-state algebra framework (paper §2), exercised on a
+deliberately tiny toy algebra so every code path is visible."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Create,
+    EventNotEnabledError,
+    EventStateAlgebra,
+    U,
+    describe,
+)
+from repro.core.events import (
+    Abort,
+    Commit,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    Send,
+    action_of,
+)
+from repro.core.summary import ActionSummary
+
+
+class CounterAlgebra(EventStateAlgebra):
+    """States are ints; Create(U.child(n)) adds n, enabled while state < cap.
+
+    A deliberately silly algebra to test the framework plumbing without
+    any transaction semantics in the way.
+    """
+
+    level = 0
+
+    def __init__(self, cap: int = 10) -> None:
+        self.cap = cap
+
+    @property
+    def initial_state(self) -> int:
+        return 0
+
+    def precondition_failure(self, state, event):
+        if not isinstance(event, Create):
+            return "only Create events exist here"
+        if state >= self.cap:
+            return "capped at %d" % self.cap
+        return None
+
+    def apply_effect(self, state, event):
+        return state + event.action.leaf_label()
+
+
+@pytest.fixture
+def algebra():
+    return CounterAlgebra(cap=10)
+
+
+def ev(n):
+    return Create(U.child(n))
+
+
+class TestFrameworkMechanics:
+    def test_run_and_trace(self, algebra):
+        events = [ev(1), ev(2), ev(3)]
+        assert algebra.run(events) == 6
+        assert algebra.trace(events) == [0, 1, 3, 6]
+
+    def test_run_from_start(self, algebra):
+        assert algebra.run([ev(2)], start=5) == 7
+
+    def test_apply_raises_outside_domain(self, algebra):
+        with pytest.raises(EventNotEnabledError) as exc:
+            algebra.apply(10, ev(1))
+        assert "capped" in str(exc.value)
+        assert exc.value.event == ev(1)
+        assert exc.value.reason == "capped at 10"
+
+    def test_is_valid(self, algebra):
+        assert algebra.is_valid([ev(5), ev(5)])
+        assert not algebra.is_valid([ev(5), ev(5), ev(1)])
+
+    def test_first_invalid_pinpoints(self, algebra):
+        index, reason = algebra.first_invalid([ev(4), ev(6), ev(1), ev(1)])
+        assert index == 2
+        assert "capped" in reason
+        assert algebra.first_invalid([ev(1)]) is None
+
+    def test_enabled_among_filters(self, algebra):
+        candidates = [ev(1), Commit(U.child(1)), ev(2)]
+        assert list(algebra.enabled_among(0, candidates)) == [ev(1), ev(2)]
+
+    def test_enabled(self, algebra):
+        assert algebra.enabled(0, ev(1))
+        assert not algebra.enabled(10, ev(1))
+
+
+class TestEventVocabulary:
+    def test_action_of(self):
+        assert action_of(Create(U.child(1))) == U.child(1)
+        assert action_of(Perform(U.child(1), 5)) == U.child(1)
+        assert action_of(ReleaseLock(U.child(1), "x")) == U.child(1)
+        assert action_of(Send(0, 1, ActionSummary())) is None
+        assert action_of(Receive(0, ActionSummary())) is None
+
+    def test_describe_every_kind(self):
+        samples = [
+            Create(U.child(1)),
+            Commit(U.child(1)),
+            Abort(U.child(1)),
+            Perform(U.child(1), 7),
+            ReleaseLock(U.child(1), "x"),
+            LoseLock(U.child(1), "x"),
+            Send(0, 1, ActionSummary()),
+            Receive(1, ActionSummary()),
+        ]
+        rendered = [describe(e) for e in samples]
+        assert len(set(rendered)) == len(rendered)
+        assert any("create" in r for r in rendered)
+        assert any("release-lock" in r for r in rendered)
+
+    def test_describe_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            describe("not an event")
+
+    def test_events_are_hashable_values(self):
+        assert Create(U.child(1)) == Create(U.child(1))
+        assert hash(Perform(U.child(1), 3)) == hash(Perform(U.child(1), 3))
+        assert Create(U.child(1)) != Create(U.child(2))
+
+
+class TestLocalityNegativeCases:
+    """The Local Domain / Local Changes spot-checkers must reject their
+    vacuous-premise misuse loudly."""
+
+    def _setting(self):
+        import random
+
+        from repro.core import HomeAssignment, Level5Algebra, random_scenario
+
+        scenario = random_scenario(random.Random(0), objects=2, toplevel=2)
+        homes = HomeAssignment(scenario.universe, 2)
+        return Level5Algebra(scenario.universe, homes), scenario
+
+    def test_local_domain_requires_equal_doer_state(self):
+        algebra, scenario = self._setting()
+        state = algebra.initial_state
+        action = scenario.all_actions[0]
+        event = Create(action)
+        doer = algebra.doer(event)
+        changed = algebra.apply(state, event)  # differs at the doer
+        with pytest.raises(ValueError):
+            algebra.check_local_domain(state, changed, event)
+
+    def test_local_changes_requires_enabled_in_both(self):
+        algebra, scenario = self._setting()
+        state = algebra.initial_state
+        action = scenario.all_actions[0]
+        event = Create(action)
+        after = algebra.apply(state, event)  # event no longer enabled there
+        with pytest.raises(ValueError):
+            algebra.check_local_changes(after, after, event, algebra.doer(event))

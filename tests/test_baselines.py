@@ -1,0 +1,262 @@
+"""Baseline systems: flat strict 2PL, global lock, and MVTO."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
+from repro.engine import (
+    InvalidTransactionState,
+    LockTimeout,
+    TransactionAborted,
+    UnknownObject,
+)
+
+WAIT = 5.0
+
+
+class TestFlat2PL:
+    def test_commit_and_abort(self):
+        db = FlatLockingDB({"a": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+        assert db.snapshot()["a"] == 1
+        txn = db.begin_transaction()
+        txn.write("a", 9)
+        txn.abort()
+        assert db.snapshot()["a"] == 1
+
+    def test_undo_is_lifo(self):
+        db = FlatLockingDB({"a": 0, "b": 0})
+        txn = db.begin_transaction()
+        txn.write("a", 1)
+        txn.write("b", 2)
+        txn.write("a", 3)
+        txn.abort()
+        assert db.snapshot() == {"a": 0, "b": 0}
+
+    def test_no_containment(self):
+        """A failure in a 'subtransaction' kills the whole transaction."""
+        db = FlatLockingDB({"a": 0})
+        txn = db.begin_transaction()
+        txn.write("a", 5)
+        with pytest.raises(TransactionAborted):
+            with txn.subtransaction():
+                raise RuntimeError("inner failure")
+        assert txn.status == "aborted"
+        assert db.snapshot()["a"] == 0
+
+    def test_writer_blocks_reader(self):
+        db = FlatLockingDB({"a": 0}, lock_timeout=WAIT)
+        t1 = db.begin_transaction()
+        t1.write("a", 1)
+        got = threading.Event()
+        result = {}
+
+        def second():
+            result["v"] = db.run_transaction(lambda t: t.read("a"))
+            got.set()
+
+        thread = threading.Thread(target=second, daemon=True)
+        thread.start()
+        assert not got.wait(0.15)
+        t1.commit()
+        assert got.wait(WAIT)
+        assert result["v"] == 1
+
+    def test_readers_share(self):
+        db = FlatLockingDB({"a": 7}, lock_timeout=WAIT)
+        t1 = db.begin_transaction()
+        assert t1.read("a") == 7
+        done = threading.Event()
+
+        def second():
+            assert db.run_transaction(lambda t: t.read("a")) == 7
+            done.set()
+
+        threading.Thread(target=second, daemon=True).start()
+        assert done.wait(WAIT)
+        t1.commit()
+
+    def test_deadlock_detected(self):
+        db = FlatLockingDB({"x": 0, "y": 0}, lock_timeout=WAIT)
+        barrier = threading.Barrier(2, timeout=WAIT)
+        outcome = {}
+
+        def actor(name, first, second):
+            txn = db.begin_transaction()
+            try:
+                txn.write(first, 1)
+                barrier.wait()
+                txn.write(second, 1)
+                txn.commit()
+                outcome[name] = "committed"
+            except TransactionAborted:
+                txn.abort()
+                outcome[name] = "aborted"
+
+        threads = [
+            threading.Thread(target=actor, args=("t1", "x", "y"), daemon=True),
+            threading.Thread(target=actor, args=("t2", "y", "x"), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT)
+        assert sorted(outcome.values()) == ["aborted", "committed"]
+        assert db.stats.deadlocks >= 1
+
+    def test_serializable_counter(self):
+        db = FlatLockingDB({"c": 0})
+
+        def worker():
+            for _ in range(25):
+                db.run_transaction(lambda t: t.write("c", t.read("c") + 1))
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.snapshot()["c"] == 100
+
+    def test_misc_errors(self):
+        db = FlatLockingDB({"a": 0})
+        txn = db.begin_transaction()
+        txn.commit()
+        with pytest.raises(InvalidTransactionState):
+            txn.commit()
+        txn2 = db.begin_transaction()
+        with pytest.raises(UnknownObject):
+            txn2.read("zzz")
+        txn2.abort()
+
+
+class TestGlobalLock:
+    def test_serial_semantics(self):
+        db = GlobalLockDB({"a": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+            assert t.read("a") == 1
+        assert db.snapshot()["a"] == 1
+
+    def test_abort_restores(self):
+        db = GlobalLockDB({"a": 0})
+        txn = db.begin_transaction()
+        txn.write("a", 5)
+        txn.abort()
+        assert db.snapshot()["a"] == 0
+
+    def test_savepoint_contains_failure(self):
+        db = GlobalLockDB({"a": 0, "b": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+            with pytest.raises(RuntimeError):
+                with t.subtransaction() as s:
+                    s.write("b", 9)
+                    raise RuntimeError("inner")
+            assert t.read("b") == 0
+            assert t.read("a") == 1
+        assert db.snapshot() == {"a": 1, "b": 0}
+
+    def test_transactions_serialize(self):
+        db = GlobalLockDB({"c": 0})
+
+        def worker():
+            for _ in range(25):
+                db.run_transaction(lambda t: t.write("c", t.read("c") + 1))
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.snapshot()["c"] == 100
+
+    def test_operations_after_done_rejected(self):
+        db = GlobalLockDB({"a": 0})
+        txn = db.begin_transaction()
+        txn.commit()
+        with pytest.raises(InvalidTransactionState):
+            txn.read("a")
+
+
+class TestMVTO:
+    def test_basic_commit(self):
+        db = MVTODatabase({"a": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+            assert t.read("a") == 1  # reads own buffered write
+        assert db.snapshot()["a"] == 1
+
+    def test_abort_discards_buffer(self):
+        db = MVTODatabase({"a": 0})
+        txn = db.begin_transaction()
+        txn.write("a", 9)
+        txn.abort()
+        assert db.snapshot()["a"] == 0
+
+    def test_reads_see_snapshot_at_ts(self):
+        db = MVTODatabase({"a": 0})
+        old = db.begin_transaction()  # ts=1
+        with db.transaction() as t2:  # ts=2, commits a=5 at ts 2
+            t2.write("a", 5)
+        # `old` started before t2 committed, so it must see the old value.
+        assert old.read("a") == 0
+        old.commit()
+
+    def test_late_write_rejected(self):
+        db = MVTODatabase({"a": 0})
+        writer = db.begin_transaction()  # ts=1
+        reader = db.begin_transaction()  # ts=2
+        assert reader.read("a") == 0  # rts(version 0) = 2
+        with pytest.raises(TransactionAborted):
+            writer.write("a", 1)  # would invalidate reader's read
+        assert db.stats.write_rejections == 1
+        reader.commit()
+
+    def test_validation_at_commit(self):
+        db = MVTODatabase({"a": 0})
+        writer = db.begin_transaction()  # ts=1
+        writer.write("a", 1)  # buffered; rts still 0
+        reader = db.begin_transaction()  # ts=2
+        assert reader.read("a") == 0
+        reader.commit()
+        with pytest.raises(TransactionAborted):
+            writer.commit()
+        assert db.stats.validation_failures == 1
+
+    def test_savepoint_rolls_back_writes(self):
+        db = MVTODatabase({"a": 0, "b": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+            with pytest.raises(RuntimeError):
+                with t.subtransaction() as s:
+                    s.write("b", 9)
+                    raise RuntimeError("inner")
+            assert t.read("b") == 0
+            assert t.read("a") == 1
+        assert db.snapshot() == {"a": 1, "b": 0}
+
+    def test_counter_with_retries(self):
+        db = MVTODatabase({"c": 0})
+
+        def worker():
+            for _ in range(25):
+                db.run_transaction(lambda t: t.write("c", t.read("c") + 1))
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.snapshot()["c"] == 100
+
+    def test_read_only_transactions_never_abort(self):
+        db = MVTODatabase({"a": 0})
+        for _ in range(10):
+            with db.transaction() as t:
+                t.read("a")
+        assert db.stats.aborted == 0

@@ -1,0 +1,122 @@
+"""The distributed driver in rw mode, mixed workloads, and engine
+contention diagnostics."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    Level2RWAlgebra,
+    Level4RWAlgebra,
+    check_local_mapping_lockstep,
+    is_rw_serializable,
+    local_mapping_5rw_to_4rw,
+    project_run,
+)
+from repro.distributed import (
+    DistributedMossSystem,
+    PolicyConfig,
+    random_distributed_scenario,
+)
+from repro.engine import NestedTransactionDB
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+
+class TestDistributedRWMode:
+    def test_rw_run_completes_and_validates(self):
+        rng = random.Random(31)
+        scenario, homes = random_distributed_scenario(rng, node_count=3, toplevel=4)
+        system = DistributedMossSystem(scenario, homes, seed=31, mode="rw")
+        report, events = system.run()
+        assert report.completed
+        check_local_mapping_lockstep(
+            system.algebra,
+            Level4RWAlgebra(scenario.universe),
+            local_mapping_5rw_to_4rw(scenario.universe, homes),
+            events,
+        )
+        final = Level2RWAlgebra(scenario.universe).run(project_run(events, 2))
+        assert is_rw_serializable(final.perm())
+
+    def test_rw_mode_completes_same_scenarios_as_single(self):
+        """Both modes drive the same scenario to completion (stall counts
+        differ run-to-run because event order differs between modes)."""
+        rng = random.Random(33)
+        scenario, homes = random_distributed_scenario(
+            rng, node_count=3, toplevel=4, locality=0.3
+        )
+        single_report, _ = DistributedMossSystem(
+            scenario, homes, seed=33, mode="single"
+        ).run()
+        rw_report, _ = DistributedMossSystem(
+            scenario, homes, seed=33, mode="rw"
+        ).run()
+        assert rw_report.completed and single_report.completed
+        assert rw_report.performed >= 1
+
+    def test_unknown_mode_rejected(self):
+        rng = random.Random(34)
+        scenario, homes = random_distributed_scenario(rng, node_count=2)
+        with pytest.raises(ValueError):
+            DistributedMossSystem(scenario, homes, mode="quantum")
+
+
+class TestMixedWorkload:
+    def test_mixed_generates_varied_shapes(self):
+        cfg = WorkloadConfig(shape="mixed", programs=30, seed=5)
+        programs = WorkloadGenerator(cfg).programs()
+        block_counts = {p.root.count_blocks() for p in programs}
+        assert len(block_counts) >= 2  # genuinely mixed structures
+
+    def test_mixed_executes_and_certifies(self):
+        from repro.checker import check_engine
+
+        db = NestedTransactionDB(initial_values(16))
+        cfg = WorkloadConfig(objects=16, shape="mixed", programs=25, seed=6)
+        report = execute(db, WorkloadGenerator(cfg).programs(), threads=3, seed=6)
+        assert report.committed_programs == 25
+        assert check_engine(db).ok
+
+    def test_mixed_deterministic(self):
+        cfg = WorkloadConfig(shape="mixed", programs=10, seed=7)
+        a = WorkloadGenerator(cfg).programs()
+        b = WorkloadGenerator(cfg).programs()
+        assert [p.root.ops() for p in a] == [q.root.ops() for q in b]
+
+
+class TestContentionProfile:
+    def test_hot_object_shows_up(self):
+        db = NestedTransactionDB({"hot": 0, "cold": 0}, lock_timeout=5.0)
+        t1 = db.begin_transaction()
+        t1.write("hot", 1)
+        waited = threading.Event()
+
+        def second():
+            db.run_transaction(lambda t: t.write("hot", 2))
+            waited.set()
+
+        thread = threading.Thread(target=second, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        t1.commit()
+        assert waited.wait(5)
+        thread.join(5)
+        profile = db.contention_profile()
+        assert profile and profile[0][0] == "hot"
+        assert all(obj != "cold" for obj, _waits in profile)
+
+    def test_empty_profile_when_uncontended(self):
+        db = NestedTransactionDB({"a": 0})
+        with db.transaction() as t:
+            t.write("a", 1)
+        assert db.contention_profile() == []
+
+    def test_top_limits_results(self):
+        db = NestedTransactionDB({"a": 0})
+        db._object_waits["a"] = 3  # simulate recorded waits
+        assert db.contention_profile(top=0) == []
+        assert db.contention_profile(top=1) == [("a", 3)]

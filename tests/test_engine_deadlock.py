@@ -1,0 +1,228 @@
+"""Deadlock detection: the waits-for graph, nested-aware cycles, victim
+policies, and live two-thread deadlocks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.naming import U
+from repro.engine import (
+    DeadlockAbort,
+    LockTimeout,
+    NestedTransactionDB,
+    REQUESTER,
+    TransactionAborted,
+    WaitsForGraph,
+    YOUNGEST,
+    choose_victim,
+)
+
+WAIT = 10.0
+
+
+class TestWaitsForGraph:
+    def test_simple_cycle(self):
+        g = WaitsForGraph()
+        a, b = U.child(1), U.child(2)
+        g.set_waits(a, [b])
+        g.set_waits(b, [a])
+        chain = g.find_cycle_from(a)
+        assert chain is not None
+        assert chain[0] == a
+
+    def test_no_cycle(self):
+        g = WaitsForGraph()
+        a, b, c = U.child(1), U.child(2), U.child(3)
+        g.set_waits(a, [b])
+        g.set_waits(b, [c])
+        assert g.find_cycle_from(a) is None
+
+    def test_three_party_cycle(self):
+        g = WaitsForGraph()
+        a, b, c = U.child(1), U.child(2), U.child(3)
+        g.set_waits(a, [b])
+        g.set_waits(b, [c])
+        g.set_waits(c, [a])
+        assert g.find_cycle_from(a) is not None
+
+    def test_nested_cycle_through_ancestor(self):
+        """c12 waits on T2 (top-level); T2's *descendant* waits on T1 —
+        the classic nested deadlock a flat detector misses."""
+        g = WaitsForGraph()
+        t1, t2 = U.child(1), U.child(2)
+        c12 = t1.child(2)
+        c2x = t2.child(0)
+        g.set_waits(c12, [t2])  # T1's child waits on T2's inherited lock
+        g.set_waits(c2x, [t1])  # T2's child waits on T1's inherited lock
+        chain = g.find_cycle_from(c12)
+        assert chain is not None
+
+    def test_wait_on_busy_holder_is_not_deadlock(self):
+        g = WaitsForGraph()
+        t1, t2 = U.child(1), U.child(2)
+        g.set_waits(t1.child(0), [t2])
+        assert g.find_cycle_from(t1.child(0)) is None
+
+    def test_clear_and_remove(self):
+        g = WaitsForGraph()
+        a, b = U.child(1), U.child(2)
+        g.set_waits(a, [b])
+        g.set_waits(b, [a])
+        g.remove_transaction(b)
+        assert g.find_cycle_from(a) is None
+        g.set_waits(a, [])
+        assert len(g) == 0
+
+    def test_victim_policies(self):
+        cycle = [U.child(1), U.child(2).child(5), U.child(2)]
+        assert choose_victim(cycle, REQUESTER, U.child(1)) == U.child(1)
+        assert choose_victim(cycle, YOUNGEST, U.child(1)) == U.child(2).child(5)
+        with pytest.raises(ValueError):
+            choose_victim(cycle, "nonsense", U.child(1))
+
+
+def force_two_party_deadlock(db):
+    """t1 takes x then y; t2 takes y then x, with barriers so both hold
+    their first lock before requesting the second.  Returns per-thread
+    outcomes ('committed' or 'aborted')."""
+    first_locks = threading.Barrier(2, timeout=WAIT)
+    outcome = {}
+
+    def actor(name, first, second):
+        txn = db.begin_transaction()
+        try:
+            txn.write(first, 1)
+            first_locks.wait()
+            txn.write(second, 1)
+            txn.commit()
+            outcome[name] = "committed"
+        except TransactionAborted:
+            txn.abort()
+            outcome[name] = "aborted"
+
+    threads = [
+        threading.Thread(target=actor, args=("t1", "x", "y"), daemon=True),
+        threading.Thread(target=actor, args=("t2", "y", "x"), daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(WAIT)
+    return outcome
+
+
+class TestLiveDeadlocks:
+    def test_detection_breaks_deadlock(self):
+        db = NestedTransactionDB({"x": 0, "y": 0}, lock_timeout=WAIT)
+        outcome = force_two_party_deadlock(db)
+        assert sorted(outcome.values()) == ["aborted", "committed"]
+        assert db.stats.deadlocks >= 1
+
+    def test_youngest_policy_also_resolves(self):
+        db = NestedTransactionDB(
+            {"x": 0, "y": 0}, deadlock_policy=YOUNGEST, lock_timeout=WAIT
+        )
+        outcome = force_two_party_deadlock(db)
+        assert "aborted" in outcome.values()
+        assert "committed" in outcome.values()
+
+    def test_timeout_fallback_without_detection(self):
+        db = NestedTransactionDB(
+            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.3
+        )
+        first_locks = threading.Barrier(2, timeout=WAIT)
+        outcome = {}
+
+        def actor(name, first, second):
+            txn = db.begin_transaction()
+            try:
+                txn.write(first, 1)
+                first_locks.wait()
+                txn.write(second, 1)
+                txn.commit()
+                outcome[name] = "committed"
+            except LockTimeout:
+                txn.abort()
+                outcome[name] = "timeout"
+            except TransactionAborted:
+                txn.abort()
+                outcome[name] = "aborted"
+
+        threads = [
+            threading.Thread(target=actor, args=("t1", "x", "y"), daemon=True),
+            threading.Thread(target=actor, args=("t2", "y", "x"), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WAIT)
+        assert "timeout" in outcome.values()
+
+    def test_nested_deadlock_through_inherited_locks(self):
+        """Each top-level's first child commits (lock inherited by the
+        parent), then a second child requests the other object: the cycle
+        runs through the *parents*, which only the nested-aware detector
+        sees."""
+        db = NestedTransactionDB({"x": 0, "y": 0}, lock_timeout=WAIT)
+        holding = threading.Barrier(2, timeout=WAIT)
+        outcome = {}
+
+        def actor(name, mine, theirs):
+            top = db.begin_transaction()
+            try:
+                with top.subtransaction() as first:
+                    first.write(mine, 1)
+                # lock on `mine` now retained by `top`
+                holding.wait()
+                with top.subtransaction() as second:
+                    second.write(theirs, 2)
+                top.commit()
+                outcome[name] = "committed"
+            except TransactionAborted:
+                top.abort()
+                outcome[name] = "aborted"
+
+        threads = [
+            threading.Thread(target=actor, args=("t1", "x", "y"), daemon=True),
+            threading.Thread(target=actor, args=("t2", "y", "x"), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WAIT)
+        assert db.stats.deadlocks >= 1
+        assert "committed" in outcome.values()
+
+    def test_deadlock_abort_carries_cycle(self):
+        # Requester policy so the victim is the thread that detected the
+        # cycle — the one positioned to observe DeadlockAbort directly.
+        db = NestedTransactionDB(
+            {"x": 0, "y": 0}, deadlock_policy=REQUESTER, lock_timeout=WAIT
+        )
+        first_locks = threading.Barrier(2, timeout=WAIT)
+        cycles = []
+
+        def actor(first, second):
+            txn = db.begin_transaction()
+            try:
+                txn.write(first, 1)
+                first_locks.wait()
+                txn.write(second, 1)
+                txn.commit()
+            except DeadlockAbort as exc:
+                cycles.append(exc.cycle)
+                txn.abort()
+            except TransactionAborted:
+                txn.abort()
+
+        threads = [
+            threading.Thread(target=actor, args=("x", "y"), daemon=True),
+            threading.Thread(target=actor, args=("y", "x"), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WAIT)
+        assert cycles and len(cycles[0]) >= 2

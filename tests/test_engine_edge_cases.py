@@ -1,0 +1,160 @@
+"""Engine edge cases: retry exhaustion, timeouts, representation, and
+API surface not covered by the main behavioural tests."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    LockTimeout,
+    NestedTransactionDB,
+    TransactionAborted,
+)
+from repro.core.naming import U
+
+
+class TestRunTransactionRetries:
+    def test_retry_exhaustion_raises(self):
+        db = NestedTransactionDB({"a": 0})
+
+        def always_doomed(txn):
+            raise TransactionAborted(txn.name, "synthetic")
+
+        with pytest.raises(TransactionAborted):
+            db.run_transaction(always_doomed, max_retries=3, backoff=0)
+        # 1 initial + 3 retries
+        assert db.stats.begun == 4
+        assert db.stats.aborted == 4
+        db.assert_quiescent()
+
+    def test_retry_succeeds_after_transient_aborts(self):
+        db = NestedTransactionDB({"a": 0})
+        attempts = []
+
+        def flaky(txn):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransactionAborted(txn.name, "transient")
+            txn.write("a", len(attempts))
+            return "done"
+
+        assert db.run_transaction(flaky, backoff=0) == "done"
+        assert db.snapshot()["a"] == 3
+
+    def test_non_abort_exceptions_propagate_immediately(self):
+        db = NestedTransactionDB({"a": 0})
+        count = []
+
+        def broken(txn):
+            count.append(1)
+            raise KeyError("application bug")
+
+        with pytest.raises(KeyError):
+            db.run_transaction(broken)
+        assert len(count) == 1  # no retries for application bugs
+        # The transaction is aborted, not leaked.
+        db.assert_quiescent()
+
+
+class TestLockTimeouts:
+    def test_timeout_leaves_transaction_usable(self):
+        db = NestedTransactionDB(
+            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.15
+        )
+        holder = db.begin_transaction()
+        holder.write("x", 1)
+        waiter = db.begin_transaction()
+        with pytest.raises(LockTimeout):
+            waiter.write("x", 2)
+        # The waiter is still active and can work elsewhere, or abort.
+        waiter.write("y", 5)
+        waiter.commit()
+        holder.commit()
+        assert db.snapshot() == {"x": 1, "y": 5}
+        db.assert_quiescent()
+
+    def test_timeout_while_holding_then_abort(self):
+        db = NestedTransactionDB(
+            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.15
+        )
+        holder = db.begin_transaction()
+        holder.write("x", 1)
+        waiter = db.begin_transaction()
+        waiter.write("y", 9)
+        with pytest.raises(LockTimeout):
+            waiter.read_for_update("x")
+        waiter.abort()
+        assert db.read_committed("y") == 0
+        holder.abort()
+        db.assert_quiescent()
+
+
+class TestMiscSurface:
+    def test_repr(self):
+        db = NestedTransactionDB({"a": 0})
+        assert "read/write" in repr(db)
+        single = NestedTransactionDB({"a": 0}, single_mode=True)
+        assert "single-mode" in repr(single)
+        txn = db.begin_transaction()
+        assert "active" in repr(txn)
+        txn.abort()
+
+    def test_transaction_identity_helpers(self):
+        db = NestedTransactionDB({"a": 0})
+        parent = db.begin_transaction()
+        child = parent.begin_subtransaction()
+        assert parent.is_ancestor_of(child)
+        assert not child.is_ancestor_of(parent)
+        assert child.depth == parent.depth + 1
+        assert child.name.parent() == parent.name
+        parent.abort()
+
+    def test_unique_names_across_toplevels(self):
+        db = NestedTransactionDB({"a": 0})
+        names = set()
+        for _ in range(5):
+            txn = db.begin_transaction()
+            names.add(txn.name)
+            txn.abort()
+        assert len(names) == 5
+
+    def test_read_for_update_returns_current_value(self):
+        db = NestedTransactionDB({"a": 41})
+        with db.transaction() as t:
+            value = t.read_for_update("a")
+            t.write("a", value + 1)
+        assert db.snapshot()["a"] == 42
+
+    def test_read_for_update_blocks_other_readers(self):
+        db = NestedTransactionDB({"a": 0}, lock_timeout=5.0)
+        t1 = db.begin_transaction()
+        t1.read_for_update("a")  # write lock, no actual write
+        progressed = threading.Event()
+
+        def second():
+            db.run_transaction(lambda t: t.read("a"))
+            progressed.set()
+
+        thread = threading.Thread(target=second, daemon=True)
+        thread.start()
+        assert not progressed.wait(0.15)
+        t1.commit()
+        assert progressed.wait(5)
+        thread.join(5)
+
+    def test_parallel_with_no_functions(self):
+        db = NestedTransactionDB({"a": 0})
+        with db.transaction() as t:
+            assert t.parallel([]) == []
+
+    def test_subtransaction_exception_reraised(self):
+        db = NestedTransactionDB({"a": 0})
+        with db.transaction() as t:
+            with pytest.raises(ZeroDivisionError):
+                with t.subtransaction() as s:
+                    s.write("a", 1)
+                    _ = 1 / 0
+            assert t.read("a") == 0

@@ -1,0 +1,188 @@
+"""Oracle-checked executions: every concurrent engine run must produce a
+trace whose permanent subtree is serializable, and single-mode traces must
+be valid level-2 computations (conformance to the paper's algorithm)."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import (
+    OracleViolation,
+    check_engine,
+    check_trace_level2,
+    check_trace_serializable,
+    trace_to_aat,
+)
+from repro.core import U, is_data_serializable
+from repro.engine import NestedTransactionDB, TransactionAborted
+from repro.engine.trace import TraceRecord, TraceRecorder
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+
+def run_concurrent_workload(db, seed, threads=4, programs=40):
+    cfg = WorkloadConfig(
+        objects=12,
+        theta=0.8,
+        shape="bushy",
+        groups=3,
+        ops_per_transaction=6,
+        programs=programs,
+        seed=seed,
+    )
+    generated = WorkloadGenerator(cfg).programs()
+    return execute(db, generated, threads=threads, seed=seed)
+
+
+class TestOracleOnRealRuns:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rw_mode_serializable(self, seed):
+        db = NestedTransactionDB(initial_values(12))
+        run_concurrent_workload(db, seed)
+        report = check_engine(db)
+        assert report.ok
+        assert report.permanent_datasteps > 0
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_single_mode_conforms_to_level2(self, seed):
+        db = NestedTransactionDB(initial_values(12), single_mode=True)
+        run_concurrent_workload(db, seed)
+        report = check_engine(db)  # includes the level-2 replay
+        assert report.ok
+
+    def test_failure_injection_still_serializable(self):
+        db = NestedTransactionDB(initial_values(12))
+        cfg = WorkloadConfig(
+            objects=12, shape="bushy", groups=4, programs=40, seed=9
+        )
+        programs = WorkloadGenerator(cfg).programs()
+        execute(db, programs, threads=4, failure_prob=0.3, seed=9)
+        assert check_engine(db).ok
+
+    def test_parallel_blocks_still_serializable(self):
+        db = NestedTransactionDB(initial_values(8))
+        cfg = WorkloadConfig(
+            objects=8,
+            shape="uniform",
+            depth=2,
+            fanout=2,
+            parallel_blocks=True,
+            programs=20,
+            seed=10,
+        )
+        programs = WorkloadGenerator(cfg).programs()
+        execute(db, programs, threads=3, seed=10)
+        assert check_engine(db).ok
+
+    def test_lazy_cleanup_still_serializable(self):
+        db = NestedTransactionDB(initial_values(12), lazy_lock_cleanup=True)
+        run_concurrent_workload(db, 11)
+        assert check_engine(db).ok
+
+    def test_counter_increments_never_lost(self):
+        """The classic lost-update check as a semantic end-to-end test."""
+        db = NestedTransactionDB({"c": 0})
+
+        def worker():
+            for _ in range(30):
+                db.run_transaction(lambda t: t.write("c", t.read("c") + 1))
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert db.snapshot()["c"] == 180
+        assert check_engine(db).ok
+
+
+class TestOracleDetectsCorruption:
+    """The oracle is not vacuous: corrupted traces are rejected."""
+
+    def _trace_with_bad_label(self):
+        db = NestedTransactionDB({"x": 0})
+        with db.transaction() as t:
+            t.write("x", 5)
+        with db.transaction() as t:
+            t.read("x")
+        records = list(db.trace.records)
+        # Corrupt the read's seen value to something impossible.
+        for i, record in enumerate(records):
+            if record.op == "perform" and record.kind == "read":
+                records[i] = TraceRecord(
+                    record.op,
+                    record.txn,
+                    record.access,
+                    record.obj,
+                    record.kind,
+                    seen=999,
+                )
+        return records, db.initial_values
+
+    def test_bad_label_caught(self):
+        records, initial = self._trace_with_bad_label()
+        with pytest.raises(OracleViolation):
+            check_trace_serializable(records, initial)
+        report = check_trace_serializable(records, initial, strict=False)
+        assert not report.ok
+        assert "saw" in report.failure
+
+    def test_bad_label_caught_by_level2_replay(self):
+        records, initial = self._trace_with_bad_label()
+        with pytest.raises(OracleViolation):
+            check_trace_level2(records, initial)
+
+    def test_conflict_cycle_caught(self):
+        """Hand-build a trace where two transactions each read the other's
+        pre-state and write: classic non-serializable interleave."""
+        recorder = TraceRecorder()
+        t1, t2 = U.child(0), U.child(1)
+        recorder.record_create(t1)
+        recorder.record_create(t2)
+        recorder.record_perform(t1, t1.child("r0"), "x", "read", 0)
+        recorder.record_perform(t2, t2.child("r0"), "y", "read", 0)
+        recorder.record_perform(t1, t1.child("w1"), "y", "write", 0, 1)
+        recorder.record_perform(t2, t2.child("w1"), "x", "write", 0, 1)
+        recorder.record_commit(t1)
+        recorder.record_commit(t2)
+        report = check_trace_serializable(
+            recorder.records, {"x": 0, "y": 0}, strict=False
+        )
+        assert not report.ok
+        assert "cycle" in report.failure
+
+    def test_aat_reconstruction(self):
+        db = NestedTransactionDB({"x": 0})
+        with db.transaction() as t:
+            t.write("x", 1)
+        aat = trace_to_aat(db.trace.records, db.initial_values)
+        assert is_data_serializable(aat.perm())
+        assert len(aat.data_sequence("x")) == 1
+
+    def test_trace_required(self):
+        db = NestedTransactionDB({"x": 0}, record_trace=False)
+        with pytest.raises(ValueError):
+            check_engine(db)
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_oracle_property_over_random_workloads(seed):
+    """Property: any seeded concurrent workload leaves a serializable
+    permanent trace, in either lock mode."""
+    single = seed % 2 == 0
+    db = NestedTransactionDB(initial_values(10), single_mode=single)
+    cfg = WorkloadConfig(
+        objects=10,
+        theta=0.9,
+        shape="bushy" if seed % 3 else "chain",
+        programs=25,
+        seed=seed,
+    )
+    programs = WorkloadGenerator(cfg).programs()
+    execute(db, programs, threads=3, failure_prob=0.15, seed=seed)
+    assert check_engine(db).ok

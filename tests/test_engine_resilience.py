@@ -1,0 +1,210 @@
+"""Resilience: failure containment, recovery blocks, parallel children,
+and orphan behaviour — the paper's motivating programming style."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    FailureInjector,
+    InjectedFailure,
+    NestedTransactionDB,
+    TransactionAborted,
+    recovery_block,
+    retry_subtransaction,
+)
+
+
+@pytest.fixture
+def db():
+    return NestedTransactionDB({"a": 0, "b": 0, "c": 0})
+
+
+class TestContainment:
+    def test_child_failure_leaves_parent_intact(self, db):
+        with db.transaction() as t:
+            t.write("a", 1)
+            try:
+                with t.subtransaction() as s:
+                    s.write("a", 99)
+                    s.write("b", 99)
+                    raise ValueError("child blows up")
+            except ValueError:
+                pass
+            assert t.read("a") == 1
+            assert t.read("b") == 0
+            t.write("c", 1)
+        assert db.snapshot() == {"a": 1, "b": 0, "c": 1}
+
+    def test_sibling_after_failed_sibling(self, db):
+        with db.transaction() as t:
+            try:
+                with t.subtransaction() as s1:
+                    s1.write("a", 5)
+                    raise InjectedFailure()
+            except InjectedFailure:
+                pass
+            with t.subtransaction() as s2:
+                s2.write("b", s2.read("a") + 1)  # sees pre-failure value
+        assert db.snapshot() == {"a": 0, "b": 1, "c": 0}
+
+    def test_deep_failure_contained_at_right_level(self, db):
+        with db.transaction() as t:
+            with t.subtransaction() as mid:
+                mid.write("a", 1)
+                try:
+                    with mid.subtransaction() as leaf:
+                        leaf.write("b", 2)
+                        raise InjectedFailure()
+                except InjectedFailure:
+                    pass
+                assert mid.read("b") == 0
+                assert mid.read("a") == 1
+        assert db.snapshot()["a"] == 1
+
+
+class TestRecoveryBlock:
+    def test_first_alternate_wins(self, db):
+        with db.transaction() as t:
+            value = recovery_block(t, [lambda s: s.update("a", lambda v: v + 1)])
+            assert value == 1
+        assert db.snapshot()["a"] == 1
+
+    def test_falls_through_to_backup(self, db):
+        def primary(s):
+            s.write("a", 100)
+            raise InjectedFailure("primary path")
+
+        def backup(s):
+            s.write("b", 7)
+            return "backup"
+
+        with db.transaction() as t:
+            assert recovery_block(t, [primary, backup]) == "backup"
+        assert db.snapshot() == {"a": 0, "b": 7, "c": 0}
+
+    def test_all_alternates_fail(self, db):
+        def bad(_s):
+            raise InjectedFailure()
+
+        with pytest.raises(InjectedFailure):
+            with db.transaction() as t:
+                recovery_block(t, [bad, bad])
+
+    def test_no_alternates(self, db):
+        with pytest.raises(ValueError):
+            with db.transaction() as t:
+                recovery_block(t, [])
+
+    def test_retry_subtransaction(self, db):
+        attempts = []
+
+        def flaky(s):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise InjectedFailure()
+            s.write("a", len(attempts))
+            return "ok"
+
+        with db.transaction() as t:
+            assert retry_subtransaction(t, flaky, attempts=5) == "ok"
+        assert db.snapshot()["a"] == 3
+
+
+class TestFailureInjector:
+    def test_deterministic(self):
+        a = FailureInjector(0.5, seed=42)
+        b = FailureInjector(0.5, seed=42)
+        outcomes_a, outcomes_b = [], []
+        for injector, outcomes in [(a, outcomes_a), (b, outcomes_b)]:
+            for _ in range(20):
+                try:
+                    injector.point("p")
+                    outcomes.append(False)
+                except InjectedFailure:
+                    outcomes.append(True)
+        assert outcomes_a == outcomes_b
+        assert a.injected == b.injected > 0
+
+    def test_zero_probability_never_fires(self):
+        injector = FailureInjector(0.0)
+        for _ in range(100):
+            injector.point()
+        assert injector.injected == 0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FailureInjector(1.5)
+
+
+class TestParallelChildren:
+    def test_outcomes_preserve_order(self, db):
+        with db.transaction() as t:
+            outcomes = t.parallel(
+                [
+                    lambda s: s.update("a", lambda v: v + 1),
+                    lambda s: (_ for _ in ()).throw(InjectedFailure()),
+                    lambda s: s.update("b", lambda v: v + 2),
+                ]
+            )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, InjectedFailure)
+        assert db.snapshot() == {"a": 1, "b": 2, "c": 0}
+
+    def test_parallel_siblings_share_parent_context(self, db):
+        with db.transaction() as t:
+            t.write("a", 10)
+            outcomes = t.parallel(
+                [lambda s: s.read("a"), lambda s: s.read("a")]
+            )
+        assert [o.value for o in outcomes] == [10, 10]
+
+    def test_parallel_conflicting_children_serialize(self, db):
+        with db.transaction() as t:
+            outcomes = t.parallel(
+                [lambda s: s.update("a", lambda v: v + 1) for _ in range(6)]
+            )
+        committed = sum(1 for o in outcomes if o.ok)
+        assert db.snapshot()["a"] == committed
+        # With conflicts among siblings, some may be deadlock victims, but
+        # the majority must get through and the parent always survives.
+        assert committed >= 1
+
+
+class TestOrphans:
+    def test_orphan_cannot_touch_data(self, db):
+        t = db.begin_transaction()
+        child = t.begin_subtransaction()
+        t.abort()
+        with pytest.raises(TransactionAborted):
+            child.write("a", 1)
+        assert db.snapshot()["a"] == 0
+
+    def test_orphan_detected_while_waiting(self, db):
+        blocker = db.begin_transaction()
+        blocker.write("a", 1)
+        parent = db.begin_transaction()
+        child = parent.begin_subtransaction()
+        released = threading.Event()
+        result = {}
+
+        def wait_for_lock():
+            try:
+                child.write("a", 2)  # blocks on `blocker`
+                result["outcome"] = "acquired"
+            except TransactionAborted:
+                result["outcome"] = "aborted"
+            released.set()
+
+        thread = threading.Thread(target=wait_for_lock, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.1)
+        parent.abort()  # orphan the waiter
+        assert released.wait(5)
+        thread.join(5)
+        assert result["outcome"] == "aborted"
+        blocker.commit()

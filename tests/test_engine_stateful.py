@@ -1,0 +1,145 @@
+"""Model-based testing of the engine against a reference implementation.
+
+A hypothesis state machine drives the real engine and a trivially-correct
+*model* (nested dict overlays with parent-merge on commit and discard on
+abort) through the same single-threaded command sequences.  Every read
+must agree; every commit/abort must leave both worlds equal.  Shrinking
+gives minimal failing command sequences if the engine's version stacks or
+lock inheritance ever diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.engine import NestedTransactionDB
+
+OBJECTS = ["a", "b", "c"]
+
+
+class ModelTransaction:
+    """The reference semantics: one dict overlay per live transaction."""
+
+    def __init__(self, parent: Optional["ModelTransaction"]) -> None:
+        self.parent = parent
+        self.overlay: Dict[str, int] = {}
+        self.children: List["ModelTransaction"] = []
+        self.open = True
+
+    def read(self, base: Dict[str, int], obj: str) -> int:
+        node: Optional[ModelTransaction] = self
+        while node is not None:
+            if obj in node.overlay:
+                return node.overlay[obj]
+            node = node.parent
+        return base[obj]
+
+    def write(self, obj: str, value: int) -> None:
+        self.overlay[obj] = value
+
+    def commit_into_parent(self, base: Dict[str, int]) -> None:
+        self.open = False
+        if self.parent is not None:
+            self.parent.overlay.update(self.overlay)
+        else:
+            base.update(self.overlay)
+
+    def abort(self) -> None:
+        self.open = False
+        for child in self.children:
+            if child.open:
+                child.abort()
+
+
+class EngineVsModel(RuleBasedStateMachine):
+    """Drive both worlds with the same commands and compare."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        initial = {obj: 0 for obj in OBJECTS}
+        self.db = NestedTransactionDB(dict(initial))
+        self.base = dict(initial)
+        # Parallel stacks of open scopes, innermost last.
+        self.real_stack = []
+        self.model_stack: List[ModelTransaction] = []
+
+    # -- commands -------------------------------------------------------------
+
+    @rule()
+    def begin(self) -> None:
+        if not self.real_stack:
+            self.real_stack.append(self.db.begin_transaction())
+            self.model_stack.append(ModelTransaction(None))
+        else:
+            parent_model = self.model_stack[-1]
+            child_model = ModelTransaction(parent_model)
+            parent_model.children.append(child_model)
+            self.real_stack.append(self.real_stack[-1].begin_subtransaction())
+            self.model_stack.append(child_model)
+
+    @precondition(lambda self: self.real_stack)
+    @rule(obj=st.sampled_from(OBJECTS), value=st.integers(0, 99))
+    def write(self, obj: str, value: int) -> None:
+        self.real_stack[-1].write(obj, value)
+        self.model_stack[-1].write(obj, value)
+
+    @precondition(lambda self: self.real_stack)
+    @rule(obj=st.sampled_from(OBJECTS))
+    def read_agrees(self, obj: str) -> None:
+        real = self.real_stack[-1].read(obj)
+        model = self.model_stack[-1].read(self.base, obj)
+        assert real == model, "read(%s): engine %r, model %r" % (obj, real, model)
+
+    @precondition(lambda self: self.real_stack)
+    @rule()
+    def commit(self) -> None:
+        self.real_stack.pop().commit()
+        self.model_stack.pop().commit_into_parent(self.base)
+
+    @precondition(lambda self: self.real_stack)
+    @rule()
+    def abort(self) -> None:
+        self.real_stack.pop().abort()
+        self.model_stack.pop().abort()
+
+    @precondition(lambda self: len(self.real_stack) >= 2)
+    @rule()
+    def abort_outermost(self) -> None:
+        """Abort the top-level transaction while scopes are open below —
+        the orphan path."""
+        self.real_stack[0].abort()
+        self.model_stack[0].abort()
+        self.real_stack.clear()
+        self.model_stack.clear()
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def committed_state_agrees_when_quiescent(self) -> None:
+        if not self.real_stack:
+            assert self.db.snapshot() == self.base
+
+    def teardown(self) -> None:
+        while self.real_stack:
+            self.real_stack.pop().abort()
+            self.model_stack.pop().abort()
+        assert self.db.snapshot() == self.base
+        self.db.assert_quiescent()
+        from repro.checker import check_engine
+
+        assert check_engine(self.db).ok
+
+
+EngineVsModelTest = EngineVsModel.TestCase
+EngineVsModelTest.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,151 @@
+"""Stress runs: heavier concurrent workloads across engine configurations,
+each finished with quiescence assertions and the serializability oracle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.checker import check_engine
+from repro.core.naming import U
+from repro.engine import NestedTransactionDB, TransactionAborted
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+CONFIGS = [
+    pytest.param(dict(), id="rw-default"),
+    pytest.param(dict(single_mode=True), id="single-mode"),
+    pytest.param(dict(lazy_lock_cleanup=True), id="lazy-cleanup"),
+    pytest.param(dict(deadlock_policy="requester"), id="requester-victim"),
+    pytest.param(dict(deadlock_policy="youngest"), id="youngest-victim"),
+]
+
+
+@pytest.mark.parametrize("db_kwargs", CONFIGS)
+def test_stress_workload_certifies_and_quiesces(db_kwargs):
+    db = NestedTransactionDB(initial_values(16), **db_kwargs)
+    cfg = WorkloadConfig(
+        objects=16,
+        theta=0.9,
+        shape="mixed",
+        ops_per_transaction=10,
+        programs=60,
+        seed=99,
+    )
+    report = execute(
+        db,
+        WorkloadGenerator(cfg).programs(),
+        threads=6,
+        failure_prob=0.2,
+        seed=99,
+    )
+    assert report.committed_programs == 60
+    assert check_engine(db).ok
+    db.assert_quiescent()
+
+
+def test_quiescence_catches_active_transaction():
+    db = NestedTransactionDB({"a": 0})
+    txn = db.begin_transaction()
+    with pytest.raises(AssertionError, match="active transactions"):
+        db.assert_quiescent()
+    txn.abort()
+    db.assert_quiescent()
+
+
+def test_quiescence_after_aborts_and_commits():
+    db = NestedTransactionDB({"a": 0, "b": 0})
+    for i in range(10):
+        txn = db.begin_transaction()
+        txn.write("a", i)
+        child = txn.begin_subtransaction()
+        child.write("b", i)
+        if i % 2:
+            child.abort()
+            txn.commit()
+        else:
+            child.commit()
+            txn.abort()
+    db.assert_quiescent()
+    # Odd rounds committed a only; even rounds aborted everything.
+    assert db.snapshot() == {"a": 9, "b": 0}
+
+
+def test_hammer_same_object_across_depths():
+    """Many threads, one object, varying nesting depth: the adversarial
+    case for lock inheritance."""
+    db = NestedTransactionDB({"x": 0})
+
+    def worker(depth):
+        for _ in range(15):
+            def body(txn):
+                scope = txn
+                for _level in range(depth):
+                    child = scope.begin_subtransaction()
+                    scope = child
+                scope.write("x", scope.read("x") + 1)
+                # commit the chain bottom-up
+                while scope is not txn:
+                    parent = scope.parent
+                    scope.commit()
+                    scope = parent
+            db.run_transaction(body)
+
+    threads = [
+        threading.Thread(target=worker, args=(depth,), daemon=True)
+        for depth in (0, 1, 2, 3, 0, 2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert db.snapshot()["x"] == 6 * 15
+    assert check_engine(db).ok
+    db.assert_quiescent()
+
+
+def test_orphan_storm():
+    """Abort parents while children race: orphans must never corrupt the
+    store and everything must quiesce."""
+    db = NestedTransactionDB({"a": 0})
+    stop = threading.Event()
+    parents = []
+    latch = threading.Lock()
+
+    def spawner():
+        for _ in range(30):
+            txn = db.begin_transaction()
+            with latch:
+                parents.append(txn)
+            for _ in range(3):
+                child = txn.begin_subtransaction()
+                try:
+                    child.write("a", child.read("a") + 1)
+                    child.commit()
+                except TransactionAborted:
+                    child.abort()
+            try:
+                txn.commit()
+            except TransactionAborted:
+                txn.abort()
+
+    def reaper():
+        while not stop.is_set():
+            with latch:
+                victim = parents[-1] if parents else None
+            if victim is not None and victim.status == "active":
+                victim.abort()
+
+    spawn_threads = [threading.Thread(target=spawner, daemon=True) for _ in range(3)]
+    reap_thread = threading.Thread(target=reaper, daemon=True)
+    for thread in spawn_threads:
+        thread.start()
+    reap_thread.start()
+    for thread in spawn_threads:
+        thread.join()
+    stop.set()
+    reap_thread.join(5)
+    # Whatever survived, it must be serializable and fully cleaned up.
+    assert check_engine(db).ok
+    db.assert_quiescent()
+    assert db.snapshot()["a"] >= 0

@@ -1,0 +1,45 @@
+"""Integration: every shipped example and the ``python -m repro``
+self-check must run clean end to end."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples")
+
+
+def run_script(*args, timeout=180):
+    return subprocess.run(
+        [sys.executable, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO_ROOT,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, expected",
+    [
+        ("quickstart.py", "oracle: ok=True"),
+        ("banking.py", "oracle: serializable"),
+        ("formal_walkthrough.py", "Theorem 9"),
+        ("distributed_orders.py", "broadcast"),
+    ],
+)
+def test_example_runs_clean(script, expected):
+    result = run_script(os.path.join(EXAMPLES, script))
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_selfcheck_module():
+    result = run_script("-m", "repro")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "all pillars verified" in result.stdout
+    assert result.stdout.count("ok    ") == 5

@@ -1,0 +1,111 @@
+"""Scenario generation and the random-walk run generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    Level2Algebra,
+    Level3Algebra,
+    Level4Algebra,
+    RunConfig,
+    Scenario,
+    U,
+    random_run,
+    random_scenario,
+)
+from repro.core.explorer import final_state
+
+
+class TestScenario:
+    def test_structure(self):
+        rng = random.Random(0)
+        scenario = random_scenario(rng, objects=3, toplevel=2, max_depth=3)
+        assert len(scenario.universe.objects) == 3
+        assert len(scenario.internal_actions) >= 2
+        assert len(scenario.universe.accesses) >= 1
+        assert "Scenario" in repr(scenario)
+
+    def test_accesses_are_leaves_of_internal_tree(self):
+        rng = random.Random(1)
+        scenario = random_scenario(rng)
+        internal = set(scenario.internal_actions)
+        for access in scenario.universe.accesses:
+            assert access not in internal
+            assert access.parent() in internal
+
+    def test_internal_actions_parent_closed(self):
+        rng = random.Random(2)
+        scenario = random_scenario(rng)
+        internal = set(scenario.internal_actions)
+        for action in internal:
+            parent = action.parent()
+            assert parent.is_root or parent in internal
+
+    def test_deterministic(self):
+        a = random_scenario(random.Random(3))
+        b = random_scenario(random.Random(3))
+        assert a.all_actions == b.all_actions
+
+    def test_depth_bounded(self):
+        rng = random.Random(4)
+        scenario = random_scenario(rng, max_depth=2)
+        for action in scenario.all_actions:
+            assert action.depth <= 3  # internal depth 2 + access leaves
+
+
+class TestRandomRun:
+    @pytest.mark.parametrize("level_cls", [Level2Algebra, Level3Algebra, Level4Algebra])
+    def test_runs_are_valid(self, level_cls):
+        rng = random.Random(5)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = level_cls(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        assert algebra.is_valid(events)
+        assert len(events) > 0
+
+    def test_run_activates_most_of_the_scenario(self):
+        rng = random.Random(6)
+        scenario = random_scenario(rng, objects=3, toplevel=3)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng, RunConfig(max_steps=500))
+        final = final_state(algebra, events)
+        activated = len(final.tree.vertices) - 1  # minus U
+        assert activated >= len(scenario.all_actions) * 0.5
+
+    def test_abort_probability_zero_means_no_aborts(self):
+        rng = random.Random(7)
+        scenario = random_scenario(rng, objects=2, toplevel=2)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(
+            algebra, scenario, rng, RunConfig(max_steps=300, abort_prob=0.0)
+        )
+        final = final_state(algebra, events)
+        assert not final.tree.aborted
+
+    def test_high_abort_probability_aborts_something(self):
+        rng = random.Random(8)
+        scenario = random_scenario(rng, objects=2, toplevel=3)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(
+            algebra, scenario, rng, RunConfig(max_steps=300, abort_prob=0.9)
+        )
+        final = final_state(algebra, events)
+        assert final.tree.aborted
+
+    def test_unsupported_level_rejected(self):
+        from repro.core import Level1Algebra
+
+        rng = random.Random(9)
+        scenario = random_scenario(rng)
+        with pytest.raises(ValueError):
+            random_run(Level1Algebra(scenario.universe), scenario, rng)
+
+    def test_runs_reproducible(self):
+        scenario = random_scenario(random.Random(10))
+        algebra = Level2Algebra(scenario.universe)
+        a = random_run(algebra, scenario, random.Random(99))
+        b = random_run(algebra, scenario, random.Random(99))
+        assert a == b

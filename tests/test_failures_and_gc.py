@@ -1,0 +1,108 @@
+"""Spontaneous failures in the distributed simulator, and MVTO version GC."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import MVTODatabase
+from repro.core import Level2Algebra, is_data_serializable, project_run
+from repro.distributed import (
+    DistributedMossSystem,
+    PolicyConfig,
+    random_distributed_scenario,
+)
+
+
+class TestSpontaneousAborts:
+    def test_failures_injected_and_run_stays_valid(self):
+        rng = random.Random(21)
+        scenario, homes = random_distributed_scenario(rng, node_count=3, toplevel=5)
+        system = DistributedMossSystem(
+            scenario, homes, PolicyConfig(), seed=21, spontaneous_abort_prob=0.4
+        )
+        report, events = system.run()
+        assert report.aborted > 0  # failures actually happened
+        # The run is still a valid computation all the way down, and its
+        # permanent subtree is serializable (Theorems 29 + 14).
+        level2 = Level2Algebra(scenario.universe)
+        final = level2.run(project_run(events, 2))
+        assert is_data_serializable(final.perm())
+
+    def test_failed_toplevels_count_as_done(self):
+        rng = random.Random(22)
+        scenario, homes = random_distributed_scenario(rng, node_count=2, toplevel=4)
+        system = DistributedMossSystem(
+            scenario, homes, seed=22, spontaneous_abort_prob=0.6
+        )
+        report, _events = system.run()
+        # Aborted top-levels are 'done': the run still quiesces.
+        assert report.steps < system.max_steps
+
+    def test_zero_probability_means_no_spontaneous_aborts(self):
+        rng = random.Random(23)
+        scenario, homes = random_distributed_scenario(rng, node_count=2, toplevel=3)
+        system = DistributedMossSystem(scenario, homes, seed=23)
+        report, _events = system.run()
+        # stall-breaking may still abort; with these small scenarios and
+        # the default seed it does not.
+        assert report.aborted == report.stalls_broken
+
+
+class TestMVTOVersionGC:
+    def test_prune_keeps_readable_snapshot(self):
+        db = MVTODatabase({"a": 0})
+        old = db.begin_transaction()  # ts=1: pins version 0
+        for i in range(5):
+            with db.transaction() as t:
+                t.write("a", i + 10)
+        assert db.version_count() == 6
+        pruned = db.prune_versions()
+        # Version 0 must survive (old can still read it), as must every
+        # version old might... versions above the watermark all stay.
+        assert pruned == 0
+        assert old.read("a") == 0
+        old.commit()
+
+    def test_prune_drops_unreadable_history(self):
+        db = MVTODatabase({"a": 0})
+        for i in range(5):
+            with db.transaction() as t:
+                t.write("a", i + 10)
+        assert db.version_count() == 6
+        pruned = db.prune_versions()  # no active transactions
+        assert pruned == 5
+        assert db.version_count() == 1
+        assert db.snapshot()["a"] == 14
+
+    def test_watermark_respects_oldest_active(self):
+        db = MVTODatabase({"a": 0})
+        with db.transaction() as t:
+            t.write("a", 1)  # version at ts 1
+        mid = db.begin_transaction()  # ts=2
+        with db.transaction() as t:
+            t.write("a", 2)  # version at ts 3
+        pruned = db.prune_versions()
+        # Version 0 is unreadable (mid reads ts-1's version); version at
+        # ts 1 must stay for mid; ts-3 version stays as the latest.
+        assert pruned == 1
+        assert mid.read("a") == 1
+        mid.commit()
+
+    def test_automatic_gc(self):
+        db = MVTODatabase({"a": 0}, gc_every=3)
+        for i in range(12):
+            with db.transaction() as t:
+                t.write("a", i)
+        # GC ran at least every 3 commits, so growth is bounded.
+        assert db.version_count() <= 4
+
+    def test_gc_with_concurrent_reader_correct(self):
+        db = MVTODatabase({"a": 0, "b": 0}, gc_every=2)
+        reader = db.begin_transaction()
+        for i in range(6):
+            with db.transaction() as t:
+                t.write("a", i)
+        assert reader.read("a") == 0  # snapshot preserved across GC
+        reader.commit()

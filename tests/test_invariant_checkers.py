@@ -1,0 +1,153 @@
+"""The lemma monitors themselves: they must reject violating instances
+(no vacuous green), and check_along_run must walk prefixes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.checker import (
+    InvariantViolation,
+    check_along_run,
+    check_lemma5,
+    check_lemma6,
+    check_lemma7,
+    check_lemma10,
+    check_lemma11,
+    check_lemma16,
+    check_lemma19,
+)
+from repro.core import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    ActionTree,
+    AugmentedActionTree,
+    Create,
+    Level2Algebra,
+    Level3Algebra,
+    U,
+    Universe,
+    VersionMap,
+    add,
+    read,
+)
+from repro.core.level3 import Level3State
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    universe.declare_access(U.child(1).child("a"), "x", add(1))
+    universe.declare_access(U.child(2).child("b"), "x", read())
+    return universe
+
+
+class TestNegativeCases:
+    def test_lemma10a_violation(self, uni):
+        """Committed parent with an active child."""
+        t1 = U.child(1)
+        tree = ActionTree(
+            uni, {U: ACTIVE, t1: COMMITTED, t1.child("a"): ACTIVE}, {}
+        )
+        aat = AugmentedActionTree(tree, {})
+        with pytest.raises(InvariantViolation, match="10a"):
+            check_lemma10(aat)
+
+    def test_lemma10b_violation(self, uni):
+        tree = ActionTree(uni, {U: COMMITTED}, {})
+        aat = AugmentedActionTree(tree, {})
+        with pytest.raises(InvariantViolation, match="10b"):
+            check_lemma10(aat)
+
+    def test_lemma10c_violation(self, uni):
+        """A live data predecessor that is not visible to its successor."""
+        t1, t2 = U.child(1), U.child(2)
+        a, b = t1.child("a"), t2.child("b")
+        tree = ActionTree(
+            uni,
+            {
+                U: ACTIVE,
+                t1: ACTIVE,  # live but uncommitted: a is invisible to b
+                a: COMMITTED,
+                t2: ACTIVE,
+                b: COMMITTED,
+            },
+            {a: 0, b: 0},
+        )
+        aat = AugmentedActionTree(tree, {"x": (a, b)})
+        with pytest.raises(InvariantViolation, match="10c"):
+            check_lemma10(aat)
+
+    def test_lemma11_violation_on_shrunk_tree(self, uni):
+        bigger = AugmentedActionTree(
+            ActionTree(uni, {U: ACTIVE, U.child(1): ACTIVE}, {}), {}
+        )
+        smaller = AugmentedActionTree(ActionTree.initial(uni), {})
+        with pytest.raises(InvariantViolation, match="11a"):
+            check_lemma11(bigger, smaller)
+
+    def test_lemma16_violation_dangling_holder(self, uni):
+        """A version-map holder that is not a vertex of the tree."""
+        state = Level3State(
+            AugmentedActionTree.initial(uni),
+            VersionMap({"x": {U: (), U.child(1): ()}}),
+        )
+        with pytest.raises(InvariantViolation, match="16a"):
+            check_lemma16(state, uni)
+
+    def test_lemma16b_violation_unheld_live_step(self, uni):
+        t1 = U.child(1)
+        a = t1.child("a")
+        tree = ActionTree(
+            uni, {U: ACTIVE, t1: ACTIVE, a: COMMITTED}, {a: 0}
+        )
+        state = Level3State(
+            AugmentedActionTree(tree, {"x": (a,)}),
+            VersionMap.initial(uni.objects),  # nobody holds a's version
+        )
+        with pytest.raises(InvariantViolation, match="16b"):
+            check_lemma16(state, uni)
+
+    def test_lemma19_holds_for_valid_maps(self, uni):
+        a = U.child(1).child("a")
+        versions = VersionMap.initial(uni.objects).with_performed("x", a)
+        check_lemma19(versions, uni)  # must not raise
+
+
+class TestCheckAlongRun:
+    def test_walks_all_prefixes(self, uni):
+        algebra = Level2Algebra(uni)
+        seen = []
+        check_along_run(
+            algebra,
+            [Create(U.child(1)), Create(U.child(2))],
+            lambda state: seen.append(len(state.tree.vertices)),
+        )
+        assert seen == [1, 2, 3]
+
+    def test_propagates_check_failure(self, uni):
+        algebra = Level2Algebra(uni)
+
+        def check(state):
+            if len(state.tree.vertices) > 1:
+                raise InvariantViolation("too big")
+
+        with pytest.raises(InvariantViolation):
+            check_along_run(algebra, [Create(U.child(1))], check)
+
+    def test_lemmas_pass_on_valid_level3_run(self, uni):
+        algebra = Level3Algebra(uni)
+        check_along_run(
+            algebra,
+            [Create(U.child(1)), Create(U.child(2))],
+            lambda state: (
+                check_lemma16(state, uni),
+                check_lemma10(state.aat),
+                check_lemma5(state.tree),
+                check_lemma6(state.tree),
+                check_lemma7(state.tree),
+            ),
+        )

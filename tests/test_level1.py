@@ -1,0 +1,199 @@
+"""Unit tests for the level-1 specification algebra 𝒜 (paper Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Abort,
+    Commit,
+    Create,
+    EventNotEnabledError,
+    Level1Algebra,
+    Perform,
+    ReleaseLock,
+    U,
+    Universe,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(7))
+    universe.declare_access(t2.child("r"), "x", read())
+    return universe
+
+
+@pytest.fixture
+def algebra(uni):
+    return Level1Algebra(uni)
+
+
+class TestCreate:
+    def test_create_toplevel(self, algebra):
+        state = algebra.apply(algebra.initial_state, Create(U.child(1)))
+        assert state.is_active(U.child(1))
+
+    def test_create_requires_parent(self, algebra):
+        assert not algebra.enabled(
+            algebra.initial_state, Create(U.child(1).child("w"))
+        )
+
+    def test_create_twice_rejected(self, algebra):
+        state = algebra.run([Create(U.child(1))])
+        failure = algebra.precondition_failure(state, Create(U.child(1)))
+        assert failure is not None
+        assert "(a11)" in failure
+
+    def test_create_under_committed_rejected(self, algebra):
+        state = algebra.run([Create(U.child(1)), Commit(U.child(1))])
+        failure = algebra.precondition_failure(state, Create(U.child(1).child("w")))
+        assert "(a12)" in failure
+
+    def test_create_under_aborted_allowed(self, algebra):
+        """The paper explicitly allows creation under an aborted parent."""
+        state = algebra.run([Create(U.child(1)), Abort(U.child(1))])
+        assert algebra.enabled(state, Create(U.child(1).child("w")))
+
+    def test_cannot_create_root(self, algebra):
+        assert not algebra.enabled(algebra.initial_state, Create(U))
+
+
+class TestCommitAbort:
+    def test_commit_requires_active(self, algebra):
+        state = algebra.run([Create(U.child(1)), Commit(U.child(1))])
+        failure = algebra.precondition_failure(state, Commit(U.child(1)))
+        assert "(b11)" in failure
+
+    def test_commit_requires_children_done(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run([Create(t1), Create(t1.child("w"))])
+        failure = algebra.precondition_failure(state, Commit(t1))
+        assert "(b12)" in failure
+
+    def test_commit_after_children_performed(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0)]
+        )
+        assert algebra.enabled(state, Commit(t1))
+
+    def test_commit_of_access_rejected(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run([Create(t1), Create(t1.child("w"))])
+        assert not algebra.enabled(state, Commit(t1.child("w")))
+
+    def test_abort_anytime_while_active(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run([Create(t1), Create(t1.child("w"))])
+        assert algebra.enabled(state, Abort(t1))  # children need not be done
+
+    def test_abort_requires_active(self, algebra):
+        state = algebra.run([Create(U.child(1)), Abort(U.child(1))])
+        assert not algebra.enabled(state, Abort(U.child(1)))
+
+    def test_root_never_commits_or_aborts(self, algebra):
+        assert not algebra.enabled(algebra.initial_state, Commit(U))
+        assert not algebra.enabled(algebra.initial_state, Abort(U))
+
+
+class TestPerformAndInvariant:
+    def test_perform_records_label(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0)]
+        )
+        assert state.is_committed(t1.child("w"))
+        assert state.label(t1.child("w")) == 0
+
+    def test_perform_requires_access(self, algebra):
+        state = algebra.run([Create(U.child(1))])
+        assert not algebra.enabled(state, Perform(U.child(1), 0))
+
+    def test_stale_read_is_serializable_by_reordering(self, algebra):
+        """A read that saw the pre-write value is fine permanently: the
+        reader serializes before the writer.  Level 1 is *much* more
+        permissive than any locking implementation."""
+        t1, t2 = U.child(1), U.child(2)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Commit(t1),
+                Create(t2),
+                Create(t2.child("r")),
+                Perform(t2.child("r"), 0),  # stale, but consistent
+            ]
+        )
+        assert algebra.enabled(state, Commit(t2))
+
+    def test_implicit_C_blocks_impossible_commit(self, algebra):
+        """A read that saw a value impossible under *any* sibling order
+        (neither init 0 nor the written 7) may still perform while its
+        parent is active (it is not permanent yet), but committing the
+        parent would poison perm(T) and is rejected by the implicit C."""
+        t1, t2 = U.child(1), U.child(2)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Commit(t1),
+                Create(t2),
+                Create(t2.child("r")),
+            ]
+        )
+        # Perform with an impossible value is allowed — t2 is active, so
+        # the bad label stays outside perm(T).
+        assert algebra.enabled(state, Perform(t2.child("r"), 3))
+        state = algebra.apply(state, Perform(t2.child("r"), 3))
+        failure = algebra.precondition_failure(state, Commit(t2))
+        assert failure is not None
+        assert "implicit C" in failure
+        # The doomed reader can still abort.
+        assert algebra.enabled(state, Abort(t2))
+
+    def test_invariant_can_be_disabled(self, uni):
+        lax = Level1Algebra(uni, check_invariant=False)
+        t1, t2 = U.child(1), U.child(2)
+        events = [
+            Create(t1),
+            Create(t1.child("w")),
+            Perform(t1.child("w"), 0),
+            Commit(t1),
+            Create(t2),
+            Create(t2.child("r")),
+            Perform(t2.child("r"), 3),
+            Commit(t2),
+        ]
+        assert lax.is_valid(events)
+
+    def test_label_domain_checked(self, uni):
+        universe = Universe()
+        universe.define_object("x", init=0, values=[0, 1])
+        universe.declare_access(U.child(1).child("w"), "x", write(1))
+        algebra = Level1Algebra(universe)
+        state = algebra.run([Create(U.child(1)), Create(U.child(1).child("w"))])
+        failure = algebra.precondition_failure(
+            state, Perform(U.child(1).child("w"), 5)
+        )
+        assert "label" in failure
+
+    def test_foreign_event_rejected(self, algebra):
+        with pytest.raises(EventNotEnabledError):
+            algebra.apply(algebra.initial_state, ReleaseLock(U.child(1), "x"))
+
+    def test_run_helpers(self, algebra):
+        events = [Create(U.child(1))]
+        assert algebra.is_valid(events)
+        assert algebra.first_invalid(events) is None
+        bad = [Create(U.child(1)), Create(U.child(1))]
+        index, reason = algebra.first_invalid(bad)
+        assert index == 1
+        assert "(a11)" in reason

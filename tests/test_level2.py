@@ -1,0 +1,171 @@
+"""Level-2 algebra 𝒜': the abstract effect of locking (paper Section 6),
+plus Theorem 14 and Lemmas 10/11 as properties of random runs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_lemma10, check_lemma11, check_lemma12, check_lemma13
+from repro.core import (
+    Abort,
+    Commit,
+    Create,
+    Level2Algebra,
+    Perform,
+    U,
+    Universe,
+    add,
+    is_data_serializable,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(7))
+    universe.declare_access(t2.child("r"), "x", read())
+    return universe
+
+
+@pytest.fixture
+def algebra(uni):
+    return Level2Algebra(uni)
+
+
+class TestPerformPreconditions:
+    def _ready(self, algebra):
+        """t1's write performed; t1 still active; t2's read created."""
+        t1, t2 = U.child(1), U.child(2)
+        return algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Create(t2),
+                Create(t2.child("r")),
+            ]
+        )
+
+    def test_d12_blocks_invisible_live_step(self, algebra):
+        """t1 is active, so its committed write is live but not visible to
+        t2's read — the read must wait."""
+        state = self._ready(algebra)
+        failure = algebra.precondition_failure(
+            state, Perform(U.child(2).child("r"), 0)
+        )
+        assert "(d12)" in failure
+
+    def test_d12_satisfied_after_commit(self, algebra):
+        state = algebra.apply(self._ready(algebra), Commit(U.child(1)))
+        assert algebra.enabled(state, Perform(U.child(2).child("r"), 7))
+
+    def test_d12_satisfied_after_abort(self, algebra):
+        """A dead data step no longer blocks (it will never matter)."""
+        state = algebra.apply(self._ready(algebra), Abort(U.child(1)))
+        assert algebra.enabled(state, Perform(U.child(2).child("r"), 0))
+
+    def test_d13_forces_the_replay_value(self, algebra):
+        state = algebra.apply(self._ready(algebra), Commit(U.child(1)))
+        failure = algebra.precondition_failure(
+            state, Perform(U.child(2).child("r"), 0)
+        )
+        assert "(d13)" in failure
+
+    def test_d13_unconstrained_for_dead_access(self, algebra):
+        """If the access itself is already dead, any value is allowed."""
+        t1, t2 = U.child(1), U.child(2)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Commit(t1),
+                Create(t2),
+                Create(t2.child("r")),
+                Abort(t2),
+            ]
+        )
+        # t2 aborted, so the read (still active, now an orphan) may see
+        # anything.
+        assert algebra.enabled(state, Perform(t2.child("r"), 12345))
+
+    def test_d23_appends_to_data_order(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0)]
+        )
+        assert state.data_sequence("x") == (t1.child("w"),)
+
+    def test_expected_value_helper(self, algebra):
+        state = self._ready(algebra)
+        state = algebra.apply(state, Commit(U.child(1)))
+        assert algebra.expected_value(state, U.child(2).child("r")) == 7
+
+
+class TestTheorem14:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_computable_implies_perm_data_serializable(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=3, max_depth=3)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        final = algebra.run(events)
+        assert is_data_serializable(final.perm())
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_every_prefix_is_data_serializable(self, seed):
+        """Theorem 14 holds at every point of the computation, not just the
+        end — via its two halves, Lemma 12 and Lemma 13, separately."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=2, toplevel=2, max_depth=3)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng, None)
+        state = algebra.initial_state
+        for event in events:
+            state = algebra.apply(state, event)
+            check_lemma12(state)
+            check_lemma13(state)
+            assert is_data_serializable(state.perm())
+
+
+class TestLemmas10And11:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma10_along_runs(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        state = algebra.initial_state
+        for event in events:
+            state = algebra.apply(state, event)
+            check_lemma10(state)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma11_between_prefixes(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level2Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        states = [algebra.initial_state]
+        for event in events:
+            states.append(algebra.apply(states[-1], event))
+        # compare a few prefix pairs
+        rng2 = random.Random(seed + 1)
+        for _ in range(min(10, len(states))):
+            i = rng2.randrange(len(states))
+            j = rng2.randrange(i, len(states))
+            check_lemma11(states[i], states[j])

@@ -1,0 +1,203 @@
+"""Level-3 algebra 𝒜'' with version maps (paper Section 7), Lemma 16,
+and the simulation mapping h' (Lemma 17)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_lemma16
+from repro.core import (
+    Abort,
+    Commit,
+    Create,
+    Level2Algebra,
+    Level3Algebra,
+    LoseLock,
+    Perform,
+    ReleaseLock,
+    U,
+    Universe,
+    VersionMap,
+    add,
+    check_possibilities_lockstep,
+    mapping_3_to_2,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(7))
+    universe.declare_access(t2.child("r"), "x", read())
+    return universe
+
+
+@pytest.fixture
+def algebra(uni):
+    return Level3Algebra(uni)
+
+
+class TestVersionMap:
+    def test_initial(self, uni):
+        vm = VersionMap.initial(uni.objects)
+        assert vm.defined("x", U)
+        assert vm.get("x", U) == ()
+        assert vm.principal_action("x") == U
+        assert vm.principal_value("x", uni) == 0
+        vm.validate(uni)
+
+    def test_perform_extends_principal(self, uni):
+        w = U.child(1).child("w")
+        vm = VersionMap.initial(uni.objects).with_performed("x", w)
+        assert vm.get("x", w) == (w,)
+        assert vm.principal_action("x") == w
+        assert vm.principal_value("x", uni) == 7
+
+    def test_release_passes_to_parent(self, uni):
+        w = U.child(1).child("w")
+        vm = VersionMap.initial(uni.objects).with_performed("x", w)
+        vm = vm.with_released("x", w)
+        assert not vm.defined("x", w)
+        assert vm.get("x", U.child(1)) == (w,)
+        vm.validate(uni)
+
+    def test_lose_discards(self, uni):
+        w = U.child(1).child("w")
+        vm = VersionMap.initial(uni.objects).with_performed("x", w)
+        vm = vm.with_lost("x", w)
+        assert not vm.defined("x", w)
+        assert vm.principal_action("x") == U
+        vm.validate(uni)
+
+    def test_validate_rejects_non_chain(self, uni):
+        bad = VersionMap({"x": {U: (), U.child(1): (), U.child(2): ()}})
+        with pytest.raises(ValueError):
+            bad.validate(uni)
+
+    def test_validate_rejects_non_extension(self, uni):
+        w = U.child(1).child("w")
+        bad = VersionMap({"x": {U: (w,), U.child(1): ()}})
+        with pytest.raises(ValueError):
+            bad.validate(uni)
+
+    def test_validate_requires_root_entry(self, uni):
+        bad = VersionMap({"x": {U.child(1): ()}})
+        with pytest.raises(ValueError):
+            bad.validate(uni)
+
+    def test_equality(self, uni):
+        a = VersionMap.initial(uni.objects)
+        b = VersionMap.initial(uni.objects)
+        assert a == b and hash(a) == hash(b)
+        assert a != a.with_performed("x", U.child(1).child("w"))
+
+
+class TestEvents:
+    def test_perform_requires_ancestor_holders(self, algebra):
+        """After t1's write, the lock is held by the access itself; t2's
+        read is blocked until releases move it up to U."""
+        t1, t2 = U.child(1), U.child(2)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Commit(t1),
+                Create(t2),
+                Create(t2.child("r")),
+            ]
+        )
+        failure = algebra.precondition_failure(state, Perform(t2.child("r"), 7))
+        assert "(d12)" in failure
+
+    def test_perform_after_release_chain(self, algebra):
+        t1, t2 = U.child(1), U.child(2)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                ReleaseLock(t1.child("w"), "x"),  # access → t1
+                Commit(t1),
+                ReleaseLock(t1, "x"),  # t1 → U
+                Create(t2),
+                Create(t2.child("r")),
+            ]
+        )
+        assert algebra.enabled(state, Perform(t2.child("r"), 7))
+        # (d13): only the principal value is acceptable.
+        failure = algebra.precondition_failure(state, Perform(t2.child("r"), 0))
+        assert "(d13)" in failure
+
+    def test_release_requires_commit(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0), Create(U.child(2))]
+        )
+        # t1 (holder's parent) not committed, but the access itself is
+        # committed by perform, so the access can release.
+        assert algebra.enabled(state, ReleaseLock(t1.child("w"), "x"))
+        state = algebra.apply(state, ReleaseLock(t1.child("w"), "x"))
+        # Now t1 holds; t1 is active, so it cannot release...
+        failure = algebra.precondition_failure(state, ReleaseLock(t1, "x"))
+        assert "(e12)" in failure
+        # ...and cannot lose (it is live).
+        failure = algebra.precondition_failure(state, LoseLock(t1, "x"))
+        assert "(f12)" in failure
+
+    def test_lose_lock_when_dead(self, algebra):
+        t1 = U.child(1)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Abort(t1),
+            ]
+        )
+        # The access holds the lock and is dead via its ancestor.
+        assert algebra.enabled(state, LoseLock(t1.child("w"), "x"))
+        state = algebra.apply(state, LoseLock(t1.child("w"), "x"))
+        assert state.versions.principal_action("x") == U
+
+    def test_release_undefined_lock_rejected(self, algebra):
+        failure = algebra.precondition_failure(
+            algebra.initial_state, ReleaseLock(U.child(1), "x")
+        )
+        assert "(e11)" in failure
+
+
+class TestLemma16AndSimulation:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma16_along_runs(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level3Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        state = algebra.initial_state
+        for event in events:
+            state = algebra.apply(state, event)
+            check_lemma16(state, scenario.universe)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_h_prime_is_a_possibilities_mapping(self, seed):
+        """Lemma 17 / Figure 1 on random level-3 runs."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level3Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        check_possibilities_lockstep(
+            algebra, Level2Algebra(scenario.universe), mapping_3_to_2(), events
+        )

@@ -1,0 +1,169 @@
+"""Level-4 algebra 𝒜''' with value maps (paper Section 8), Lemma 19,
+and the non-singleton possibilities mapping h'' (Lemma 20)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_lemma19
+from repro.core import (
+    Commit,
+    Create,
+    Level3Algebra,
+    Level4Algebra,
+    Perform,
+    ReleaseLock,
+    U,
+    Universe,
+    ValueMap,
+    VersionMap,
+    add,
+    check_possibilities_lockstep,
+    mapping_4_to_3,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1 = U.child(1)
+    universe.declare_access(t1.child("w"), "x", add(5))
+    return universe
+
+
+class TestValueMap:
+    def test_initial(self, uni):
+        vm = ValueMap.initial(uni)
+        assert vm.get("x", U) == 0
+        assert vm.principal_value("x") == 0
+        vm.validate(uni)
+
+    def test_eval_of_version_map(self, uni):
+        w = U.child(1).child("w")
+        versions = VersionMap.initial(uni.objects).with_performed("x", w)
+        values = ValueMap.eval_of(versions, uni)
+        assert values.get("x", U) == 0
+        assert values.get("x", w) == 5
+        assert values.principal_value("x") == 5
+
+    def test_lemma19_on_random_version_maps(self, uni):
+        w = U.child(1).child("w")
+        versions = VersionMap.initial(uni.objects).with_performed("x", w)
+        check_lemma19(versions, uni)
+        check_lemma19(versions.with_released("x", w), uni)
+
+    def test_perform_applies_update(self, uni):
+        w = U.child(1).child("w")
+        vm = ValueMap.initial(uni).with_performed("x", w, 5)
+        assert vm.get("x", w) == 5
+        assert vm.principal_value("x") == 5
+
+    def test_release_and_lose(self, uni):
+        w = U.child(1).child("w")
+        vm = ValueMap.initial(uni).with_performed("x", w, 5)
+        released = vm.with_released("x", w)
+        assert released.get("x", U.child(1)) == 5
+        lost = vm.with_lost("x", w)
+        assert lost.principal_value("x") == 0
+
+    def test_restricted_to(self, uni):
+        vm = ValueMap.initial(uni)
+        assert vm.restricted_to([]).objects == ()
+        assert vm.restricted_to(["x"]) == vm
+
+    def test_validate_rejects_non_chain(self, uni):
+        bad = ValueMap({"x": {U: 0, U.child(1): 0, U.child(2): 0}})
+        with pytest.raises(ValueError):
+            bad.validate(uni)
+
+
+class TestLevel4Effects:
+    def test_value_map_tracks_update(self, uni):
+        algebra = Level4Algebra(uni)
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0)]
+        )
+        # update(A)(u) = 0 + 5
+        assert state.values.get("x", t1.child("w")) == 5
+        assert state.aat.tree.label(t1.child("w")) == 0
+
+    def test_chain_of_commits_propagates_value(self, uni):
+        algebra = Level4Algebra(uni)
+        t1 = U.child(1)
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                ReleaseLock(t1.child("w"), "x"),
+                Commit(t1),
+                ReleaseLock(t1, "x"),
+            ]
+        )
+        assert state.values.get("x", U) == 5
+        assert state.values.holders("x") == (U,)
+
+
+class TestHDoublePrime:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_h_double_prime_is_a_possibilities_mapping(self, seed):
+        """Lemma 20 / Figure 1: the witness version map evolved through
+        level 3 always evaluates to the level-4 value map."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level4Algebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        check_possibilities_lockstep(
+            algebra,
+            Level3Algebra(scenario.universe),
+            mapping_4_to_3(scenario.universe),
+            events,
+        )
+
+    def test_witness_only_for_initial_state(self, uni):
+        mapping = mapping_4_to_3(uni)
+        algebra = Level4Algebra(uni)
+        t1 = U.child(1)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("w")), Perform(t1.child("w"), 0)]
+        )
+        with pytest.raises(ValueError):
+            mapping.witness(state)
+
+    def test_possibilities_set_is_not_singleton(self):
+        """Two *different* version maps with the same eval are both members
+        of h''(state) — the paper's point about discarded information."""
+        from repro.core.level3 import Level3State
+
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        w1 = t1.child("w")  # add 5
+        w2 = t2.child("w")  # write 5: a different access, same end value
+        universe.declare_access(w1, "x", add(5))
+        universe.declare_access(w2, "x", write(5))
+
+        mapping = mapping_4_to_3(universe)
+        algebra = Level4Algebra(universe)
+        level3 = Level3Algebra(universe)
+        events = [Create(t1), Create(w1), Perform(w1, 0)]
+        state4 = algebra.run(events)
+        state3 = level3.run(events)
+        assert mapping.contains(state4, state3)
+        # Hand-build a different version map: holder w1 carries the
+        # sequence (w2) instead of (w1); eval is identical (both yield 5).
+        other_versions = VersionMap({"x": {U: (), w1: (w2,)}})
+        other = Level3State(state3.aat, other_versions)
+        assert other_versions != state3.versions
+        assert mapping.contains(state4, other)

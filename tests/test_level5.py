@@ -1,0 +1,249 @@
+"""Level-5 distributed algebra ℬ (paper Section 9): summaries, homes,
+local knowledge semantics, and the distributed-algebra locality laws."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    Abort,
+    ActionSummary,
+    Commit,
+    Create,
+    HomeAssignment,
+    Level5Algebra,
+    LoseLock,
+    Perform,
+    Receive,
+    ReleaseLock,
+    RunConfig,
+    Send,
+    U,
+    Universe,
+    add,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+from repro.core.level5 import BUFFER
+
+
+@pytest.fixture
+def setting():
+    """Two nodes: x at node 0, y at node 1; t1 homed at 0 with an access
+    to each object; t2 homed at 1."""
+    universe = Universe()
+    universe.define_object("x", init=0)
+    universe.define_object("y", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("wx"), "x", write(3))
+    universe.declare_access(t1.child("wy"), "y", write(4))
+    universe.declare_access(t2.child("rx"), "x", read())
+    homes = HomeAssignment(
+        universe,
+        2,
+        object_homes={"x": 0, "y": 1},
+        action_homes={t1: 0, t2: 1},
+    )
+    return universe, homes, t1, t2
+
+
+class TestHomeAssignment:
+    def test_access_home_follows_object(self, setting):
+        universe, homes, t1, _t2 = setting
+        assert homes.home_of_action(t1.child("wx")) == 0
+        assert homes.home_of_action(t1.child("wy")) == 1
+
+    def test_origin(self, setting):
+        universe, homes, t1, t2 = setting
+        # top-level: origin = own home
+        assert homes.origin(t1) == 0
+        assert homes.origin(t2) == 1
+        # children originate at the parent's home
+        assert homes.origin(t1.child("wx")) == 0
+        assert homes.origin(t1.child("wy")) == 0
+
+    def test_root_has_no_home(self, setting):
+        _universe, homes, _t1, _t2 = setting
+        with pytest.raises(ValueError):
+            homes.home_of_action(U)
+        with pytest.raises(ValueError):
+            homes.origin(U)
+
+    def test_objects_at(self, setting):
+        _universe, homes, _t1, _t2 = setting
+        assert homes.objects_at(0) == ("x",)
+        assert homes.objects_at(1) == ("y",)
+
+    def test_default_assignment_is_deterministic(self, setting):
+        universe, _homes, t1, _t2 = setting
+        h1 = HomeAssignment(universe, 3)
+        h2 = HomeAssignment(universe, 3)
+        probe = U.child(7)
+        assert h1.home_of_action(probe) == h2.home_of_action(probe)
+
+    def test_access_home_override_rejected(self, setting):
+        universe, _homes, t1, _t2 = setting
+        with pytest.raises(ValueError):
+            HomeAssignment(universe, 2, action_homes={t1.child("wx"): 1})
+
+
+class TestActionSummary:
+    def test_union_upgrades_status(self):
+        a = ActionSummary({U.child(1): ACTIVE})
+        b = ActionSummary({U.child(1): COMMITTED})
+        assert a.union(b).is_committed(U.child(1))
+        assert b.union(a).is_committed(U.child(1))
+
+    def test_union_conflict_rejected(self):
+        a = ActionSummary({U.child(1): COMMITTED})
+        b = ActionSummary({U.child(1): ABORTED})
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_containment(self):
+        small = ActionSummary({U.child(1): ACTIVE})
+        big = ActionSummary({U.child(1): COMMITTED, U.child(2): ACTIVE})
+        assert small.contained_in(big)  # active ≼ any status present
+        assert not big.contained_in(small)
+        committed = ActionSummary({U.child(1): COMMITTED})
+        assert not committed.contained_in(small)
+
+    def test_knows_dead(self):
+        s = ActionSummary({U.child(1): ABORTED})
+        assert s.knows_dead(U.child(1).child(5))
+        assert not s.knows_dead(U.child(2))
+
+
+class TestLocalKnowledge:
+    def test_create_requires_local_parent(self, setting):
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        state = algebra.initial_state
+        # wy originates at node 0 (t1's home); its parent t1 is unknown there.
+        assert not algebra.enabled(state, Create(t1.child("wy")))
+        state = algebra.apply(state, Create(t1))
+        assert algebra.enabled(state, Create(t1.child("wy")))
+
+    def test_perform_needs_status_at_object_home(self, setting):
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        state = algebra.run([Create(t1), Create(t1.child("wy"))])
+        # wy was created at node 0; node 1 (home of y) does not know it.
+        failure = algebra.precondition_failure(state, Perform(t1.child("wy"), 0))
+        assert "(d11)" in failure
+        # Ship the knowledge: node 0 sends its summary toward node 1.
+        summary = ActionSummary({t1.child("wy"): ACTIVE})
+        state = algebra.run(
+            [Send(0, 1, summary), Receive(1, summary)], start=state
+        )
+        assert algebra.enabled(state, Perform(t1.child("wy"), 0))
+
+    def test_commit_blind_to_unknown_children(self, setting):
+        """(b12) quantifies over *locally known* children: the home node
+        may commit a parent whose remote child it never heard of — the
+        paper's weak-knowledge semantics."""
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        summary = ActionSummary({t1.child("wy"): ACTIVE})
+        state = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("wy")),
+                Send(0, 1, summary),
+                Receive(1, summary),
+                Perform(t1.child("wy"), 0),
+            ]
+        )
+        # Node 0 knows the child wy (it created it there) and it is not
+        # done at node 0 yet — commit blocked.
+        assert not algebra.enabled(state, Commit(t1))
+        # Deliver the perform result back to node 0.
+        done = ActionSummary({t1.child("wy"): COMMITTED})
+        state = algebra.run([Send(1, 0, done), Receive(0, done)], start=state)
+        assert algebra.enabled(state, Commit(t1))
+
+    def test_send_requires_containment(self, setting):
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        state = algebra.apply(algebra.initial_state, Create(t1))
+        lie = ActionSummary({t1: COMMITTED})
+        failure = algebra.precondition_failure(state, Send(0, 1, lie))
+        assert "(g11)" in failure
+
+    def test_receive_requires_channel_containment(self, setting):
+        universe, homes, _t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        ghost = ActionSummary({U.child(9): ACTIVE})
+        failure = algebra.precondition_failure(
+            algebra.initial_state, Receive(0, ghost)
+        )
+        assert "(h11)" in failure
+
+    def test_lose_lock_needs_local_death_knowledge(self, setting):
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("wx")), Perform(t1.child("wx"), 0), Abort(t1)]
+        )
+        # Node 0 is home of both t1 and x, so it knows the abort directly.
+        assert algebra.enabled(state, LoseLock(t1.child("wx"), "x"))
+
+    def test_abort_applies_to_non_access_only(self, setting):
+        universe, homes, t1, _t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        state = algebra.run([Create(t1), Create(t1.child("wx"))])
+        assert not algebra.enabled(state, Abort(t1.child("wx")))
+
+
+class TestLocalityLaws:
+    def test_doers(self, setting):
+        universe, homes, t1, t2 = setting
+        algebra = Level5Algebra(universe, homes)
+        assert algebra.doer(Create(t1)) == 0
+        assert algebra.doer(Create(t1.child("wy"))) == 0  # origin = parent home
+        assert algebra.doer(Perform(t1.child("wy"), 0)) == 1  # object home
+        assert algebra.doer(Commit(t1)) == 0
+        assert algebra.doer(Send(1, 0, ActionSummary())) == 1
+        assert algebra.doer(Receive(0, ActionSummary())) == BUFFER
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_local_domain_and_changes(self, seed):
+        """The Local Domain / Local Changes laws of Section 2.3, spot
+        checked by perturbing components other than the doer."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        homes = HomeAssignment(scenario.universe, 2)
+        algebra = Level5Algebra(scenario.universe, homes)
+        events = random_run(algebra, scenario, rng, RunConfig(max_steps=60))
+        state = algebra.initial_state
+        for event in events:
+            doer = algebra.doer(event)
+            # Perturb some *other* node's summary and check the laws.
+            for other in algebra.components:
+                if other == doer or other == BUFFER:
+                    continue
+                perturbed = state.with_node(
+                    other,
+                    state.node(other).__class__(
+                        state.node(other).summary.with_status(
+                            U.child(999), ACTIVE
+                        ),
+                        state.node(other).values,
+                    ),
+                )
+                algebra.check_local_domain(state, perturbed, event)
+                if algebra.enabled(state, event) and algebra.enabled(
+                    perturbed, event
+                ):
+                    algebra.check_local_changes(state, perturbed, event, doer)
+            state = algebra.apply(state, event)

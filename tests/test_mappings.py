@@ -1,0 +1,214 @@
+"""The simulation chain: Lemmas 15/17/20/28 and Theorem 29 end-to-end,
+plus the generic simulation machinery (Lemmas 1-4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Create,
+    HomeAssignment,
+    Level1Algebra,
+    Level2Algebra,
+    Level3Algebra,
+    Level4Algebra,
+    Level5Algebra,
+    Perform,
+    PossibilitiesViolation,
+    RunConfig,
+    SimulationViolation,
+    U,
+    Universe,
+    add,
+    check_local_mapping_lockstep,
+    check_possibilities_lockstep,
+    check_simulation,
+    compose_interpretations,
+    interpret_5_to_1,
+    interpret_drop_locks,
+    interpret_drop_messages,
+    interpret_identity,
+    interpret_sequence,
+    local_mapping_5_to_4,
+    mapping_2_to_1,
+    mapping_3_to_2,
+    mapping_4_to_3,
+    project_run,
+    random_run,
+    random_scenario,
+)
+from repro.core.events import LoseLock, Receive, ReleaseLock, Send
+from repro.core.summary import ActionSummary
+
+
+class TestInterpretations:
+    def test_identity(self):
+        e = Create(U.child(1))
+        assert interpret_identity(e) is e
+
+    def test_drop_locks(self):
+        assert interpret_drop_locks(ReleaseLock(U.child(1), "x")) is None
+        assert interpret_drop_locks(LoseLock(U.child(1), "x")) is None
+        assert interpret_drop_locks(Create(U.child(1))) is not None
+
+    def test_drop_messages(self):
+        assert interpret_drop_messages(Send(0, 1, ActionSummary())) is None
+        assert interpret_drop_messages(Receive(0, ActionSummary())) is None
+        assert interpret_drop_messages(ReleaseLock(U.child(1), "x")) is not None
+
+    def test_composition_matches_lemma1(self):
+        composed = compose_interpretations(
+            interpret_drop_locks, interpret_drop_messages
+        )
+        assert composed(Send(0, 1, ActionSummary())) is None
+        assert composed(ReleaseLock(U.child(1), "x")) is None
+        assert composed(Create(U.child(1))) == Create(U.child(1))
+        assert interpret_5_to_1(ReleaseLock(U.child(1), "x")) is None
+
+    def test_interpret_sequence_deletes_nulls(self):
+        events = [
+            Create(U.child(1)),
+            ReleaseLock(U.child(1), "x"),
+            Create(U.child(2)),
+        ]
+        assert interpret_sequence(interpret_drop_locks, events) == [
+            Create(U.child(1)),
+            Create(U.child(2)),
+        ]
+
+    def test_project_run_levels(self):
+        events = [
+            Create(U.child(1)),
+            Send(0, 0, ActionSummary()),
+            ReleaseLock(U.child(1), "x"),
+        ]
+        assert len(project_run(events, 5)) == 3
+        assert len(project_run(events, 4)) == 2
+        assert len(project_run(events, 3)) == 2
+        assert len(project_run(events, 2)) == 1
+        assert len(project_run(events, 1)) == 1
+        with pytest.raises(ValueError):
+            project_run(events, 0)
+
+
+def _level5_setup(seed):
+    rng = random.Random(seed)
+    scenario = random_scenario(rng, objects=3, toplevel=2)
+    homes = HomeAssignment(scenario.universe, 3)
+    algebra = Level5Algebra(scenario.universe, homes)
+    events = random_run(algebra, scenario, rng, RunConfig(max_steps=250))
+    return scenario, homes, algebra, events
+
+
+class TestSimulationChain:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_level2_simulates_level1(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        level2 = Level2Algebra(scenario.universe)
+        events = random_run(level2, scenario, rng)
+        check_possibilities_lockstep(
+            level2, Level1Algebra(scenario.universe), mapping_2_to_1(), events
+        )
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_level5_local_mapping(self, seed):
+        """Lemmas 23-27 / Figures 2-3 on random distributed runs."""
+        scenario, homes, algebra, events = _level5_setup(seed)
+        check_local_mapping_lockstep(
+            algebra,
+            Level4Algebra(scenario.universe),
+            local_mapping_5_to_4(scenario.universe, homes),
+            events,
+        )
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_theorem29_full_chain(self, seed):
+        """Any valid level-5 run projects to valid runs at every level,
+        including level 1 with the C-invariant enforced."""
+        scenario, homes, algebra, events = _level5_setup(seed)
+        check_simulation(
+            algebra,
+            Level4Algebra(scenario.universe),
+            interpret_drop_messages,
+            events,
+        )
+        level4_events = project_run(events, 4)
+        check_simulation(
+            Level4Algebra(scenario.universe),
+            Level3Algebra(scenario.universe),
+            interpret_identity,
+            level4_events,
+        )
+        check_simulation(
+            Level3Algebra(scenario.universe),
+            Level2Algebra(scenario.universe),
+            interpret_drop_locks,
+            level4_events,
+        )
+        level1 = Level1Algebra(scenario.universe, check_invariant=True)
+        assert level1.is_valid(project_run(events, 1))
+
+
+class TestViolationDetection:
+    """The checkers actually detect non-simulations (no vacuous passes)."""
+
+    def test_simulation_violation_reported(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1 = U.child(1)
+        universe.declare_access(t1.child("a"), "x", add(1))
+        level2 = Level2Algebra(universe)
+        level1 = Level1Algebra(universe)
+        # Map every level-2 event to Create(t1): quickly invalid at level 1.
+        bogus = lambda _e: Create(t1)
+        events = [Create(t1), Create(t1.child("a"))]
+        with pytest.raises(SimulationViolation) as exc:
+            check_simulation(level2, level1, bogus, events)
+        assert exc.value.step_index == 1
+
+    def test_possibilities_clause_b_detected(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1 = U.child(1)
+        universe.declare_access(t1.child("a"), "x", add(1))
+        level2 = Level2Algebra(universe)
+        level1 = Level1Algebra(universe)
+        from repro.core import PossibilitiesMapping
+
+        bad = PossibilitiesMapping(
+            interpret=lambda _e: Create(t1),  # always the same image
+            contains=lambda aat, tree: True,
+            witness=lambda aat: Level1Algebra(universe).initial_state,
+            name="bogus",
+        )
+        with pytest.raises(PossibilitiesViolation) as exc:
+            check_possibilities_lockstep(
+                level2, level1, bad, [Create(t1), Create(t1.child("a"))]
+            )
+        assert exc.value.clause == "b"
+
+    def test_possibilities_clause_c_detected(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1 = U.child(1)
+        level2 = Level2Algebra(universe)
+        level1 = Level1Algebra(universe)
+        from repro.core import PossibilitiesMapping
+
+        picky = PossibilitiesMapping(
+            interpret=interpret_identity,
+            contains=lambda aat, tree: len(tree) == 1,  # only the trivial tree
+            witness=lambda aat: Level1Algebra(universe).initial_state,
+            name="picky",
+        )
+        with pytest.raises(PossibilitiesViolation) as exc:
+            check_possibilities_lockstep(level2, level1, picky, [Create(t1)])
+        assert exc.value.clause == "c"

@@ -1,0 +1,158 @@
+"""Unit tests for the action naming scheme (paper Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ActionName, U, lca_of
+
+paths = st.lists(st.integers(min_value=0, max_value=5), max_size=6)
+
+
+def name_of(path):
+    return ActionName(tuple(path))
+
+
+class TestBasics:
+    def test_root_is_special(self):
+        assert U.is_root
+        assert U.depth == 0
+        assert len(U) == 0
+        assert repr(U) == "U"
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            U.parent()
+
+    def test_root_has_no_label(self):
+        with pytest.raises(ValueError):
+            U.leaf_label()
+
+    def test_child_and_parent_roundtrip(self):
+        child = U.child(3).child("x")
+        assert child.parent() == U.child(3)
+        assert child.leaf_label() == "x"
+        assert child.depth == 2
+
+    def test_tuple_constructor(self):
+        assert ActionName((1, 2)) == U.child(1).child(2)
+
+    def test_rejects_bad_atoms(self):
+        with pytest.raises(TypeError):
+            ActionName((1.5,))
+
+    def test_repr_shows_path(self):
+        assert repr(U.child(1).child("op")) == "<1/op>"
+
+    def test_equality_and_hash(self):
+        a = U.child(1).child(2)
+        b = ActionName((1, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != U.child(1)
+        assert a != "not-a-name"
+
+    def test_ordering_mixes_ints_and_strings(self):
+        names = [U.child("z"), U.child(10), U.child(2), U.child("a")]
+        ordered = sorted(names)
+        assert ordered == [U.child(2), U.child(10), U.child("a"), U.child("z")]
+
+
+class TestAncestry:
+    def test_ancestors_root_first(self):
+        node = U.child(1).child(2)
+        assert list(node.ancestors()) == [U, U.child(1), node]
+        assert list(node.proper_ancestors()) == [U, U.child(1)]
+
+    def test_ancestor_is_reflexive(self):
+        node = U.child(1)
+        assert node.is_ancestor_of(node)
+        assert node.is_descendant_of(node)
+        assert not node.is_proper_ancestor_of(node)
+
+    def test_proper_ancestor(self):
+        assert U.is_proper_ancestor_of(U.child(0))
+        assert U.child(0).is_proper_ancestor_of(U.child(0).child(1))
+        assert not U.child(0).is_proper_ancestor_of(U.child(1))
+
+    def test_siblings(self):
+        a, b = U.child(1).child(0), U.child(1).child(5)
+        assert a.is_sibling_of(b)
+        assert a.is_sibling_of(a)
+        assert not a.is_sibling_of(U.child(2).child(0))
+        assert not U.is_sibling_of(a)
+        assert not a.is_sibling_of(U)
+
+    def test_lca(self):
+        a = U.child(1).child(2).child(3)
+        b = U.child(1).child(4)
+        assert a.lca(b) == U.child(1)
+        assert a.lca(a) == a
+        assert a.lca(U.child(9)) == U
+
+    def test_lca_with_ancestor(self):
+        a = U.child(1).child(2)
+        assert a.lca(U.child(1)) == U.child(1)
+
+    def test_lca_of_collection(self):
+        names = [U.child(1).child(2), U.child(1).child(3), U.child(1)]
+        assert lca_of(names) == U.child(1)
+        with pytest.raises(ValueError):
+            lca_of([])
+
+    def test_ancestor_at_depth(self):
+        node = U.child(1).child(2).child(3)
+        assert node.ancestor_at_depth(0) == U
+        assert node.ancestor_at_depth(2) == U.child(1).child(2)
+        with pytest.raises(ValueError):
+            node.ancestor_at_depth(4)
+
+    def test_child_toward(self):
+        anc = U.child(1)
+        desc = U.child(1).child(2).child(3)
+        assert anc.child_toward(desc) == U.child(1).child(2)
+        with pytest.raises(ValueError):
+            anc.child_toward(U.child(9))
+        with pytest.raises(ValueError):
+            anc.child_toward(anc)
+
+
+class TestProperties:
+    @given(paths, paths)
+    def test_lca_is_commutative(self, p, q):
+        a, b = name_of(p), name_of(q)
+        assert a.lca(b) == b.lca(a)
+
+    @given(paths, paths)
+    def test_lca_is_common_ancestor(self, p, q):
+        a, b = name_of(p), name_of(q)
+        lca = a.lca(b)
+        assert lca.is_ancestor_of(a)
+        assert lca.is_ancestor_of(b)
+
+    @given(paths, paths)
+    def test_lca_is_least(self, p, q):
+        a, b = name_of(p), name_of(q)
+        lca = a.lca(b)
+        # Any deeper common ancestor would contradict leastness.
+        for anc in a.ancestors():
+            if anc.is_ancestor_of(b):
+                assert anc.is_ancestor_of(lca)
+
+    @given(paths)
+    def test_ancestors_count(self, p):
+        node = name_of(p)
+        assert len(list(node.ancestors())) == node.depth + 1
+
+    @given(paths, paths)
+    def test_ancestry_antisymmetry(self, p, q):
+        a, b = name_of(p), name_of(q)
+        if a.is_ancestor_of(b) and b.is_ancestor_of(a):
+            assert a == b
+
+    @given(paths)
+    def test_sort_key_total_order(self, p):
+        node = name_of(p)
+        assert not node < node

@@ -1,0 +1,196 @@
+"""Orphans' views (paper §1, Goree [4] direction).
+
+Demonstrates, with the orphan-view checker, exactly what the paper says:
+the basic correctness conditions do not constrain orphans (level 2 admits
+inconsistent orphan views), while the locking algorithm keeps orphans
+consistent — up to the lose-lock subtlety that makes the full orphan
+problem hard.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import consistent_view_value, orphan_view_report
+from repro.core import (
+    Abort,
+    Commit,
+    Create,
+    Level2Algebra,
+    Level3Algebra,
+    Level4Algebra,
+    LoseLock,
+    Perform,
+    ReleaseLock,
+    RunConfig,
+    U,
+    Universe,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(7))
+    universe.declare_access(t2.child("r"), "x", read())
+    return universe
+
+
+def orphan_read_run(value):
+    """t1 commits a write of 7; t2 aborts, then its (orphan) read performs
+    seeing ``value``."""
+    t1, t2 = U.child(1), U.child(2)
+    return [
+        Create(t1),
+        Create(t1.child("w")),
+        Perform(t1.child("w"), 0),
+        Commit(t1),
+        Create(t2),
+        Create(t2.child("r")),
+        Abort(t2),
+        Perform(t2.child("r"), value),
+    ]
+
+
+class TestLevel2AdmitsInconsistentOrphans:
+    def test_garbage_orphan_view_is_a_valid_level2_run(self, uni):
+        """(d13) is waived for dead accesses: the algebra accepts an
+        orphan seeing 12345."""
+        algebra = Level2Algebra(uni)
+        events = orphan_read_run(12345)
+        assert algebra.is_valid(events)
+        report = orphan_view_report(algebra, events)
+        assert report.orphan_performs == 1
+        assert report.orphan_anomalies == 1
+        assert not report.orphans_consistent
+        anomaly = report.anomalies[0]
+        assert anomaly.was_orphan
+        assert anomaly.saw == 12345
+        assert anomaly.consistent_value == 7
+        assert "orphan" in str(anomaly)
+
+    def test_consistent_orphan_view_reported_clean(self, uni):
+        algebra = Level2Algebra(uni)
+        events = orphan_read_run(7)
+        assert algebra.is_valid(events)
+        report = orphan_view_report(algebra, events)
+        assert report.orphan_performs == 1
+        assert report.orphans_consistent
+        assert report.all_consistent
+
+
+class TestLockingProtectsOrphans:
+    def test_level3_orphan_sees_consistent_view(self, uni):
+        """At level 3 the orphan's value is forced to the principal value,
+        which (with no lose-lock fired) is the consistent view."""
+        t1, t2 = U.child(1), U.child(2)
+        algebra = Level3Algebra(uni)
+        events = [
+            Create(t1),
+            Create(t1.child("w")),
+            Perform(t1.child("w"), 0),
+            ReleaseLock(t1.child("w"), "x"),
+            Commit(t1),
+            ReleaseLock(t1, "x"),
+            Create(t2),
+            Create(t2.child("r")),
+            Abort(t2),
+            Perform(t2.child("r"), 7),  # forced: 7 is the principal value
+        ]
+        assert algebra.is_valid(events)
+        report = orphan_view_report(algebra, events)
+        assert report.orphan_performs == 1
+        assert report.orphans_consistent
+
+    def test_level3_rejects_garbage_orphan_view(self, uni):
+        """The same run with the orphan claiming 12345 is not even a valid
+        level-3 computation — locking enforces what level 2 only hopes."""
+        t1, t2 = U.child(1), U.child(2)
+        algebra = Level3Algebra(uni)
+        prefix = [
+            Create(t1),
+            Create(t1.child("w")),
+            Perform(t1.child("w"), 0),
+            ReleaseLock(t1.child("w"), "x"),
+            Commit(t1),
+            ReleaseLock(t1, "x"),
+            Create(t2),
+            Create(t2.child("r")),
+            Abort(t2),
+        ]
+        state = algebra.run(prefix)
+        assert not algebra.enabled(state, Perform(t2.child("r"), 12345))
+
+    def test_lose_lock_can_time_warp_an_orphan(self):
+        """The Goree subtlety: after a lose-lock discards a dead relative's
+        version, a later orphan in the same doomed family sees a view in
+        which the visible relative's work vanished."""
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t = U.child(1)
+        sub = t.child("sub")
+        universe.declare_access(sub.child("w"), "x", write(9))
+        universe.declare_access(t.child("r"), "x", read())
+        algebra = Level3Algebra(universe)
+        events = [
+            Create(t),
+            Create(sub),
+            Create(sub.child("w")),
+            Perform(sub.child("w"), 0),       # sub's write: x = 9
+            ReleaseLock(sub.child("w"), "x"),
+            Commit(sub),                      # sub committed to t: visible within t
+            ReleaseLock(sub, "x"),            # lock now held by t
+            Create(t.child("r")),
+            Abort(t),                         # dooms the whole family
+            LoseLock(t, "x"),                 # t's holding (with sub's write) discarded
+            Perform(t.child("r"), 0),         # orphan read: principal is back to init!
+        ]
+        assert algebra.is_valid(events)
+        report = orphan_view_report(algebra, events)
+        assert report.orphan_performs == 1
+        # The orphan saw 0, but its committed sibling's write (9) is
+        # visible to it: a time-warped, inconsistent view.
+        assert report.orphan_anomalies == 1
+        assert report.anomalies[0].saw == 0
+        assert report.anomalies[0].consistent_value == 9
+
+
+class TestLivePerformsAlwaysConsistent:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_no_live_anomalies_at_any_level(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=3)
+        for algebra_cls in (Level2Algebra, Level3Algebra, Level4Algebra):
+            algebra = algebra_cls(scenario.universe)
+            events = random_run(algebra, scenario, random.Random(seed))
+            report = orphan_view_report(algebra, events)
+            assert report.live_anomalies == 0
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_orphans_consistent_without_lose_lock(self, seed):
+        """With lose-lock disabled (weight 0), level-3/4 orphans always see
+        consistent views."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=3)
+        config = RunConfig()
+        config.weights["LoseLock"] = 0.0
+        for algebra_cls in (Level3Algebra, Level4Algebra):
+            algebra = algebra_cls(scenario.universe)
+            events = random_run(algebra, scenario, random.Random(seed), config)
+            events = [
+                e for e in events
+            ]
+            report = orphan_view_report(algebra, events)
+            assert report.orphans_consistent, report.anomalies

@@ -1,0 +1,141 @@
+"""Rendering: run timelines and Graphviz DOT export."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.core import (
+    ACTIVE,
+    Commit,
+    Create,
+    Level2Algebra,
+    Perform,
+    U,
+    Universe,
+    random_run,
+    random_scenario,
+    render_run,
+    render_timeline_by_transaction,
+    to_dot,
+    write,
+    write_dot,
+)
+
+
+@pytest.fixture
+def small_run():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1 = U.child(1)
+    universe.declare_access(t1.child("w"), "x", write(5))
+    events = [
+        Create(t1),
+        Create(t1.child("w")),
+        Perform(t1.child("w"), 0),
+        Commit(t1),
+    ]
+    algebra = Level2Algebra(universe)
+    return algebra, events
+
+
+class TestRunRendering:
+    def test_render_run_lines(self, small_run):
+        _algebra, events = small_run
+        text = render_run(events)
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("0")
+        assert "create" in lines[0]
+        # Deeper actions are further indented.
+        assert lines[1].index("create") > lines[0].index("create")
+
+    def test_render_run_unnumbered(self, small_run):
+        _algebra, events = small_run
+        text = render_run(events, numbered=False)
+        assert not text.split("\n")[0][0].isdigit()
+
+    def test_timeline_groups_by_toplevel(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        universe.declare_access(t1.child("w"), "x", write(1))
+        events = [
+            Create(t1),
+            Create(t2),
+            Create(t1.child("w")),
+            Commit(t2),
+        ]
+        text = render_timeline_by_transaction(events)
+        assert text.index("<1>") < text.index("<2>")
+        # t1's section holds two events, t2's holds two.
+        sections = text.split("<2>")
+        assert "create" in sections[0]
+
+    def test_empty_run(self):
+        assert render_run([]) == ""
+
+
+class TestDotExport:
+    def test_dot_structure(self, small_run):
+        algebra, events = small_run
+        final = algebra.run(events)
+        dot = to_dot(final, title="tiny run")
+        assert dot.startswith("digraph")
+        assert "tiny run" in dot
+        assert "U ->" in dot
+        assert "palegreen" in dot  # committed nodes colored
+        assert "saw 0" in dot
+        assert "style=dashed" not in dot or "label=" in dot
+
+    def test_dot_includes_data_edges_for_aat(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        universe.declare_access(t1.child("w"), "x", write(1))
+        universe.declare_access(t2.child("w"), "x", write(2))
+        algebra = Level2Algebra(universe)
+        final = algebra.run(
+            [
+                Create(t1),
+                Create(t1.child("w")),
+                Perform(t1.child("w"), 0),
+                Commit(t1),
+                Create(t2),
+                Create(t2.child("w")),
+                Perform(t2.child("w"), 1),
+            ]
+        )
+        dot = to_dot(final)
+        assert "style=dashed" in dot  # the data order edge
+        assert 'label="x"' in dot
+
+    def test_dot_handles_plain_tree(self, small_run):
+        algebra, events = small_run
+        final = algebra.run(events)
+        dot = to_dot(final.tree)
+        assert "digraph" in dot
+
+    def test_write_dot_to_stream_and_file(self, small_run, tmp_path):
+        algebra, events = small_run
+        final = algebra.run(events)
+        buffer = io.StringIO()
+        write_dot(final, buffer)
+        assert buffer.getvalue().startswith("digraph")
+        path = str(tmp_path / "tree.dot")
+        write_dot(final, path)
+        with open(path) as fh:
+            assert fh.read().startswith("digraph")
+
+    def test_dot_on_random_runs_never_crashes(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            scenario = random_scenario(rng, objects=2, toplevel=2)
+            algebra = Level2Algebra(scenario.universe)
+            events = random_run(algebra, scenario, rng)
+            final = algebra.run(events)
+            dot = to_dot(final)
+            # Every vertex appears as a node line.
+            assert dot.count("fillcolor") == len(final.tree.vertices)

@@ -1,0 +1,471 @@
+"""Moss's complete algorithm — the read/write extension (paper §10).
+
+Covers the mode-aware level-2 and level-4 algebras, the conflict-aware
+characterization (Theorem 9 refined), the lock-dropping simulation
+between them, and the engine's conformance to 𝒜'-RW.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_trace_level2rw
+from repro.core import (
+    Abort,
+    Commit,
+    Create,
+    Level2Algebra,
+    Level2RWAlgebra,
+    Level4RWAlgebra,
+    LoseLock,
+    Perform,
+    ReadLockTable,
+    ReleaseLock,
+    U,
+    Universe,
+    add,
+    check_possibilities_lockstep,
+    conflict_sibling_edges,
+    find_rw_serializing_order,
+    is_rw_serializable,
+    is_serializing,
+    mapping_4rw_to_2rw,
+    random_committed_aat,
+    random_run,
+    random_scenario,
+    read,
+    write,
+)
+from repro.engine import NestedTransactionDB
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2, t3 = U.child(1), U.child(2), U.child(3)
+    universe.declare_access(t1.child("r"), "x", read())
+    universe.declare_access(t2.child("r"), "x", read())
+    universe.declare_access(t3.child("w"), "x", write(5))
+    return universe
+
+
+class TestLevel2RW:
+    def test_concurrent_sibling_reads_allowed(self, uni):
+        """The whole point of the extension: two live top-level families
+        may both read — forbidden at plain level 2 by (d12)."""
+        t1, t2 = U.child(1), U.child(2)
+        events = [
+            Create(t1),
+            Create(t1.child("r")),
+            Perform(t1.child("r"), 0),
+            Create(t2),
+            Create(t2.child("r")),
+            Perform(t2.child("r"), 0),
+        ]
+        assert Level2RWAlgebra(uni).is_valid(events)
+        assert not Level2Algebra(uni).is_valid(events)
+
+    def test_write_still_blocked_by_live_read(self, uni):
+        t1, t3 = U.child(1), U.child(3)
+        state = Level2RWAlgebra(uni).run(
+            [Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0),
+             Create(t3), Create(t3.child("w"))]
+        )
+        algebra = Level2RWAlgebra(uni)
+        failure = algebra.precondition_failure(state, Perform(t3.child("w"), 0))
+        assert "(d12-rw)" in failure
+        # Commit the reader's chain and the write proceeds.
+        state = algebra.apply(state, Commit(t1))
+        assert algebra.enabled(state, Perform(t3.child("w"), 0))
+
+    def test_read_blocked_by_live_write(self, uni):
+        t2, t3 = U.child(2), U.child(3)
+        algebra = Level2RWAlgebra(uni)
+        state = algebra.run(
+            [Create(t3), Create(t3.child("w")), Perform(t3.child("w"), 0),
+             Create(t2), Create(t2.child("r"))]
+        )
+        failure = algebra.precondition_failure(state, Perform(t2.child("r"), 5))
+        assert "(d12-rw)" in failure
+
+    def test_d13_still_enforced(self, uni):
+        t2, t3 = U.child(2), U.child(3)
+        algebra = Level2RWAlgebra(uni)
+        state = algebra.run(
+            [Create(t3), Create(t3.child("w")), Perform(t3.child("w"), 0),
+             Commit(t3), Create(t2), Create(t2.child("r"))]
+        )
+        failure = algebra.precondition_failure(state, Perform(t2.child("r"), 0))
+        assert "(d13)" in failure
+        assert algebra.enabled(state, Perform(t2.child("r"), 5))
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem14_rw(self, seed):
+        """Computability in 𝒜'-RW implies perm(T) rw-serializable, with a
+        witness passing the exact serializing definition."""
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=3)
+        algebra = Level2RWAlgebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        perm = algebra.run(events).perm()
+        assert is_rw_serializable(perm)
+        order = find_rw_serializing_order(perm)
+        assert order is not None
+        assert is_serializing(perm.tree, order)
+
+
+class TestConflictCharacterization:
+    def test_read_read_pairs_impose_no_edge(self, uni):
+        from repro.core import ACTIVE, COMMITTED, ActionTree, AugmentedActionTree
+
+        t1, t2 = U.child(1), U.child(2)
+        status = {
+            U: ACTIVE,
+            t1: COMMITTED,
+            t1.child("r"): COMMITTED,
+            t2: COMMITTED,
+            t2.child("r"): COMMITTED,
+        }
+        labels = {t1.child("r"): 0, t2.child("r"): 0}
+        aat = AugmentedActionTree(
+            ActionTree(uni, status, labels),
+            {"x": (t1.child("r"), t2.child("r"))},
+        )
+        assert conflict_sibling_edges(aat) == set()
+        assert aat.sibling_data_edges() == {(t1, t2)}
+
+    def test_rw_weaker_than_data_serializable(self):
+        """An AAT with a read-read 'cycle' is rw-serializable but not
+        data-serializable: the refinement matters."""
+        from repro.core import (
+            ACTIVE,
+            COMMITTED,
+            ActionTree,
+            AugmentedActionTree,
+            is_data_serializable,
+        )
+
+        universe = Universe()
+        universe.define_object("x", init=0)
+        universe.define_object("y", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        rx1, ry1 = t1.child(0), t1.child(1)
+        rx2, ry2 = t2.child(0), t2.child(1)
+        universe.declare_access(rx1, "x", read())
+        universe.declare_access(ry1, "y", read())
+        universe.declare_access(rx2, "x", read())
+        universe.declare_access(ry2, "y", read())
+        status = {U: ACTIVE, t1: COMMITTED, t2: COMMITTED}
+        for a in (rx1, ry1, rx2, ry2):
+            status[a] = COMMITTED
+        labels = {a: 0 for a in (rx1, ry1, rx2, ry2)}
+        # x ordered t1→t2 but y ordered t2→t1: a sibling-data cycle out of
+        # pure reads.
+        aat = AugmentedActionTree(
+            ActionTree(universe, status, labels),
+            {"x": (rx1, rx2), "y": (ry2, ry1)},
+        )
+        assert not is_data_serializable(aat)
+        assert is_rw_serializable(aat)
+        order = find_rw_serializing_order(aat)
+        assert is_serializing(aat.tree, order)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_rw_implied_by_data_serializable(self, seed):
+        rng = random.Random(seed)
+        aat = random_committed_aat(rng, 3, 2)
+        from repro.core import is_data_serializable
+
+        if is_data_serializable(aat):
+            assert is_rw_serializable(aat)
+
+
+class TestReadLockTable:
+    def test_grant_and_hold(self):
+        table = ReadLockTable().with_granted("x", U.child(1))
+        assert table.holds("x", U.child(1))
+        assert not table.holds("x", U.child(2))
+        assert table.holders("x") == frozenset([U.child(1)])
+
+    def test_release_moves_to_parent(self):
+        a = U.child(1).child(0)
+        table = ReadLockTable().with_granted("x", a).with_released("x", a)
+        assert not table.holds("x", a)
+        assert table.holds("x", U.child(1))
+
+    def test_lost_discards(self):
+        a = U.child(1)
+        table = ReadLockTable().with_granted("x", a).with_lost("x", a)
+        assert table.holders("x") == frozenset()
+
+    def test_equality(self):
+        a = ReadLockTable().with_granted("x", U.child(1))
+        b = ReadLockTable().with_granted("x", U.child(1))
+        assert a == b and hash(a) == hash(b)
+        assert a != ReadLockTable()
+
+
+class TestLevel4RW:
+    def test_read_does_not_take_write_holding(self, uni):
+        t1 = U.child(1)
+        algebra = Level4RWAlgebra(uni)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0)]
+        )
+        assert state.values.holders("x") == (U,)
+        assert state.reads.holds("x", t1.child("r"))
+
+    def test_concurrent_reads_then_blocked_write(self, uni):
+        t1, t2, t3 = U.child(1), U.child(2), U.child(3)
+        algebra = Level4RWAlgebra(uni)
+        state = algebra.run(
+            [
+                Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0),
+                Create(t2), Create(t2.child("r")), Perform(t2.child("r"), 0),
+                Create(t3), Create(t3.child("w")),
+            ]
+        )
+        failure = algebra.precondition_failure(state, Perform(t3.child("w"), 0))
+        assert "read holder" in failure
+        # Drive both readers' locks to the top; then the write goes.
+        state = algebra.run(
+            [
+                ReleaseLock(t1.child("r"), "x"), Commit(t1), ReleaseLock(t1, "x"),
+                ReleaseLock(t2.child("r"), "x"), Commit(t2), ReleaseLock(t2, "x"),
+            ],
+            start=state,
+        )
+        assert algebra.enabled(state, Perform(t3.child("w"), 0))
+
+    def test_lose_lock_frees_dead_reader(self, uni):
+        t1, t3 = U.child(1), U.child(3)
+        algebra = Level4RWAlgebra(uni)
+        state = algebra.run(
+            [
+                Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0),
+                Abort(t1),
+                LoseLock(t1.child("r"), "x"),
+                Create(t3), Create(t3.child("w")),
+            ]
+        )
+        assert algebra.enabled(state, Perform(t3.child("w"), 0))
+
+    def test_release_requires_holding_something(self, uni):
+        algebra = Level4RWAlgebra(uni)
+        failure = algebra.precondition_failure(
+            algebra.initial_state, ReleaseLock(U.child(1), "x")
+        )
+        assert "(e11)" in failure
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_simulates_level2rw(self, seed):
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level4RWAlgebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        check_possibilities_lockstep(
+            algebra,
+            Level2RWAlgebra(scenario.universe),
+            mapping_4rw_to_2rw(),
+            events,
+        )
+
+
+class TestLevel3RW:
+    """The mode-aware information-retaining level (𝒜''-RW) and the
+    factored chain 4RW → 3RW → 2RW."""
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_3rw_simulates_2rw(self, seed):
+        from repro.core import Level3RWAlgebra, mapping_3rw_to_2rw
+
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level3RWAlgebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        check_possibilities_lockstep(
+            algebra,
+            Level2RWAlgebra(scenario.universe),
+            mapping_3rw_to_2rw(),
+            events,
+        )
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_4rw_simulates_3rw(self, seed):
+        """The mode-aware analogue of the paper's non-singleton h''."""
+        from repro.core import Level3RWAlgebra, mapping_4rw_to_3rw
+
+        rng = random.Random(seed)
+        scenario = random_scenario(rng, objects=3, toplevel=2)
+        algebra = Level4RWAlgebra(scenario.universe)
+        events = random_run(algebra, scenario, rng)
+        check_possibilities_lockstep(
+            algebra,
+            Level3RWAlgebra(scenario.universe),
+            mapping_4rw_to_3rw(scenario.universe),
+            events,
+        )
+
+    def test_reads_never_enter_version_sequences(self, uni):
+        from repro.core import Level3RWAlgebra
+
+        t1 = U.child(1)
+        algebra = Level3RWAlgebra(uni)
+        state = algebra.run(
+            [Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0)]
+        )
+        assert state.versions.holders("x") == (U,)
+        assert state.versions.get("x", U) == ()
+        assert state.reads.holds("x", t1.child("r"))
+
+    def test_write_extends_principal_sequence(self):
+        from repro.core import Level3RWAlgebra
+
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t3 = U.child(3)
+        universe.declare_access(t3.child("w"), "x", write(5))
+        algebra = Level3RWAlgebra(universe)
+        state = algebra.run(
+            [Create(t3), Create(t3.child("w")), Perform(t3.child("w"), 0)]
+        )
+        assert state.versions.get("x", t3.child("w")) == (t3.child("w"),)
+        assert state.versions.principal_value("x", universe) == 5
+
+    def test_witness_only_for_initial_state(self, uni):
+        from repro.core import Level3RWAlgebra, mapping_4rw_to_3rw
+
+        t1 = U.child(1)
+        algebra = Level4RWAlgebra(uni)
+        state = algebra.run([Create(t1), Create(t1.child("r")), Perform(t1.child("r"), 0)])
+        # Reads do not break the witness (value map unchanged)…
+        mapping = mapping_4rw_to_3rw(uni)
+        witness = mapping.witness(state)
+        assert mapping.contains(state, witness)
+        # …but a write does: the initial version map no longer evals right.
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t3 = U.child(3)
+        universe.declare_access(t3.child("w"), "x", write(5))
+        algebra2 = Level4RWAlgebra(universe)
+        state2 = algebra2.run(
+            [Create(t3), Create(t3.child("w")), Perform(t3.child("w"), 0)]
+        )
+        mapping2 = mapping_4rw_to_3rw(universe)
+        with pytest.raises(ValueError):
+            mapping2.witness(state2)
+
+
+class TestLevel5RW:
+    """Moss's complete *distributed* algorithm: ℬ-RW."""
+
+    def _setting(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        universe.declare_access(t1.child("r"), "x", read())
+        universe.declare_access(t2.child("r"), "x", read())
+        from repro.core import HomeAssignment, Level5RWAlgebra
+
+        homes = HomeAssignment(
+            universe, 2, object_homes={"x": 0}, action_homes={t1: 0, t2: 1}
+        )
+        return universe, homes, Level5RWAlgebra(universe, homes), t1, t2
+
+    def test_concurrent_remote_reads(self):
+        """Two top-levels homed on different nodes both read x at its home
+        concurrently — impossible in the single-mode ℬ."""
+        from repro.core import ActionSummary, Level5Algebra, Receive, Send
+        from repro.core.action_tree import ACTIVE
+
+        universe, homes, algebra, t1, t2 = self._setting()
+        ship = ActionSummary({t2: ACTIVE, t2.child("r"): ACTIVE})
+        events = [
+            Create(t1),
+            Create(t1.child("r")),
+            Perform(t1.child("r"), 0),
+            Create(t2),
+            Create(t2.child("r")),
+            Send(1, 0, ship),
+            Receive(0, ship),
+            Perform(t2.child("r"), 0),
+        ]
+        assert algebra.is_valid(events)
+        # The single-mode distributed algebra blocks the second read.
+        single = Level5Algebra(universe, homes)
+        assert not single.is_valid(events)
+
+    def test_local_mapping_and_projection(self):
+        import random as _random
+
+        from repro.core import (
+            HomeAssignment,
+            Level2RWAlgebra as L2RW,
+            Level4RWAlgebra as L4RW,
+            Level5RWAlgebra,
+            RunConfig,
+            check_local_mapping_lockstep,
+            is_rw_serializable as rw_ser,
+            local_mapping_5rw_to_4rw,
+            project_run,
+            random_run as rrun,
+            random_scenario as rscenario,
+        )
+
+        for seed in (3, 7):
+            rng = _random.Random(seed)
+            scenario = rscenario(rng, objects=3, toplevel=3)
+            homes = HomeAssignment(scenario.universe, 3)
+            algebra = Level5RWAlgebra(scenario.universe, homes)
+            events = rrun(algebra, scenario, rng, RunConfig(max_steps=200))
+            check_local_mapping_lockstep(
+                algebra,
+                L4RW(scenario.universe),
+                local_mapping_5rw_to_4rw(scenario.universe, homes),
+                events,
+            )
+            final = L2RW(scenario.universe).run(project_run(events, 2))
+            assert rw_ser(final.perm())
+
+    def test_read_lock_release_at_object_home(self):
+        universe, homes, algebra, t1, _t2 = self._setting()
+        events = [
+            Create(t1),
+            Create(t1.child("r")),
+            Perform(t1.child("r"), 0),
+            ReleaseLock(t1.child("r"), "x"),
+        ]
+        state = algebra.run(events)
+        node = state.node(0)
+        assert not node.reads.holds("x", t1.child("r"))
+        assert node.reads.holds("x", t1)
+
+    def test_release_requires_local_holding(self):
+        universe, homes, algebra, t1, _t2 = self._setting()
+        failure = algebra.precondition_failure(
+            algebra.initial_state, ReleaseLock(t1, "x")
+        )
+        assert "(e11)" in failure
+
+
+class TestEngineConformance:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_rw_engine_traces_are_level2rw_runs(self, seed):
+        db = NestedTransactionDB(initial_values(10))
+        cfg = WorkloadConfig(
+            objects=10, theta=0.9, shape="bushy", programs=30, seed=seed
+        )
+        execute(db, WorkloadGenerator(cfg).programs(), threads=4, seed=seed)
+        final = check_trace_level2rw(db.trace.records, db.initial_values)
+        assert is_rw_serializable(final.perm())

@@ -1,0 +1,232 @@
+"""Unit tests for serializability search (paper Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ACTIVE,
+    COMMITTED,
+    ActionTree,
+    SearchBudgetExceeded,
+    U,
+    Universe,
+    add,
+    find_serializing_order,
+    is_serializable,
+    is_serializing,
+    read,
+    serial_schedule,
+    write,
+)
+from repro.core.serializability import induced_before, preds, sibling_families
+
+
+def two_transfer_universe():
+    """Two top-level actions each writing then reading x."""
+    universe = Universe()
+    universe.define_object("x", init=0)
+    t1, t2 = U.child(1), U.child(2)
+    universe.declare_access(t1.child("w"), "x", write(1))
+    universe.declare_access(t1.child("r"), "x", read())
+    universe.declare_access(t2.child("w"), "x", write(2))
+    universe.declare_access(t2.child("r"), "x", read())
+    return universe, t1, t2
+
+
+def committed_tree(universe, labels):
+    status = {U: ACTIVE}
+    for access in labels:
+        for anc in access.proper_ancestors():
+            if not anc.is_root:
+                status[anc] = COMMITTED
+        status[access] = COMMITTED
+    return ActionTree(universe, status, labels)
+
+
+class TestSerializableTrees:
+    def test_serial_history_is_serializable(self):
+        universe, t1, t2 = two_transfer_universe()
+        # t1 entirely before t2: t1 reads its own write, t2 reads its own.
+        labels = {
+            t1.child("w"): 0,
+            t1.child("r"): 1,
+            t2.child("w"): 1,
+            t2.child("r"): 2,
+        }
+        tree = committed_tree(universe, labels)
+        order = find_serializing_order(tree)
+        assert order is not None
+        assert is_serializing(tree, order)
+        assert (t1, t2) == tuple(order[U][:2]) or order[U].index(t1) < order[U].index(t2)
+
+    def test_non_serializable_history(self):
+        universe, t1, t2 = two_transfer_universe()
+        # Both transactions read the *other's* write: no serial order works.
+        labels = {
+            t1.child("w"): 0,
+            t1.child("r"): 2,
+            t2.child("w"): 0,
+            t2.child("r"): 1,
+        }
+        tree = committed_tree(universe, labels)
+        assert not is_serializable(tree)
+
+    def test_empty_tree_is_serializable(self):
+        universe, _t1, _t2 = two_transfer_universe()
+        assert is_serializable(ActionTree.initial(universe))
+
+    def test_single_access(self):
+        universe = Universe()
+        universe.define_object("x", init=5)
+        a = U.child(1)
+        universe.declare_access(a, "x", add(1))
+        tree = committed_tree(universe, {a: 5})
+        assert is_serializable(tree)
+        # The wrong label is not serializable.
+        bad = committed_tree(universe, {a: 6})
+        assert not is_serializable(bad)
+
+    def test_serial_schedule_matches_order(self):
+        universe, t1, t2 = two_transfer_universe()
+        labels = {
+            t1.child("w"): 0,
+            t1.child("r"): 1,
+            t2.child("w"): 1,
+            t2.child("r"): 2,
+        }
+        tree = committed_tree(universe, labels)
+        order = find_serializing_order(tree)
+        schedule = serial_schedule(tree, order)
+        assert len(schedule) == 4
+        assert set(schedule) == set(labels)
+
+
+class TestConstructiveDirection:
+    """Trees built by *simulating a serial execution* are serializable —
+    the constructive converse of the search."""
+
+    def _serial_tree(self, seed):
+        import random as _random
+
+        from repro.core import add as add_update
+
+        rng = _random.Random(seed)
+        universe = Universe()
+        n_objects = rng.randint(1, 3)
+        for j in range(n_objects):
+            universe.define_object("x%d" % j, init=0)
+        # Random flat transactions with accesses, executed serially in a
+        # random order; labels are whatever the serial replay produces.
+        txns = [U.child(i) for i in range(rng.randint(1, 4))]
+        accesses = []
+        for t in txns:
+            for k in range(rng.randint(1, 3)):
+                a = t.child(k)
+                obj = "x%d" % rng.randrange(n_objects)
+                roll = rng.random()
+                update = (
+                    read()
+                    if roll < 0.4
+                    else write(rng.randint(1, 9))
+                    if roll < 0.7
+                    else add_update(1)
+                )
+                universe.declare_access(a, obj, update)
+                accesses.append(a)
+        order = list(txns)
+        rng.shuffle(order)
+        values = {obj: universe.init(obj) for obj in universe.objects}
+        labels = {}
+        for t in order:
+            for a in sorted(accesses):
+                if not t.is_ancestor_of(a):
+                    continue
+                obj = universe.object_of(a)
+                labels[a] = values[obj]
+                values[obj] = universe.update_of(a)(values[obj])
+        status = {U: "active"}
+        for t in txns:
+            status[t] = "committed"
+        for a in accesses:
+            status[a] = "committed"
+        return ActionTree(universe, status, labels)
+
+    def test_serial_executions_always_serializable(self):
+        for seed in range(25):
+            tree = self._serial_tree(seed)
+            assert is_serializable(tree, budget=500_000), seed
+
+
+class TestSearchMechanics:
+    def test_budget_enforced(self):
+        universe = Universe()
+        universe.define_object("x", init=0)
+        # 8 children of U, all writes: 8! orderings (all serializable, but
+        # force exhaustion by demanding an impossible label first).
+        labels = {}
+        for i in range(8):
+            a = U.child(i)
+            universe.declare_access(a, "x", add(1))
+            labels[a] = 99  # impossible: replay can never give 99
+        tree = committed_tree(universe, labels)
+        with pytest.raises(SearchBudgetExceeded):
+            find_serializing_order(tree, budget=100)
+
+    def test_sibling_families(self):
+        universe, t1, t2 = two_transfer_universe()
+        labels = {t1.child("w"): 0}
+        tree = committed_tree(universe, labels)
+        families = sibling_families(tree)
+        assert families[U] == [t1]
+        assert families[t1] == [t1.child("w")]
+
+    def test_induced_before(self):
+        universe, t1, t2 = two_transfer_universe()
+        order = {
+            U: (t1, t2),
+            t1: (t1.child("w"), t1.child("r")),
+            t2: (t2.child("w"), t2.child("r")),
+        }
+        assert induced_before(order, t1.child("w"), t2.child("r"))
+        assert not induced_before(order, t2.child("r"), t1.child("w"))
+        assert not induced_before(order, t1.child("w"), t1.child("w"))
+        # Ancestor pairs are unrelated.
+        assert not induced_before(order, t1, t1.child("w"))
+
+    def test_preds_sequence(self):
+        universe, t1, t2 = two_transfer_universe()
+        labels = {
+            t1.child("w"): 0,
+            t1.child("r"): 1,
+            t2.child("w"): 1,
+            t2.child("r"): 2,
+        }
+        tree = committed_tree(universe, labels)
+        order = {
+            U: (t1, t2),
+            t1: (t1.child("w"), t1.child("r")),
+            t2: (t2.child("w"), t2.child("r")),
+        }
+        assert preds(tree, order, t1.child("w")) == []
+        # Reads are data steps too: all three visible same-object steps
+        # precede t2's read in induced order.
+        assert preds(tree, order, t2.child("r")) == [
+            t1.child("w"),
+            t1.child("r"),
+            t2.child("w"),
+        ]
+
+    def test_nested_serialization_freedom(self):
+        """Subtransactions serialize in either order; the search finds the
+        one matching the labels even against name order."""
+        universe = Universe()
+        universe.define_object("x", init=0)
+        t = U.child(1)
+        universe.declare_access(t.child(0), "x", read())   # sees 7 => must come after write
+        universe.declare_access(t.child(1), "x", write(7))
+        labels = {t.child(0): 7, t.child(1): 0}
+        tree = committed_tree(universe, labels)
+        order = find_serializing_order(tree)
+        assert order is not None
+        assert order[t] == (t.child(1), t.child(0))

@@ -1,0 +1,146 @@
+"""Hypothesis property tests for the engine's storage and lock primitives:
+version stacks and Moss lock tables under random legal op sequences."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naming import U, ActionName
+from repro.engine import READ, WRITE, ObjectLocks, VersionStack
+
+
+def chain_of(depth: int) -> List[ActionName]:
+    """U.child(0), U.child(0).child(0), ... — one ancestor line."""
+    chain = []
+    node = U
+    for _ in range(depth):
+        node = node.child(0)
+        chain.append(node)
+    return chain
+
+
+class TestVersionStackProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(0, 99), st.booleans()),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nested_write_then_resolve(self, script):
+        """Random nesting scripts: each step picks a depth, writes there,
+        then either commits the chain up or discards it.  The stack must
+        always mirror a straightforward recursive model."""
+        stack = VersionStack(0)
+        expected_base = 0
+        for depth, value, commit in script:
+            chain = chain_of(depth)
+            # deepest writes
+            for node in chain:
+                stack.ensure_version(node)
+            stack.set_value(chain[-1], value)
+            if commit:
+                for node in reversed(chain):
+                    stack.commit_to_parent(node)
+                expected_base = value
+            else:
+                for node in reversed(chain):
+                    stack.discard(node)
+            # After resolution the stack is just the base entry.
+            assert len(stack.entries) == 1
+            assert stack.owner == U
+            assert stack.current == expected_base
+
+    @given(st.lists(st.integers(0, 99), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_abort_always_restores(self, values):
+        stack = VersionStack(7)
+        txn = U.child(1)
+        stack.ensure_version(txn)
+        for value in values:
+            stack.set_value(txn, value)
+        assert stack.current == values[-1]
+        stack.discard(txn)
+        assert stack.current == 7
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_commit_keeps_owner_chain(self, depth):
+        """Committing only the deepest k levels leaves the stack owned by
+        the right intermediate ancestor."""
+        stack = VersionStack(0)
+        chain = chain_of(depth)
+        for node in chain:
+            stack.ensure_version(node)
+        stack.set_value(chain[-1], 42)
+        stack.commit_to_parent(chain[-1])
+        expected_owner = chain[-2] if depth >= 2 else U
+        assert stack.owner == expected_owner
+        assert stack.current == 42
+
+
+class TestObjectLocksProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.sampled_from([READ, WRITE])),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_grant_is_monotone_in_mode(self, grants):
+        """Granting never downgrades: once WRITE, always WRITE."""
+        locks = ObjectLocks()
+        strongest = {}
+        for txn_index, mode in grants:
+            txn = U.child(txn_index)
+            locks.grant(txn, mode)
+            if strongest.get(txn) != WRITE:
+                strongest[txn] = (
+                    WRITE if mode == WRITE else strongest.get(txn, READ)
+                )
+        for txn, mode in strongest.items():
+            assert locks.mode_of(txn) == mode
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_conflict_symmetry_for_writes(self, i, j):
+        """Between two distinct top-levels, write-write conflicts are
+        symmetric."""
+        a, b = U.child(i), U.child(j)
+        locks_a = ObjectLocks()
+        locks_a.grant(a, WRITE)
+        locks_b = ObjectLocks()
+        locks_b.grant(b, WRITE)
+        conflict_ab = bool(locks_a.conflicts_with(b, WRITE))
+        conflict_ba = bool(locks_b.conflicts_with(a, WRITE))
+        assert conflict_ab == conflict_ba == (a != b)
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_inheritance_chain_reaches_top(self, depth):
+        """A lock inherited level by level ends at the top-level holder
+        and never blocks descendants along the way."""
+        locks = ObjectLocks()
+        chain = chain_of(depth)
+        locks.grant(chain[-1], WRITE)
+        for node in reversed(chain[1:]):
+            # Holders are always ancestors of the original acquirer.
+            assert locks.conflicts_with(chain[-1], WRITE) == []
+            locks.inherit(node)
+        assert locks.mode_of(chain[0]) == WRITE
+        # A different top-level now conflicts.
+        assert locks.conflicts_with(U.child(9), WRITE) == [chain[0]]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.booleans()), max_size=15)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_readers_never_block_each_other(self, ops):
+        locks = ObjectLocks()
+        for txn_index, _unused in ops:
+            locks.grant(U.child(txn_index), READ)
+        for txn_index, _unused in ops:
+            assert locks.conflicts_with(U.child(txn_index + 10), READ) == []

@@ -1,0 +1,126 @@
+"""Property tests for action summaries (paper §9.1): the ≼ relation and
+union form the lattice the buffer semantics rely on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ABORTED, ACTIVE, COMMITTED, ActionSummary, U
+
+
+@st.composite
+def summaries(draw):
+    """Summaries over a small action pool with coherent statuses: one
+    global 'true' status per action, and each summary knows either
+    nothing, 'active', or the true status — the knowledge states valid
+    runs produce."""
+    pool = [U.child(i) for i in range(5)]
+    truth = {
+        action: draw(st.sampled_from([ACTIVE, COMMITTED, ABORTED]))
+        for action in pool
+    }
+    status = {}
+    for action in pool:
+        knowledge = draw(st.sampled_from(["none", "stale", "true"]))
+        if knowledge == "stale":
+            status[action] = ACTIVE
+        elif knowledge == "true":
+            status[action] = truth[action]
+    return ActionSummary(status)
+
+
+@st.composite
+def summary_pairs(draw):
+    """Two summaries drawn against the *same* truth (so unions never see
+    committed/aborted conflicts)."""
+    pool = [U.child(i) for i in range(5)]
+    truth = {
+        action: draw(st.sampled_from([ACTIVE, COMMITTED, ABORTED]))
+        for action in pool
+    }
+
+    def one():
+        status = {}
+        for action in pool:
+            knowledge = draw(st.sampled_from(["none", "stale", "true"]))
+            if knowledge == "stale":
+                status[action] = ACTIVE
+            elif knowledge == "true":
+                status[action] = truth[action]
+        return ActionSummary(status)
+
+    return one(), one()
+
+
+class TestLatticeProperties:
+    @given(summaries())
+    def test_containment_reflexive(self, summary):
+        assert summary.contained_in(summary)
+
+    @given(summary_pairs())
+    def test_union_is_upper_bound(self, pair):
+        a, b = pair
+        merged = a.union(b)
+        assert a.contained_in(merged)
+        assert b.contained_in(merged)
+
+    @given(summary_pairs())
+    def test_union_commutative(self, pair):
+        a, b = pair
+        assert a.union(b) == b.union(a)
+
+    @given(summaries())
+    def test_union_idempotent(self, summary):
+        assert summary.union(summary) == summary
+
+    @given(summary_pairs())
+    def test_empty_is_bottom(self, pair):
+        a, _b = pair
+        empty = ActionSummary.empty()
+        assert empty.contained_in(a)
+        assert empty.union(a) == a
+
+    @given(summary_pairs())
+    def test_containment_transitive_through_union(self, pair):
+        a, b = pair
+        merged = a.union(b)
+        bigger = merged.union(a)
+        assert merged.contained_in(bigger)
+
+
+class TestEdgeCases:
+    def test_of_tree_roundtrip(self):
+        from repro.core import ActionTree, Universe
+
+        universe = Universe()
+        universe.define_object("x", init=0)
+        tree = ActionTree.initial(universe).with_created(U.child(1))
+        summary = ActionSummary.of_tree(tree)
+        assert summary.is_active(U)
+        assert summary.is_active(U.child(1))
+        assert summary.contained_in(tree)
+
+    def test_single(self):
+        s = ActionSummary.single(U.child(1), COMMITTED)
+        assert len(s) == 1
+        assert s.is_committed(U.child(1))
+        assert s.is_done(U.child(1))
+        assert not s.is_done(U.child(2))
+
+    def test_containment_fails_on_status_downgrade(self):
+        committed = ActionSummary.single(U.child(1), COMMITTED)
+        aborted = ActionSummary.single(U.child(1), ABORTED)
+        assert not committed.contained_in(aborted)
+        assert not aborted.contained_in(committed)
+
+    def test_contained_in_rejects_other_types(self):
+        # (Empty summaries are vacuously contained in anything, so probe
+        # with a non-empty one.)
+        with pytest.raises(TypeError):
+            ActionSummary.single(U.child(1), ACTIVE).contained_in(42)
+
+    def test_repr(self):
+        s = ActionSummary.single(U.child(1), ACTIVE)
+        assert "1a/0c/0x" in repr(s)

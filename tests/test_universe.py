@@ -1,0 +1,147 @@
+"""Unit tests for objects, accesses, and result() (paper Section 3.1/3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import U, Universe, add, apply_fn, read, write
+
+
+@pytest.fixture
+def uni():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    universe.define_object("y", init=5, values=range(100))
+    return universe
+
+
+class TestObjects:
+    def test_define_and_query(self, uni):
+        assert uni.has_object("x")
+        assert uni.init("x") == 0
+        assert uni.init("y") == 5
+        assert set(uni.objects) == {"x", "y"}
+
+    def test_initial_assignment(self, uni):
+        assert uni.initial_assignment() == {"x": 0, "y": 5}
+
+    def test_redefinition_must_match(self, uni):
+        uni.define_object("x", init=0)  # idempotent
+        with pytest.raises(ValueError):
+            uni.define_object("x", init=1)
+
+    def test_value_domain_enforced(self, uni):
+        spec = uni.object_spec("y")
+        spec.check_value(99)
+        with pytest.raises(ValueError):
+            spec.check_value(100)
+
+    def test_unconstrained_domain(self, uni):
+        uni.object_spec("x").check_value("anything")
+
+
+class TestAccesses:
+    def test_declare_and_query(self, uni):
+        a = U.child(0).child("r")
+        uni.declare_access(a, "x", read())
+        assert uni.is_access(a)
+        assert uni.object_of(a) == "x"
+        assert uni.update_of(a).is_read
+        assert not uni.is_access(U.child(0))
+
+    def test_same_object(self, uni):
+        a = U.child(0).child(0)
+        b = U.child(1).child(0)
+        c = U.child(2)
+        uni.declare_access(a, "x", read())
+        uni.declare_access(b, "x", write(3))
+        uni.declare_access(c, "y", read())
+        assert uni.same_object(a, b)
+        assert not uni.same_object(a, c)
+
+    def test_root_cannot_be_access(self, uni):
+        with pytest.raises(ValueError):
+            uni.declare_access(U, "x", read())
+
+    def test_unknown_object_rejected(self, uni):
+        with pytest.raises(KeyError):
+            uni.declare_access(U.child(0), "zzz", read())
+
+    def test_accesses_stay_leaves(self, uni):
+        parent = U.child(0)
+        uni.declare_access(parent, "x", read())
+        with pytest.raises(ValueError):
+            uni.declare_access(parent.child(0), "x", read())
+
+    def test_redeclaration_must_match(self, uni):
+        a = U.child(0)
+        uni.declare_access(a, "x", write(1))
+        uni.declare_access(a, "x", write(1))  # idempotent
+        with pytest.raises(ValueError):
+            uni.declare_access(a, "x", write(2))
+        with pytest.raises(ValueError):
+            uni.declare_access(a, "y", write(1))
+
+    def test_accesses_to(self, uni):
+        a = U.child(0)
+        b = U.child(1)
+        uni.declare_access(a, "x", read())
+        uni.declare_access(b, "y", read())
+        assert list(uni.accesses_to("x")) == [a]
+
+    def test_check_label(self, uni):
+        a = U.child(0)
+        uni.declare_access(a, "y", read())
+        uni.check_label(a, 10)
+        with pytest.raises(ValueError):
+            uni.check_label(a, 1000)
+
+
+class TestUpdateFunctions:
+    def test_read_is_identity(self):
+        assert read()(42) == 42
+        assert read().is_read
+
+    def test_write_is_constant(self):
+        w = write(7)
+        assert w(0) == 7
+        assert w(100) == 7
+        assert not w.is_read
+        assert "write" in repr(w)
+
+    def test_add(self):
+        assert add(3)(4) == 7
+
+    def test_apply_fn(self):
+        double = apply_fn("double", lambda v: v * 2)
+        assert double(21) == 42
+        assert repr(double) == "update:double"
+
+
+class TestResult:
+    def test_empty_sequence_gives_init(self, uni):
+        assert uni.result("x", []) == 0
+        assert uni.result("y", []) == 5
+
+    def test_sequential_application(self, uni):
+        a = U.child(0)
+        b = U.child(1)
+        c = U.child(2)
+        uni.declare_access(a, "x", write(10))
+        uni.declare_access(b, "x", add(5))
+        uni.declare_access(c, "y", add(1))
+        # c involves y, so it is skipped when evaluating x.
+        assert uni.result("x", [a, c, b]) == 15
+        assert uni.result("y", [a, c, b]) == 6
+
+    def test_order_matters(self, uni):
+        w = U.child(0)
+        p = U.child(1)
+        uni.declare_access(w, "x", write(10))
+        uni.declare_access(p, "x", add(5))
+        assert uni.result("x", [w, p]) == 15
+        assert uni.result("x", [p, w]) == 10
+
+    def test_non_access_rejected(self, uni):
+        with pytest.raises(KeyError):
+            uni.result("x", [U.child(99)])

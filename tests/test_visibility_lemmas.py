@@ -1,0 +1,73 @@
+"""Property tests for Lemmas 5, 6, and 7 on random action trees."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    ActionTree,
+    Level2Algebra,
+    U,
+    Universe,
+    random_run,
+    random_scenario,
+)
+from repro.checker import check_lemma5, check_lemma6, check_lemma7
+
+
+@st.composite
+def random_trees(draw):
+    """Arbitrary well-formed action trees (statuses unconstrained beyond
+    structure — the lemmas are about tree shape, not computability)."""
+    universe = Universe()
+    universe.define_object("x", init=0)
+    status = {U: ACTIVE}
+    n = draw(st.integers(min_value=1, max_value=12))
+    vertices = [U]
+    for _ in range(n):
+        parent = draw(st.sampled_from(vertices))
+        child = parent.child(len(vertices))
+        vertices.append(child)
+        status[child] = draw(st.sampled_from([ACTIVE, COMMITTED, ABORTED]))
+    return ActionTree(universe, status, {})
+
+
+@given(random_trees())
+@settings(max_examples=150, deadline=None)
+def test_lemma5_on_random_trees(tree):
+    check_lemma5(tree)
+
+
+@given(random_trees())
+@settings(max_examples=150, deadline=None)
+def test_lemma6_on_random_trees(tree):
+    check_lemma6(tree)
+
+
+@given(random_trees())
+@settings(max_examples=150, deadline=None)
+def test_lemma7_on_random_trees(tree):
+    check_lemma7(tree)
+
+
+@given(st.integers(min_value=0, max_value=40))
+@settings(max_examples=30, deadline=None)
+def test_lemmas_on_computable_level2_trees(seed):
+    """The lemmas also hold along actual computations (not just arbitrary
+    trees): check every prefix of a random level-2 run."""
+    rng = random.Random(seed)
+    scenario = random_scenario(rng, objects=3, toplevel=2, max_depth=3)
+    algebra = Level2Algebra(scenario.universe)
+    events = random_run(algebra, scenario, rng)
+    state = algebra.initial_state
+    for event in events:
+        state = algebra.apply(state, event)
+    check_lemma5(state.tree)
+    check_lemma6(state.tree)
+    check_lemma7(state.tree)

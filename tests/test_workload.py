@@ -1,0 +1,172 @@
+"""Workload shapes, generation determinism, Zipf skew, and the executor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import FlatLockingDB
+from repro.engine import NestedTransactionDB
+from repro.workload import (
+    Block,
+    Op,
+    Program,
+    WorkloadConfig,
+    WorkloadGenerator,
+    ZipfSampler,
+    all_failure_points,
+    bushy,
+    chain,
+    execute,
+    flat,
+    initial_values,
+    nested_uniform,
+    object_names,
+)
+
+
+class TestShapes:
+    def test_flat(self):
+        p = flat([Op("read", "a"), Op("write", "b", 1)])
+        assert p.op_count == 2
+        assert p.root.depth() == 1
+        assert p.root.count_blocks() == 1
+
+    def test_chain_depth(self):
+        p = chain([[Op("read", "a")], [Op("read", "b")], [Op("read", "c")]])
+        assert p.root.depth() == 3
+        assert p.op_count == 3
+        assert len(all_failure_points(p)) == 2  # every descent is a point
+
+    def test_bushy(self):
+        p = bushy([[Op("read", "a")], [Op("read", "b")]], parallel=True)
+        assert p.root.parallel
+        assert p.root.count_blocks() == 3
+        assert len(all_failure_points(p)) == 2
+
+    def test_nested_uniform(self):
+        p = nested_uniform(2, 2, [Op("rmw", "a", 1)])
+        # depth 2 fanout 2: root + 2 mid + 4 leaves
+        assert p.root.count_blocks() == 7
+        assert p.op_count == 4
+        assert p.root.depth() == 3
+
+    def test_ops_collection(self):
+        inner = Block([Op("read", "x")])
+        outer = Block([Op("write", "y", 1), inner])
+        assert [op.obj for op in outer.ops()] == ["y", "x"]
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        cfg = WorkloadConfig(seed=5, programs=10)
+        a = WorkloadGenerator(cfg).programs()
+        b = WorkloadGenerator(cfg).programs()
+        assert [p.root.ops() for p in a] == [q.root.ops() for q in b]
+
+    def test_object_names(self):
+        assert object_names(3) == ["obj0000", "obj0001", "obj0002"]
+        assert initial_values(2, 9) == {"obj0000": 9, "obj0001": 9}
+
+    def test_all_shapes_generate(self):
+        for shape in ["flat", "chain", "bushy", "uniform"]:
+            cfg = WorkloadConfig(shape=shape, programs=3, seed=1)
+            programs = WorkloadGenerator(cfg).programs()
+            assert len(programs) == 3
+            assert all(p.op_count > 0 for p in programs)
+
+    def test_unknown_shape(self):
+        cfg = WorkloadConfig(shape="pyramid")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(cfg).programs()
+
+    def test_read_ratio_respected(self):
+        cfg = WorkloadConfig(read_ratio=1.0, programs=20, seed=2)
+        programs = WorkloadGenerator(cfg).programs()
+        kinds = {op.kind for p in programs for op in p.root.ops()}
+        assert kinds == {"read"}
+
+
+class TestZipf:
+    def test_uniform_when_theta_zero(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(10, 0.0, rng)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_skew_concentrates(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(100, 1.2, rng)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        # rank 0 should dominate the tail decisively
+        assert counts[0] > 10 * max(counts[50:])
+
+    def test_single_item(self):
+        sampler = ZipfSampler(1, 0.9, random.Random(0))
+        assert sampler.sample() == 0
+
+    def test_requires_items(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.5, random.Random(0))
+
+
+class TestExecutor:
+    def test_all_programs_commit_without_failures(self):
+        db = NestedTransactionDB(initial_values(16))
+        cfg = WorkloadConfig(objects=16, programs=20, seed=3)
+        programs = WorkloadGenerator(cfg).programs()
+        report = execute(db, programs, threads=3, seed=3)
+        assert report.committed_programs == 20
+        assert report.failed_programs == 0
+        # Every planned op eventually commits (deadlock-victim blocks are
+        # retried, so attempted may exceed committed, never the reverse).
+        assert report.ops_committed == sum(p.op_count for p in programs)
+        assert report.ops_attempted >= report.ops_committed
+        assert report.throughput > 0
+        assert report.goodput > 0
+
+    def test_report_row_shape(self):
+        db = NestedTransactionDB(initial_values(4))
+        cfg = WorkloadConfig(objects=4, programs=2, seed=0)
+        report = execute(db, WorkloadGenerator(cfg).programs(), threads=1)
+        row = report.as_row()
+        assert "throughput" in row and "db_stats" not in row
+        assert report.wasted_ops == 0
+
+    def test_nested_contains_failures_flat_retries(self):
+        cfg = WorkloadConfig(objects=16, shape="bushy", groups=4, programs=30, seed=4)
+        programs = WorkloadGenerator(cfg).programs()
+
+        nested = NestedTransactionDB(initial_values(16))
+        nested_report = execute(nested, programs, threads=2, failure_prob=0.4, seed=4)
+        flat_db = FlatLockingDB(initial_values(16))
+        flat_report = execute(flat_db, programs, threads=2, failure_prob=0.4, seed=4)
+
+        # Both complete everything (injection fires once per point)...
+        assert nested_report.committed_programs == 30
+        assert flat_report.committed_programs == 30
+        # ...but the nested system contains failures in child aborts while
+        # the flat system pays a whole-transaction retry per failure.
+        assert nested_report.child_aborts >= nested_report.injected > 0
+        assert flat_report.child_aborts == 0
+        assert flat_report.retries >= flat_report.injected > 0
+
+    def test_injection_counts_match(self):
+        db = NestedTransactionDB(initial_values(8))
+        cfg = WorkloadConfig(objects=8, shape="bushy", groups=2, programs=20, seed=5)
+        programs = WorkloadGenerator(cfg).programs()
+        report = execute(db, programs, threads=2, failure_prob=1.0, seed=5)
+        # Every failure point fires exactly once.
+        expected = sum(len(all_failure_points(p)) for p in programs)
+        assert report.injected == expected
+
+    def test_single_thread_execution(self):
+        db = NestedTransactionDB(initial_values(4))
+        cfg = WorkloadConfig(objects=4, programs=5, seed=6)
+        report = execute(db, WorkloadGenerator(cfg).programs(), threads=1)
+        assert report.committed_programs == 5
