@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench import Table, emit
 from repro.core import (

@@ -17,7 +17,6 @@ Run:  python examples/formal_walkthrough.py
 from __future__ import annotations
 
 from repro.core import (
-    Abort,
     Commit,
     Create,
     HomeAssignment,
@@ -90,7 +89,7 @@ def main() -> None:
         Receive(1, peek_done),
         Commit(t2),
     ]
-    final5 = level5.run(events)
+    level5.run(events)
     print("level-5 run: %d events, valid by construction" % len(events))
 
     # --- Down the simulation chain, checking every clause -----------------

@@ -12,12 +12,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro.checker import check_engine
-from repro.engine import (
-    InjectedFailure,
-    NestedTransactionDB,
-    TransactionAborted,
-    recovery_block,
-)
+from repro.engine import InjectedFailure, NestedTransactionDB, recovery_block
 
 
 def main() -> None:

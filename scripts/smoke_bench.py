@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: a down-scaled E1 cell in both latch modes.
+
+Runs in seconds, not minutes.  For each ``latch_mode`` the same workload
+executes with trace recording on; the run then must
+
+* commit every program,
+* pass the serializability oracle **and** the level-2 trace-conformance
+  replay (``repro.checker.check_engine``), and
+* quiesce (no leaked locks or dangling versions).
+
+The JSON summary (throughput, conflict counters, oracle verdicts) is
+written to ``--out`` for upload as a workflow artifact.  Exit status is
+non-zero if any mode fails its checks — in particular, if the striped
+engine's trace replay fails, CI fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.checker import OracleViolation, check_engine
+from repro.engine import NestedTransactionDB
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+MODES = ("global", "striped")
+
+
+def run_mode(latch_mode: str, threads: int, programs: int) -> dict:
+    db = NestedTransactionDB(
+        initial_values(32), latch_mode=latch_mode, record_trace=True
+    )
+    config = WorkloadConfig(
+        objects=32,
+        theta=0.6,
+        shape="mixed",
+        ops_per_transaction=8,
+        programs=programs,
+        seed=7,
+    )
+    report = execute(
+        db,
+        WorkloadGenerator(config).programs(),
+        threads=threads,
+        failure_prob=0.1,
+        seed=7,
+    )
+    summary = {
+        "latch_mode": latch_mode,
+        "stripes": db.stripe_count,
+        "committed_programs": report.committed_programs,
+        "programs": programs,
+        "throughput": round(report.throughput, 1),
+        "goodput": round(report.goodput, 1),
+        "retries": report.retries,
+        "trace_records": len(db.trace.records),
+        "db_stats": report.db_stats,
+    }
+    ok = True
+    try:
+        oracle = check_engine(db)
+        summary["oracle_ok"] = bool(oracle.ok)
+        ok &= bool(oracle.ok)
+    except OracleViolation as violation:
+        summary["oracle_ok"] = False
+        summary["oracle_error"] = str(violation)
+        ok = False
+    try:
+        db.assert_quiescent()
+        summary["quiescent"] = True
+    except AssertionError as leak:
+        summary["quiescent"] = False
+        summary["quiescence_error"] = str(leak)
+        ok = False
+    if report.committed_programs != programs:
+        ok = False
+    summary["ok"] = ok
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="smoke_bench.json")
+    parser.add_argument("--threads", type=int, default=6)
+    parser.add_argument("--programs", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    summaries = [run_mode(mode, args.threads, args.programs) for mode in MODES]
+    result = {"experiment": "ci-smoke-e1", "modes": summaries}
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    for summary in summaries:
+        status = "ok" if summary["ok"] else "FAILED"
+        print(
+            "%-8s %-7s %6.1f txn/s  oracle=%s quiescent=%s"
+            % (
+                summary["latch_mode"],
+                status,
+                summary["throughput"],
+                summary.get("oracle_ok"),
+                summary.get("quiescent"),
+            )
+        )
+    if not all(summary["ok"] for summary in summaries):
+        print("smoke benchmark FAILED; see %s" % args.out, file=sys.stderr)
+        return 1
+    print("smoke benchmark passed; summary written to %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

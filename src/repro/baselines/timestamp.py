@@ -23,8 +23,8 @@ import itertools
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping
 
 from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
 from ..core.naming import U, ActionName

@@ -1,6 +1,14 @@
 """Benchmark harness: system builders and table reporting."""
 
-from .harness import SYSTEMS, Cell, make_system, run_cell
+from .harness import SYSTEMS, Cell, make_striped_system, make_system, run_cell
 from .reporting import Table, emit
 
-__all__ = ["Cell", "SYSTEMS", "Table", "emit", "make_system", "run_cell"]
+__all__ = [
+    "Cell",
+    "SYSTEMS",
+    "Table",
+    "emit",
+    "make_striped_system",
+    "make_system",
+    "run_cell",
+]

@@ -8,7 +8,7 @@ single workload cell is run and summarized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from ..baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
 from ..engine import NestedTransactionDB
@@ -23,6 +23,9 @@ from ..workload import (
 #: The systems compared throughout E1-E7, by short name.
 SYSTEMS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "moss-rw": lambda init: NestedTransactionDB(init, record_trace=False),
+    "moss-striped": lambda init: NestedTransactionDB(
+        init, latch_mode="striped", record_trace=False
+    ),
     "moss-single": lambda init: NestedTransactionDB(
         init, single_mode=True, record_trace=False
     ),
@@ -44,6 +47,21 @@ SYSTEMS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 def make_system(name: str, objects: int) -> Any:
     """Instantiate a system under test over a fresh object population."""
     return SYSTEMS[name](initial_values(objects))
+
+
+def make_striped_system(
+    objects: int, stripes: int, record_trace: bool = False, **kwargs: Any
+) -> NestedTransactionDB:
+    """A striped-latch engine with an explicit stripe count — the
+    stripe-count sweeps build their systems here instead of via
+    :data:`SYSTEMS` so the sharding factor is a benchmark axis."""
+    return NestedTransactionDB(
+        initial_values(objects),
+        latch_mode="striped",
+        stripes=stripes,
+        record_trace=record_trace,
+        **kwargs,
+    )
 
 
 @dataclass

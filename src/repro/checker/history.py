@@ -26,10 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.aat import AugmentedActionTree
 from ..core.action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
-from ..core.characterization import (
-    conflict_sibling_edges as _core_conflict_edges,
-    find_sibling_data_cycle,
-)
+from ..core.characterization import conflict_sibling_edges as _core_conflict_edges
 from ..core.events import Create, Event, Perform
 from ..core.level2 import Level2Algebra
 from ..core.naming import ActionName

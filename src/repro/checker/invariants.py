@@ -8,15 +8,14 @@ the executable counterpart of the paper's universally quantified claims.
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..core.aat import AugmentedActionTree
 from ..core.action_tree import ActionTree
 from ..core.algebra import EventStateAlgebra
 from ..core.events import Event
 from ..core.level3 import Level3State
-from ..core.naming import U, ActionName
+from ..core.naming import U
 from ..core.universe import Universe
 from ..core.value_map import ValueMap
 from ..core.version_map import VersionMap

@@ -25,7 +25,7 @@ What the checker lets you demonstrate (see tests):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..core.aat import AugmentedActionTree
 from ..core.algebra import EventStateAlgebra

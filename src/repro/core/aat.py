@@ -15,7 +15,7 @@ between ``preds`` and ``v-data``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 from .action_tree import ActionTree
 from .naming import ActionName

@@ -15,7 +15,7 @@ plain functions on values, exactly as in the paper's ``h: Π' → Π ∪ {Λ}``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Optional, Union
 
 from .naming import ActionName
 

@@ -31,9 +31,6 @@ from .events import (
     ReleaseLock,
     Send,
 )
-from .level2 import Level2Algebra
-from .level3 import Level3State
-from .level4 import Level4State
 from .level5 import Level5Algebra, Level5State
 from .naming import U, ActionName
 from .summary import ActionSummary

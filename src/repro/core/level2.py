@@ -17,7 +17,7 @@ makes the level-2 → level-1 simulation (Lemma 15) go through.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from .aat import AugmentedActionTree
 from .algebra import EventStateAlgebra

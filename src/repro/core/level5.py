@@ -19,7 +19,7 @@ mode-aware algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from .action_tree import ABORTED, ACTIVE, COMMITTED
 from .distributed_algebra import DistributedAlgebra
@@ -35,7 +35,7 @@ from .events import (
     Send,
 )
 from .home import HomeAssignment
-from .naming import U, ActionName
+from .naming import U
 from .summary import ActionSummary
 from .universe import Universe
 from .value_map import ValueMap

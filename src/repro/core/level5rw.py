@@ -34,7 +34,7 @@ from .events import (
     Send,
 )
 from .home import HomeAssignment
-from .level5 import BUFFER, Level5Algebra, Level5State, NodeState
+from .level5 import BUFFER, Level5State
 from .mappings import interpret_drop_messages
 from .naming import U, ActionName
 from .rw import Level4RWState, ReadLockTable

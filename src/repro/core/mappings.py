@@ -18,27 +18,16 @@ any valid level-5 run projects to valid runs at levels 4, 3, 2, and 1.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .aat import AugmentedActionTree
 from .action_tree import ActionTree
-from .events import (
-    Abort,
-    Commit,
-    Create,
-    Event,
-    LoseLock,
-    Perform,
-    Receive,
-    ReleaseLock,
-    Send,
-)
+from .events import Event, LoseLock, Receive, ReleaseLock, Send
 from .distributed_algebra import LocalMapping
 from .home import HomeAssignment
 from .level3 import Level3State
 from .level4 import Level4State
 from .level5 import BUFFER, Level5State
-from .naming import U
 from .simulation import PossibilitiesMapping, interpret_sequence
 from .universe import Universe
 from .value_map import ValueMap

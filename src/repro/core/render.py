@@ -12,19 +12,8 @@ from typing import Dict, List, Optional, Sequence, TextIO, Union
 
 from .aat import AugmentedActionTree
 from .action_tree import ABORTED, ACTIVE, COMMITTED, ActionTree
-from .events import (
-    Abort,
-    Commit,
-    Create,
-    Event,
-    LoseLock,
-    Perform,
-    Receive,
-    ReleaseLock,
-    Send,
-    describe,
-)
-from .naming import U, ActionName
+from .events import Event, describe
+from .naming import ActionName
 
 
 def render_run(

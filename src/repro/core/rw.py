@@ -28,12 +28,12 @@ mapping, checked in lockstep exactly like h' in the simplified chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional
 
 from .aat import AugmentedActionTree
 from .algebra import EventStateAlgebra
 from .events import Abort, Commit, Create, Event, LoseLock, Perform, ReleaseLock
-from .naming import U, ActionName
+from .naming import ActionName
 from .preconditions import (
     abort_failure,
     commit_failure,

@@ -16,7 +16,7 @@ in :mod:`repro.core.characterization` (Theorem 9).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from .action_tree import ActionTree
 from .naming import ActionName

@@ -19,10 +19,10 @@ commuting diagram of Figure 1, instantiated at each step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-from .algebra import EventStateAlgebra, EventNotEnabledError
+from .algebra import EventStateAlgebra
 from .events import Event, describe
 
 C = TypeVar("C")  # concrete states

@@ -17,9 +17,9 @@ The E5 benchmark compares the message bills of the three.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Set
 
-from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.action_tree import ABORTED, COMMITTED
 from ..core.explorer import Scenario
 from ..core.home import HomeAssignment
 from ..core.naming import ActionName

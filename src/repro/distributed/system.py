@@ -20,8 +20,8 @@ The scheduler adds what the algebra deliberately leaves open:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
 from ..core.events import (
@@ -38,7 +38,7 @@ from ..core.events import (
 from ..core.explorer import Scenario
 from ..core.home import HomeAssignment
 from ..core.level5 import Level5Algebra, Level5State
-from ..core.naming import U, ActionName
+from ..core.naming import ActionName
 from ..core.summary import ActionSummary
 from .policy import BROADCAST, GOSSIP, TARGETED, PolicyConfig, all_other_nodes, interested_nodes
 

@@ -1,7 +1,7 @@
 """The nested-transaction engine: Moss locking, versioned storage,
 deadlock handling, failure injection, and oracle-ready trace recording."""
 
-from .database import EngineStats, NestedTransactionDB
+from .database import EngineStats, NestedTransactionDB, StripedEngineStats
 from .deadlock import BLOCKER, REQUESTER, YOUNGEST, WaitsForGraph, choose_victim
 from .errors import (
     DeadlockAbort,
@@ -11,7 +11,15 @@ from .errors import (
     TransactionAborted,
     UnknownObject,
 )
-from .locks import READ, WRITE, ObjectLocks
+from .locks import (
+    DEFAULT_STRIPES,
+    READ,
+    WRITE,
+    LockStripe,
+    ObjectLocks,
+    StripedLockTable,
+    stripe_index,
+)
 from .recovery import (
     FailureInjector,
     InjectedFailure,
@@ -24,18 +32,22 @@ from .transaction import Outcome, Transaction
 
 __all__ = [
     "BLOCKER",
+    "DEFAULT_STRIPES",
     "DeadlockAbort",
     "EngineError",
     "EngineStats",
     "FailureInjector",
     "InjectedFailure",
     "InvalidTransactionState",
+    "LockStripe",
     "LockTimeout",
     "NestedTransactionDB",
     "ObjectLocks",
     "Outcome",
     "READ",
     "REQUESTER",
+    "StripedEngineStats",
+    "StripedLockTable",
     "TraceRecord",
     "TraceRecorder",
     "Transaction",
@@ -49,4 +61,5 @@ __all__ = [
     "choose_victim",
     "recovery_block",
     "retry_subtransaction",
+    "stripe_index",
 ]

@@ -4,15 +4,33 @@
 lock table (:mod:`repro.engine.locks`), the version stacks
 (:mod:`repro.engine.storage`), deadlock handling
 (:mod:`repro.engine.deadlock`) and trace recording
-(:mod:`repro.engine.trace`).  One latch (a condition variable) guards all
-shared state; blocked lock requests wait on it and are re-checked whenever
-any transaction commits or aborts.
+(:mod:`repro.engine.trace`).
+
+Two latch modes, selected by the ``latch_mode`` constructor flag:
+
+* ``"global"`` — one latch (a condition variable) guards all shared
+  state; blocked lock requests wait on it and are re-checked whenever any
+  transaction commits or aborts.  Simple, and the reference behaviour the
+  striped mode is A/B-compared against.
+* ``"striped"`` — objects hash onto N lock stripes, each with its own
+  mutex and per-object wait queues; conflicting requests on different
+  objects never contend, and commits/aborts wake only the waiters parked
+  on the objects whose locks actually changed.  Transaction lifecycle
+  metadata sits behind a small separate latch, multi-object sections
+  (commit-time lock inheritance, subtree abort) two-phase-acquire every
+  involved stripe in ascending index order, and the waits-for graph and
+  trace recorder carry their own leaf locks.  See DESIGN.md ("Engine
+  architecture: lock striping") for the full locking protocol.
 
 Configuration axes (these drive the E1/E6 benchmarks):
 
 * ``single_mode`` — collapse read locks into write locks, giving exactly
   the paper's simplified single-mode variant of Moss's algorithm;
-* ``deadlock_policy`` — "requester" or "youngest" victim;
+* ``deadlock_policy`` — the victim choice when a cycle is found:
+  ``"blocker"`` (the default: abort the first lock retainer on the chain
+  that is not an ancestor of the requester), ``"requester"`` (abort the
+  transaction that just blocked), or ``"youngest"`` (abort the
+  deepest/latest transaction on the cycle);
 * ``lazy_lock_cleanup`` — on abort, leave dead holders' locks in place to
   be reaped by the next conflicting request (the paper's ``lose-lock``
   event firing late) instead of eagerly.
@@ -23,7 +41,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from contextlib import contextmanager
@@ -38,10 +56,13 @@ from .errors import (
     TransactionAborted,
     UnknownObject,
 )
-from .locks import READ, WRITE, ObjectLocks
+from .locks import DEFAULT_STRIPES, READ, WRITE, ObjectLocks, StripedLockTable
 from .storage import VersionedStore
 from .trace import TraceRecorder
 from .transaction import Transaction
+
+GLOBAL = "global"
+STRIPED = "striped"
 
 
 @dataclass
@@ -61,8 +82,62 @@ class EngineStats:
         return dict(self.__dict__)
 
 
+class StripedEngineStats:
+    """:class:`EngineStats`-compatible view for ``latch_mode="striped"``.
+
+    Lifecycle counters (begun/committed/aborted/deadlocks) are mutated
+    under the metadata latch and live here; data-path counters
+    (reads/writes/lock_waits/lazy_lock_reaps) are sharded across the lock
+    stripes — each guarded by its stripe mutex — and summed on access, so
+    the hot path never touches a shared counter.
+    """
+
+    def __init__(self, table: StripedLockTable) -> None:
+        self._table = table
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+        self.deadlocks = 0
+
+    @property
+    def reads(self) -> int:
+        return sum(stripe.reads for stripe in self._table.stripes)
+
+    @property
+    def writes(self) -> int:
+        return sum(stripe.writes for stripe in self._table.stripes)
+
+    @property
+    def lock_waits(self) -> int:
+        return sum(stripe.lock_waits for stripe in self._table.stripes)
+
+    @property
+    def lazy_lock_reaps(self) -> int:
+        return sum(stripe.lazy_lock_reaps for stripe in self._table.stripes)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "reads": self.reads,
+            "writes": self.writes,
+            "lock_waits": self.lock_waits,
+            "deadlocks": self.deadlocks,
+            "lazy_lock_reaps": self.lazy_lock_reaps,
+        }
+
+
 class NestedTransactionDB:
-    """A thread-safe in-process database with resilient nested transactions."""
+    """A thread-safe in-process database with resilient nested transactions.
+
+    Striped-mode lock order (always acquired left to right, never the
+    reverse): stripe mutexes in ascending stripe index, then the metadata
+    latch, then the leaf locks (waits-for graph, trace counter).  The
+    metadata latch guards the transaction registry, statuses, child
+    lists, held-object sets and the parked-waiter map; each stripe mutex
+    guards the lock tables and version stacks of its objects.
+    """
 
     def __init__(
         self,
@@ -73,13 +148,35 @@ class NestedTransactionDB:
         lock_timeout: float = 10.0,
         lazy_lock_cleanup: bool = False,
         record_trace: bool = True,
+        latch_mode: str = GLOBAL,
+        stripes: int = DEFAULT_STRIPES,
     ) -> None:
+        if latch_mode not in (GLOBAL, STRIPED):
+            raise ValueError(
+                "latch_mode must be %r or %r, got %r"
+                % (GLOBAL, STRIPED, latch_mode)
+            )
+        self.latch_mode = latch_mode
+        self._striped = latch_mode == STRIPED
         self._latch = threading.Lock()
         self._cond = threading.Condition(self._latch)
         self._store = VersionedStore(initial)
-        self._locks: Dict[str, ObjectLocks] = {
-            obj: ObjectLocks() for obj in initial
-        }
+        if self._striped:
+            self._table: Optional[StripedLockTable] = StripedLockTable(
+                initial, stripes
+            )
+            self._locks: Dict[str, ObjectLocks] = {
+                obj: self._table.locks_of(obj) for obj in initial
+            }
+            self._meta = threading.Lock()
+            self._parked: Dict[ActionName, str] = {}
+            self.stats: Any = StripedEngineStats(self._table)
+        else:
+            self._table = None
+            self._locks = {obj: ObjectLocks() for obj in initial}
+            self._meta = self._latch  # alias: one latch guards everything
+            self._parked = {}
+            self.stats = EngineStats()
         self._waits = WaitsForGraph()
         self._txns: Dict[ActionName, Transaction] = {}
         self._top_counter = itertools.count()
@@ -91,13 +188,21 @@ class NestedTransactionDB:
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder() if record_trace else None
         )
-        self.stats = EngineStats()
         self._object_waits: Dict[str, int] = {obj: 0 for obj in initial}
+
+    @property
+    def stripe_count(self) -> int:
+        """Number of lock stripes (1 in global-latch mode)."""
+        return len(self._table.stripes) if self._table is not None else 1
 
     # -- public API ------------------------------------------------------------
 
     def begin_transaction(self) -> Transaction:
         """Begin a new top-level transaction."""
+        if self._striped:
+            with self._meta:
+                name = U.child(next(self._top_counter))
+                return self._begin_locked(name, parent=None)
         with self._cond:
             name = U.child(next(self._top_counter))
             return self._begin_locked(name, parent=None)
@@ -146,6 +251,9 @@ class NestedTransactionDB:
 
     def snapshot(self) -> Dict[str, Any]:
         """Permanently committed values of all objects."""
+        if self._striped:
+            with self._table.locked_all():
+                return self._store.snapshot()
         with self._cond:
             return self._store.snapshot()
 
@@ -157,11 +265,23 @@ class NestedTransactionDB:
     def contention_profile(self, top: int = 10) -> List[Tuple[str, int]]:
         """The hottest objects by lock-wait count, descending — the first
         thing to look at when throughput sags."""
-        with self._cond:
-            ranked = sorted(
-                self._object_waits.items(), key=lambda kv: kv[1], reverse=True
-            )
+        if self._striped:
+            merged: Dict[str, int] = {}
+            for stripe in self._table.stripes:
+                with stripe.mutex:
+                    merged.update(stripe.object_waits)
+            ranked = sorted(merged.items(), key=lambda kv: kv[1], reverse=True)
+        else:
+            with self._cond:
+                ranked = sorted(
+                    self._object_waits.items(), key=lambda kv: kv[1], reverse=True
+                )
         return [(obj, waits) for obj, waits in ranked[:top] if waits > 0]
+
+    def hot_objects(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Alias for :meth:`contention_profile` (aggregated across
+        stripes in striped mode)."""
+        return self.contention_profile(top)
 
     def assert_quiescent(self) -> None:
         """Assert the engine is at rest: no active transactions, no held
@@ -172,27 +292,35 @@ class NestedTransactionDB:
         a bug in lock inheritance or abort cleanup; tests call this after
         every stress run.
         """
+        if self._striped:
+            with self._table.locked_all():
+                with self._meta:
+                    self._assert_quiescent_locked()
+            return
         with self._cond:
-            active = [
-                txn.name for txn in self._txns.values() if txn.status == ACTIVE
-            ]
-            if active:
-                raise AssertionError("active transactions remain: %r" % active)
-            if not self.lazy_lock_cleanup:
-                for obj, locks in self._locks.items():
-                    if locks.holders:
-                        raise AssertionError(
-                            "locks leaked on %s: %r" % (obj, locks)
-                        )
-                for obj in self._store.objects:
-                    stack = self._store.stack(obj)
-                    if len(stack.entries) != 1 or stack.owner != U:
-                        raise AssertionError(
-                            "version stack not collapsed for %s: %r"
-                            % (obj, stack)
-                        )
-            if len(self._waits):
-                raise AssertionError("waits-for graph not empty")
+            self._assert_quiescent_locked()
+
+    def _assert_quiescent_locked(self) -> None:
+        active = [
+            txn.name for txn in self._txns.values() if txn.status == ACTIVE
+        ]
+        if active:
+            raise AssertionError("active transactions remain: %r" % active)
+        if not self.lazy_lock_cleanup:
+            for obj, locks in self._locks.items():
+                if locks.holders:
+                    raise AssertionError(
+                        "locks leaked on %s: %r" % (obj, locks)
+                    )
+            for obj in self._store.objects:
+                stack = self._store.stack(obj)
+                if len(stack.entries) != 1 or stack.owner != U:
+                    raise AssertionError(
+                        "version stack not collapsed for %s: %r"
+                        % (obj, stack)
+                    )
+        if len(self._waits):
+            raise AssertionError("waits-for graph not empty")
 
     @property
     def objects(self) -> Tuple[str, ...]:
@@ -200,23 +328,45 @@ class NestedTransactionDB:
 
     def read_committed(self, obj: str) -> Any:
         """The permanently committed value of one object."""
+        if self._striped:
+            if obj not in self._table:
+                raise UnknownObject(obj)
+            with self._table.stripe_of(obj).mutex:
+                return self._store.committed_value(obj)
         with self._cond:
             if obj not in self._store:
                 raise UnknownObject(obj)
-            return self._store.snapshot()[obj]
+            return self._store.committed_value(obj)
 
     # -- lifecycle internals (called by Transaction) --------------------------------
 
     def _begin(self, parent: Transaction) -> Transaction:
+        if self._striped:
+            with self._meta:
+                self._check_begin_parent_locked(parent)
+                if self._live_status_locked(parent):
+                    name = parent._next_child_name()
+                    return self._begin_locked(name, parent)
+            # An ancestor died while the parent was still marked active.
+            self._die_as_orphan(parent)
         with self._cond:
-            if parent.status != ACTIVE:
-                raise InvalidTransactionState(
-                    "cannot begin a child of %s transaction %r"
-                    % (parent.status, parent.name)
-                )
+            self._check_begin_parent_locked(parent)
             self._check_live_locked(parent)
             name = parent._next_child_name()
             return self._begin_locked(name, parent)
+
+    @staticmethod
+    def _check_begin_parent_locked(parent: Transaction) -> None:
+        if parent.status == ABORTED:
+            # A concurrent deadlock-victim or subtree abort may kill the
+            # parent between a worker's operations; surface that as the
+            # retryable abort it is, not as a caller programming error.
+            raise TransactionAborted(parent.name, "begin under aborted transaction")
+        if parent.status != ACTIVE:
+            raise InvalidTransactionState(
+                "cannot begin a child of %s transaction %r"
+                % (parent.status, parent.name)
+            )
 
     def _begin_locked(
         self, name: ActionName, parent: Optional[Transaction]
@@ -231,6 +381,9 @@ class NestedTransactionDB:
         return txn
 
     def _commit(self, txn: Transaction) -> None:
+        if self._striped:
+            self._commit_striped(txn)
+            return
         with self._cond:
             if txn.status == ABORTED:
                 raise TransactionAborted(txn.name, "commit after abort")
@@ -265,6 +418,9 @@ class NestedTransactionDB:
         txn.held_objects = set()
 
     def _abort(self, txn: Transaction) -> None:
+        if self._striped:
+            self._abort_subtree_striped(txn, reason="explicit abort")
+            return
         with self._cond:
             self._abort_subtree_locked(txn, reason="explicit abort")
             self._cond.notify_all()
@@ -288,6 +444,11 @@ class NestedTransactionDB:
         self.stats.aborted += 1
 
     def _is_live(self, txn: Transaction) -> bool:
+        if self._striped:
+            # Status attribute reads are atomic under the GIL; staleness
+            # is bounded by the grant-time confirmation under the
+            # metadata latch.
+            return self._live_status_locked(txn)
         with self._cond:
             return self._live_status_locked(txn)
 
@@ -312,6 +473,8 @@ class NestedTransactionDB:
 
     def _read(self, txn: Transaction, obj: str, for_update: bool = False) -> Any:
         mode = WRITE if (self.single_mode or for_update) else READ
+        if self._striped:
+            return self._perform_striped(txn, obj, mode, "read", None)
         with self._cond:
             self._acquire_locked(txn, obj, mode)
             value = self._store.stack(obj).current
@@ -322,6 +485,9 @@ class NestedTransactionDB:
             return value
 
     def _write(self, txn: Transaction, obj: str, value: Any) -> None:
+        if self._striped:
+            self._perform_striped(txn, obj, WRITE, "write", value)
+            return
         with self._cond:
             self._acquire_locked(txn, obj, WRITE)
             stack = self._store.stack(obj)
@@ -392,8 +558,294 @@ class NestedTransactionDB:
                 survivors.append(holder)
         return survivors
 
+    # -- striped-mode internals ---------------------------------------------------
+    #
+    # Lock order: stripe mutexes (ascending index) -> metadata latch ->
+    # leaf locks (waits-for graph, trace counter).  The metadata latch is
+    # never held while acquiring a stripe mutex, which is what makes the
+    # grant-confirmation and subtree-abort protocols below race-free.
+
+    def _check_live_striped(self, txn: Transaction) -> None:
+        """Striped counterpart of :meth:`_check_live_locked`; must be
+        called with no stripe mutex held (orphan cleanup takes several)."""
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.name)
+        if not self._live_status_locked(txn):
+            self._die_as_orphan(txn)
+
+    def _die_as_orphan(self, txn: Transaction) -> None:
+        self._abort_subtree_striped(txn, reason="ancestor aborted")
+        raise TransactionAborted(txn.name, "ancestor aborted")
+
+    def _perform_striped(
+        self, txn: Transaction, obj: str, mode: str, kind: str, arg: Any
+    ) -> Any:
+        """One data access under the striped lock manager: acquire the
+        lock (blocking on the object's own wait queue), then read/write
+        the version stack while still holding the stripe mutex.
+
+        Grants are confirmed against the transaction's liveness under the
+        metadata latch before they take effect: either the grant's
+        metadata section runs first (so the object lands in
+        ``held_objects`` and a racing subtree abort cleans it), or the
+        abort's runs first (so the confirmation sees a dead transaction
+        and the grant is undone in place).  Locks never leak either way.
+        """
+        if self._table is None or obj not in self._table:
+            raise UnknownObject(obj)
+        stripe = self._table.stripe_of(obj)
+        locks = stripe.locks[obj]
+        stack = self._store.stack(obj)
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            self._check_live_striped(txn)
+            victim_name: Optional[ActionName] = None
+            cycle: Optional[List[ActionName]] = None
+            with stripe.mutex:
+                conflicts = locks.conflicts_with(txn.name, mode)
+                if conflicts and self.lazy_lock_cleanup:
+                    conflicts = self._reap_dead_holders_striped(
+                        stripe, obj, conflicts
+                    )
+                if not conflicts:
+                    prev_mode = locks.mode_of(txn.name)
+                    had_version = stack.owns_version(txn.name)
+                    locks.grant(txn.name, mode)
+                    if mode == WRITE:
+                        stack.ensure_version(txn.name)
+                    with self._meta:
+                        granted = self._live_status_locked(txn)
+                        if granted:
+                            txn.held_objects.add(obj)
+                    if not granted:
+                        # Lost the race with an ancestor's abort: undo the
+                        # grant in place (nothing observed it — the stripe
+                        # mutex was held throughout).
+                        if prev_mode is None:
+                            locks.discard(txn.name)
+                        else:
+                            locks.holders[txn.name] = prev_mode
+                        if mode == WRITE and not had_version:
+                            stack.discard(txn.name)
+                        stripe.notify_object(obj)
+                        continue  # loop re-checks liveness -> orphan path
+                    self._waits.clear_waits(txn.name)
+                    if kind == "read":
+                        value = stack.current
+                        stripe.reads += 1
+                        if self.trace is not None:
+                            access = txn.next_access_name("read")
+                            self.trace.record_perform(
+                                txn.name, access, obj, "read", value
+                            )
+                        return value
+                    seen = stack.current
+                    stack.set_value(txn.name, arg)
+                    stripe.writes += 1
+                    if self.trace is not None:
+                        access = txn.next_access_name("write")
+                        self.trace.record_perform(
+                            txn.name, access, obj, "write", seen, arg
+                        )
+                    return None
+                self._waits.set_waits(txn.name, conflicts)
+                if self.detect_deadlocks:
+                    cycle = self._waits.find_cycle_from(txn.name)
+                    if cycle is not None:
+                        victim_name = choose_victim(
+                            cycle, self.deadlock_policy, txn.name
+                        )
+                        self._waits.clear_waits(txn.name)
+                if victim_name is None:
+                    stripe.lock_waits += 1
+                    stripe.object_waits[obj] += 1
+                    with self._meta:
+                        self._parked[txn.name] = obj
+                    # Re-check after publishing the parked entry: a
+                    # subtree abort either sees it (and will notify this
+                    # object) or marked us dead before we looked.
+                    if not self._live_status_locked(txn):
+                        with self._meta:
+                            self._parked.pop(txn.name, None)
+                        self._waits.clear_waits(txn.name)
+                        continue  # loop top runs the orphan path
+                    remaining = deadline - time.monotonic()
+                    cond = stripe.condition(obj)
+                    woke = remaining > 0 and cond.wait(timeout=remaining)
+                    with self._meta:
+                        self._parked.pop(txn.name, None)
+                    if not woke:
+                        self._waits.clear_waits(txn.name)
+                        raise LockTimeout(txn.name, obj)
+            if victim_name is not None:
+                with self._meta:
+                    self.stats.deadlocks += 1
+                victim = self._txns[victim_name]
+                self._abort_subtree_striped(victim, reason="deadlock")
+                if victim_name.is_ancestor_of(txn.name):
+                    raise DeadlockAbort(txn.name, cycle)
+
+    def _reap_dead_holders_striped(
+        self, stripe: Any, obj: str, conflicts: List[ActionName]
+    ) -> List[ActionName]:
+        """Striped lazy lose-lock (stripe mutex held): discard dead
+        conflicting holders' locks and versions; survivors still conflict."""
+        locks = stripe.locks[obj]
+        stack = self._store.stack(obj)
+        survivors = []
+        for holder in conflicts:
+            holder_txn = self._txns.get(holder)
+            if holder_txn is not None and not self._live_status_locked(holder_txn):
+                locks.discard(holder)
+                stack.discard(holder)
+                with self._meta:
+                    holder_txn.held_objects.discard(obj)
+                stripe.lazy_lock_reaps += 1
+            else:
+                survivors.append(holder)
+        return survivors
+
+    def _commit_striped(self, txn: Transaction) -> None:
+        """Commit under the striped lock manager.
+
+        Two-phase acquire: every stripe covering the transaction's held
+        objects is taken (ascending index) *before* the metadata latch, so
+        status flip, trace record, held-set merge into the parent and
+        cross-stripe lock inheritance are one atomic step — a concurrent
+        requester can never observe a half-inherited lock set.
+        """
+        while True:
+            with self._meta:
+                held = frozenset(txn.held_objects)
+            orphan = False
+            with self._table.locked(held):
+                with self._meta:
+                    if frozenset(txn.held_objects) != held:
+                        continue  # a child committed concurrently; re-plan
+                    if txn.status == ABORTED:
+                        raise TransactionAborted(txn.name, "commit after abort")
+                    if txn.status == COMMITTED:
+                        raise InvalidTransactionState(
+                            "%r already committed" % txn.name
+                        )
+                    if not self._live_status_locked(txn):
+                        orphan = True
+                    else:
+                        for child in txn.children:
+                            if child.status == ACTIVE:
+                                raise InvalidTransactionState(
+                                    "cannot commit %r: child %r still active"
+                                    % (txn.name, child.name)
+                                )
+                        txn.status = COMMITTED
+                        if self.trace is not None:
+                            self.trace.record_commit(txn.name)
+                        if txn.parent is not None:
+                            txn.parent.held_objects |= held
+                        txn.held_objects = set()
+                        self._waits.remove_transaction(txn.name)
+                        self.stats.committed += 1
+                if not orphan:
+                    # Still inside the stripe mutexes: inherit or retire
+                    # each lock and wake exactly the waiters parked on the
+                    # objects whose locks changed.
+                    for obj in held:
+                        locks = self._table.locks_of(obj)
+                        if txn.parent is None:
+                            locks.discard(txn.name)  # inherited by U
+                        else:
+                            locks.inherit(txn.name)
+                        self._store.stack(obj).commit_to_parent(txn.name)
+                        self._table.stripe_of(obj).notify_object(obj)
+            if orphan:
+                self._die_as_orphan(txn)
+            return
+
+    def _collect_active_subtree(self, root: Transaction) -> List[Transaction]:
+        """The ACTIVE transactions of ``root``'s subtree, deepest first
+        (metadata latch held).  Mirrors the global walk: a non-active
+        node's subtree is skipped — committed subtrees die via ancestor
+        deadness, aborted ones were already handled."""
+        out: List[Transaction] = []
+
+        def walk(txn: Transaction) -> None:
+            if txn.status != ACTIVE:
+                return
+            for child in txn.children:
+                walk(child)
+            out.append(txn)
+
+        walk(root)
+        return out
+
+    def _abort_subtree_striped(self, root: Transaction, reason: str) -> None:
+        """Abort ``root``'s live subtree under the striped lock manager.
+
+        Plan under the metadata latch (which objects and parked waiters
+        are involved), two-phase-acquire the covering stripes, then
+        re-validate and flip statuses atomically under the latch.  If the
+        subtree grew locks on an unlocked stripe in between, release
+        everything and re-plan — the grant-confirmation protocol
+        guarantees any grant that slips past the status flip undoes
+        itself.  Finally discard locks/versions (eager mode) and wake the
+        waiters parked on every touched object; in lazy mode locks stay
+        but parked waiters of touched objects still wake so they can reap
+        the dead holders.
+        """
+        while True:
+            with self._meta:
+                doomed = self._collect_active_subtree(root)
+                if not doomed:
+                    return  # idempotent
+                objs = set()
+                for txn in doomed:
+                    objs |= txn.held_objects
+                    parked = self._parked.get(txn.name)
+                    if parked is not None:
+                        objs.add(parked)
+            with self._table.locked(objs):
+                cleanup: List[Tuple[ActionName, Tuple[str, ...]]] = []
+                wake: set = set()
+                with self._meta:
+                    doomed = self._collect_active_subtree(root)
+                    replan = False
+                    for txn in doomed:
+                        pending = set(txn.held_objects)
+                        parked = self._parked.get(txn.name)
+                        if parked is not None:
+                            pending.add(parked)
+                        if not pending <= objs:
+                            replan = True
+                            break
+                    if replan:
+                        continue
+                    for txn in doomed:
+                        txn.status = ABORTED
+                        if self.trace is not None:
+                            self.trace.record_abort(txn.name)
+                        held = txn.held_objects
+                        if not self.lazy_lock_cleanup:
+                            txn.held_objects = set()
+                            cleanup.append((txn.name, tuple(held)))
+                        wake.update(held)
+                        parked = self._parked.get(txn.name)
+                        if parked is not None:
+                            wake.add(parked)
+                        self._waits.remove_transaction(txn.name)
+                        self.stats.aborted += 1
+                # Still inside the stripe mutexes: pop versions, drop
+                # locks, and wake only the affected objects' waiters.
+                for name, held in cleanup:
+                    for obj in held:
+                        self._table.locks_of(obj).discard(name)
+                        self._store.stack(obj).discard(name)
+                for obj in wake:
+                    self._table.stripe_of(obj).notify_object(obj)
+            return
+
     def __repr__(self) -> str:
-        return "NestedTransactionDB(%d objects, %s)" % (
+        return "NestedTransactionDB(%d objects, %s, %s)" % (
             len(self._store.objects),
             "single-mode" if self.single_mode else "read/write",
+            "%d stripes" % self.stripe_count if self._striped else "global latch",
         )

@@ -3,13 +3,22 @@
 The paper proves safety only; a runnable locking system also needs a
 liveness mechanism.  We maintain a waits-for graph — an edge from a waiter
 to each conflicting holder — and check for a cycle on every new wait.
-Victim policies: the *requester* (simple, always makes progress) or the
+Victim policies: the *requester* (simple, always makes progress), the
 *youngest* transaction on the cycle (minimizes lost work for long-running
-ancestors).
+ancestors), or the first non-ancestor *blocker* on the chain (the
+default — releases exactly what the requester needs).
+
+The graph carries its own small mutex, so it is shared safely between the
+engine's latch modes: under the global latch it is redundant but cheap;
+under the striped lock manager waiters registering from different stripes
+serialize here, and :meth:`WaitsForGraph.find_cycle_from` runs its whole
+traversal inside one lock hold — cycle detection always sees a consistent
+cross-stripe snapshot of who waits for whom.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.naming import ActionName
@@ -20,26 +29,35 @@ BLOCKER = "blocker"
 
 
 class WaitsForGraph:
-    """waiter → blockers; edges exist only while a request is blocked."""
+    """waiter → blockers; edges exist only while a request is blocked.
+
+    Thread-safe: every method takes the graph's own lock, which is a leaf
+    in the engine's lock order (it is acquired while holding a stripe
+    mutex or the metadata latch, and never the other way around).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._edges: Dict[ActionName, Set[ActionName]] = {}
 
     def set_waits(self, waiter: ActionName, blockers: Iterable[ActionName]) -> None:
         blockers = set(blockers)
-        if blockers:
-            self._edges[waiter] = blockers
-        else:
-            self._edges.pop(waiter, None)
+        with self._lock:
+            if blockers:
+                self._edges[waiter] = blockers
+            else:
+                self._edges.pop(waiter, None)
 
     def clear_waits(self, waiter: ActionName) -> None:
-        self._edges.pop(waiter, None)
+        with self._lock:
+            self._edges.pop(waiter, None)
 
     def remove_transaction(self, txn: ActionName) -> None:
         """Drop a finished/aborted transaction from both edge sides."""
-        self._edges.pop(txn, None)
-        for blockers in self._edges.values():
-            blockers.discard(txn)
+        with self._lock:
+            self._edges.pop(txn, None)
+            for blockers in self._edges.values():
+                blockers.discard(txn)
 
     def find_cycle_from(self, start: ActionName) -> Optional[List[ActionName]]:
         """A deadlock involving ``start``, if one exists.
@@ -52,33 +70,37 @@ class WaitsForGraph:
         ancestor of it — an ancestor's progress requires ``start`` to
         finish first.
 
-        Returns the blocking chain, ``start`` first.
+        Returns the blocking chain, ``start`` first.  The traversal runs
+        under the graph lock, so the cycle is judged against one
+        consistent snapshot even while other stripes mutate edges.
         """
-        target = set(start.ancestors())  # ancestors of start, start included
-        visited: Set[ActionName] = set()
-        stack: List[Tuple[ActionName, Tuple[ActionName, ...]]] = [
-            (blocker, (start, blocker))
-            for blocker in self._edges.get(start, ())
-        ]
-        while stack:
-            node, path = stack.pop()
-            if node in target:
-                return list(path)
-            if node in visited:
-                continue
-            visited.add(node)
-            for waiter, blockers in self._edges.items():
-                if not node.is_ancestor_of(waiter):
+        with self._lock:
+            target = set(start.ancestors())  # ancestors of start, start included
+            visited: Set[ActionName] = set()
+            stack: List[Tuple[ActionName, Tuple[ActionName, ...]]] = [
+                (blocker, (start, blocker))
+                for blocker in self._edges.get(start, ())
+            ]
+            while stack:
+                node, path = stack.pop()
+                if node in target:
+                    return list(path)
+                if node in visited:
                     continue
-                for blocker in blockers:
-                    if blocker in target:
-                        return list(path) + [blocker]
-                    if blocker not in visited:
-                        stack.append((blocker, path + (blocker,)))
-        return None
+                visited.add(node)
+                for waiter, blockers in self._edges.items():
+                    if not node.is_ancestor_of(waiter):
+                        continue
+                    for blocker in blockers:
+                        if blocker in target:
+                            return list(path) + [blocker]
+                        if blocker not in visited:
+                            stack.append((blocker, path + (blocker,)))
+            return None
 
     def __len__(self) -> int:
-        return len(self._edges)
+        with self._lock:
+            return len(self._edges)
 
 
 def choose_victim(

@@ -10,9 +10,9 @@ retry combinator implementing the recovery-block pattern over the engine.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
-from .errors import EngineError, TransactionAborted
+from .errors import EngineError
 from .transaction import Transaction
 
 

@@ -11,7 +11,7 @@ specialized to the lock discipline the manager enforces.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.naming import U, ActionName
 
@@ -113,6 +113,13 @@ class VersionedStore:
             base = stack.entries[0]
             result[obj] = base[1] if base[0] == U else self._initial[obj]
         return result
+
+    def committed_value(self, obj: str) -> Value:
+        """The permanently committed (U-owned base) value of one object —
+        a single-stack read, so striped engines can serve it under just
+        that object's stripe mutex."""
+        base_owner, base_value = self._stacks[obj].entries[0]
+        return base_value if base_owner == U else self._initial[obj]
 
     def initial_value(self, obj: str) -> Value:
         return self._initial[obj]

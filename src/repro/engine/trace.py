@@ -1,10 +1,18 @@
 """Execution trace recording.
 
-Every lifecycle event and data access the engine performs is appended (in
-global latch order, so the trace is a linearization of what happened) to a
-:class:`TraceRecorder`.  The checker package replays traces through the
-formal algebras — the engine is *oracle-checked*: after any run, its trace
-must form an action tree whose permanent subtree is serializable.
+Every lifecycle event and data access the engine performs is appended to
+a :class:`TraceRecorder`.  The recorder owns a dedicated counter lock:
+each record takes a monotonically increasing sequence number and is
+appended under that lock, so the trace is a single linearization of what
+happened regardless of the engine's latch mode — under the global latch,
+trace order coincides with latch order; under the striped lock manager,
+stripes append concurrently and the counter lock decides the order (each
+append happens while the mutating thread still holds the stripe/metadata
+lock serializing the corresponding state change, so the linearization
+respects per-object and lifecycle causality).  The checker package
+replays traces through the formal algebras — the engine is
+*oracle-checked*: after any run, its trace must form an action tree whose
+permanent subtree is serializable.
 
 Traces serialize to JSON lines (:meth:`TraceRecorder.dump` /
 :meth:`TraceRecorder.load`), so executions can be archived and audited
@@ -13,9 +21,11 @@ offline — certify last night's production run on your laptop.
 
 from __future__ import annotations
 
+import itertools
 import json
-from dataclasses import dataclass
-from typing import Any, IO, Iterable, List, Optional, Tuple, Union
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, IO, List, Optional, Tuple, Union
 
 from ..core.naming import ActionName
 
@@ -33,7 +43,9 @@ class TraceRecord:
     child of the transaction) modelling the read/write as a paper access,
     ``kind`` is "read" or "write", ``seen`` is the value the access
     observed (the paper's label u), and ``arg`` is the written value for
-    writes (None for reads).
+    writes (None for reads).  ``seq`` is the recorder-assigned sequence
+    number (None for hand-built records); list position and ``seq`` order
+    always agree for recorder-produced traces.
     """
 
     op: str
@@ -43,22 +55,34 @@ class TraceRecord:
     kind: Optional[str] = None
     seen: Any = None
     arg: Any = None
+    seq: Optional[int] = None
 
 
 class TraceRecorder:
-    """An append-only linearized event log (caller provides locking)."""
+    """An append-only linearized event log.
+
+    Thread-safe: appends are numbered and stored under a dedicated
+    counter lock (a leaf in the engine's lock order), so concurrent
+    stripes produce one well-defined linearization for replay.
+    """
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+
+    def _append(self, record: TraceRecord) -> None:
+        with self._lock:
+            self._records.append(replace(record, seq=next(self._seq)))
 
     def record_create(self, txn: ActionName) -> None:
-        self._records.append(TraceRecord(CREATE, txn))
+        self._append(TraceRecord(CREATE, txn))
 
     def record_commit(self, txn: ActionName) -> None:
-        self._records.append(TraceRecord(COMMIT, txn))
+        self._append(TraceRecord(COMMIT, txn))
 
     def record_abort(self, txn: ActionName) -> None:
-        self._records.append(TraceRecord(ABORT, txn))
+        self._append(TraceRecord(ABORT, txn))
 
     def record_perform(
         self,
@@ -69,19 +93,21 @@ class TraceRecorder:
         seen: Any,
         arg: Any = None,
     ) -> None:
-        self._records.append(
-            TraceRecord(PERFORM, txn, access, obj, kind, seen, arg)
-        )
+        self._append(TraceRecord(PERFORM, txn, access, obj, kind, seen, arg))
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
+            self._seq = itertools.count()
 
     # -- persistence (JSON lines) ---------------------------------------------
 
@@ -109,6 +135,12 @@ class TraceRecorder:
             line = line.strip()
             if line:
                 recorder._records.append(_record_from_json(json.loads(line)))
+        if recorder._records:
+            top = max(
+                (r.seq for r in recorder._records if r.seq is not None),
+                default=len(recorder._records) - 1,
+            )
+            recorder._seq = itertools.count(top + 1)
         return recorder
 
 
@@ -129,6 +161,7 @@ def _record_to_json(record: TraceRecord) -> dict:
         "kind": record.kind,
         "seen": record.seen,
         "arg": record.arg,
+        "seq": record.seq,
     }
 
 
@@ -141,4 +174,5 @@ def _record_from_json(data: dict) -> TraceRecord:
         kind=data.get("kind"),
         seen=data.get("seen"),
         arg=data.get("arg"),
+        seq=data.get("seq"),
     )

@@ -16,9 +16,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Set, TYPE_CHECKING
 
-from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.action_tree import ACTIVE
 from ..core.naming import ActionName
-from .errors import InvalidTransactionState, TransactionAborted
+from .errors import TransactionAborted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import NestedTransactionDB

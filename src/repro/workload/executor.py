@@ -16,7 +16,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..engine.errors import LockTimeout, TransactionAborted
 from ..engine.recovery import InjectedFailure

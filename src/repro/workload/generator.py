@@ -10,10 +10,10 @@ almost all traffic on a few objects).  The sampler is hand-rolled on
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
-from .shapes import Block, Op, Program, bushy, chain, flat, nested_uniform
+from .shapes import Op, Program, bushy, chain, flat, nested_uniform
 
 
 class ZipfSampler:

@@ -6,18 +6,7 @@ import random
 
 import pytest
 
-from repro.core import (
-    ActionName,
-    Level2Algebra,
-    Scenario,
-    U,
-    Universe,
-    add,
-    random_run,
-    random_scenario,
-    read,
-    write,
-)
+from repro.core import Level2Algebra, Scenario, U, Universe, add, random_run, random_scenario, read
 
 
 @pytest.fixture

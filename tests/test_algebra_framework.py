@@ -148,7 +148,6 @@ class TestLocalityNegativeCases:
         state = algebra.initial_state
         action = scenario.all_actions[0]
         event = Create(action)
-        doer = algebra.doer(event)
         changed = algebra.apply(state, event)  # differs at the doer
         with pytest.raises(ValueError):
             algebra.check_local_domain(state, changed, event)

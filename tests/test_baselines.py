@@ -7,12 +7,7 @@ import threading
 import pytest
 
 from repro.baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
-from repro.engine import (
-    InvalidTransactionState,
-    LockTimeout,
-    TransactionAborted,
-    UnknownObject,
-)
+from repro.engine import InvalidTransactionState, TransactionAborted, UnknownObject
 
 WAIT = 5.0
 

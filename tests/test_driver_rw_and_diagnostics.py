@@ -17,11 +17,7 @@ from repro.core import (
     local_mapping_5rw_to_4rw,
     project_run,
 )
-from repro.distributed import (
-    DistributedMossSystem,
-    PolicyConfig,
-    random_distributed_scenario,
-)
+from repro.distributed import DistributedMossSystem, random_distributed_scenario
 from repro.engine import NestedTransactionDB
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 

@@ -4,7 +4,6 @@ API surface not covered by the main behavioural tests."""
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -13,7 +12,6 @@ from repro.engine import (
     NestedTransactionDB,
     TransactionAborted,
 )
-from repro.core.naming import U
 
 
 class TestRunTransactionRetries:

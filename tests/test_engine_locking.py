@@ -10,7 +10,6 @@ from __future__ import annotations
 import threading
 import time
 
-import pytest
 
 from repro.engine import NestedTransactionDB, READ, WRITE, ObjectLocks
 from repro.core.naming import U

@@ -4,7 +4,6 @@ be valid level-2 computations (conformance to the paper's algorithm)."""
 
 from __future__ import annotations
 
-import random
 import threading
 
 import pytest
@@ -19,7 +18,7 @@ from repro.checker import (
     trace_to_aat,
 )
 from repro.core import U, is_data_serializable
-from repro.engine import NestedTransactionDB, TransactionAborted
+from repro.engine import NestedTransactionDB
 from repro.engine.trace import TraceRecord, TraceRecorder
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 

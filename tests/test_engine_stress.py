@@ -8,7 +8,6 @@ import threading
 import pytest
 
 from repro.checker import check_engine
-from repro.core.naming import U
 from repro.engine import NestedTransactionDB, TransactionAborted
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 

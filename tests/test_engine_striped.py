@@ -1,0 +1,338 @@
+"""Striped lock manager: A/B parity with the global-latch engine.
+
+Every workload the stress suite throws at the global latch runs here in
+both latch modes; the two engines must agree on the verdicts that matter
+— every program commits, the serializability oracle (and, in single
+mode, the level-2 trace-conformance replay) certifies the history, the
+store quiesces — and their ``stats.snapshot()`` dicts must carry the
+same keys with the same accounting invariants.  Deterministic
+single-threaded scripts must produce *identical* snapshots in both
+modes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.checker import check_engine
+from repro.engine import (
+    DEFAULT_STRIPES,
+    DeadlockAbort,
+    LockTimeout,
+    NestedTransactionDB,
+    StripedLockTable,
+    TransactionAborted,
+    UnknownObject,
+    stripe_index,
+)
+from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
+
+# The same engine configurations the global-latch stress suite runs,
+# plus striped-only stripe-count extremes (1 stripe = maximal stripe
+# sharing, 64 stripes on 16 objects = every object alone on a stripe).
+CONFIGS = [
+    pytest.param(dict(), id="rw-default"),
+    pytest.param(dict(single_mode=True), id="single-mode"),
+    pytest.param(dict(lazy_lock_cleanup=True), id="lazy-cleanup"),
+    pytest.param(dict(deadlock_policy="requester"), id="requester-victim"),
+    pytest.param(dict(deadlock_policy="youngest"), id="youngest-victim"),
+    pytest.param(dict(stripes=1), id="one-stripe"),
+    pytest.param(dict(stripes=64), id="more-stripes-than-objects"),
+]
+
+SNAPSHOT_KEYS = {
+    "begun",
+    "committed",
+    "aborted",
+    "reads",
+    "writes",
+    "lock_waits",
+    "deadlocks",
+    "lazy_lock_reaps",
+}
+
+
+def _run_workload(db, programs=60, threads=6):
+    cfg = WorkloadConfig(
+        objects=16,
+        theta=0.9,
+        shape="mixed",
+        ops_per_transaction=10,
+        programs=programs,
+        seed=99,
+    )
+    return execute(
+        db,
+        WorkloadGenerator(cfg).programs(),
+        threads=threads,
+        failure_prob=0.2,
+        seed=99,
+    )
+
+
+@pytest.mark.parametrize("db_kwargs", CONFIGS)
+def test_striped_stress_matches_global_verdicts(db_kwargs):
+    """Both latch modes must certify the same stress workload: all
+    programs commit, the oracle passes, the store quiesces, and the
+    stats snapshots share keys and accounting invariants."""
+    striped_kwargs = dict(db_kwargs)
+    global_kwargs = dict(db_kwargs)
+    global_kwargs.pop("stripes", None)
+
+    snapshots = {}
+    for mode, kwargs in (("global", global_kwargs), ("striped", striped_kwargs)):
+        db = NestedTransactionDB(initial_values(16), latch_mode=mode, **kwargs)
+        report = _run_workload(db)
+        assert report.committed_programs == 60, mode
+        assert check_engine(db).ok, mode
+        db.assert_quiescent()
+        snapshots[mode] = db.stats.snapshot()
+
+    for mode, snap in snapshots.items():
+        assert set(snap) == SNAPSHOT_KEYS, mode
+        # Conservation: every transaction begun either committed or aborted.
+        assert snap["begun"] == snap["committed"] + snap["aborted"], mode
+        assert snap["begun"] >= 60, mode
+        assert snap["reads"] > 0 and snap["writes"] > 0, mode
+        if "lazy_lock_cleanup" not in striped_kwargs:
+            assert snap["lazy_lock_reaps"] == 0, mode
+
+
+def test_deterministic_script_snapshots_identical():
+    """With one thread there is no scheduling nondeterminism: the two
+    latch modes must produce byte-identical stats and final state."""
+
+    def script(db):
+        outer = db.begin_transaction()
+        outer.write("a", 1)
+        child = outer.begin_subtransaction()
+        child.write("b", child.read("a") + 1)
+        child.commit()
+        doomed = outer.begin_subtransaction()
+        doomed.write("c", 99)
+        doomed.abort()
+        outer.commit()
+        solo = db.begin_transaction()
+        solo.read("b")
+        solo.commit()
+        return db.snapshot(), db.stats.snapshot()
+
+    initial = {"a": 0, "b": 0, "c": 0}
+    state_global, stats_global = script(NestedTransactionDB(dict(initial)))
+    state_striped, stats_striped = script(
+        NestedTransactionDB(dict(initial), latch_mode="striped")
+    )
+    assert state_global == state_striped == {"a": 1, "b": 2, "c": 0}
+    assert stats_global == stats_striped
+
+
+def test_latch_mode_validation():
+    with pytest.raises(ValueError, match="latch_mode"):
+        NestedTransactionDB({"a": 0}, latch_mode="sharded")
+    with pytest.raises(ValueError, match="n_stripes"):
+        NestedTransactionDB({"a": 0}, latch_mode="striped", stripes=0)
+
+
+def test_stripe_count_property():
+    assert NestedTransactionDB({"a": 0}).stripe_count == 1
+    assert (
+        NestedTransactionDB({"a": 0}, latch_mode="striped").stripe_count
+        == DEFAULT_STRIPES
+    )
+    assert (
+        NestedTransactionDB({"a": 0}, latch_mode="striped", stripes=4).stripe_count
+        == 4
+    )
+
+
+def test_stripe_index_deterministic_and_in_range():
+    objects = ["obj%d" % i for i in range(100)]
+    for n in (1, 2, 16, 64):
+        for obj in objects:
+            index = stripe_index(obj, n)
+            assert 0 <= index < n
+            assert index == stripe_index(obj, n)
+
+
+def test_striped_table_covers_every_object():
+    objects = {"o%d" % i: 0 for i in range(40)}
+    table = StripedLockTable(objects, 8)
+    for obj in objects:
+        assert obj in table
+        assert table.stripe_of(obj).index == stripe_index(obj, 8)
+    assert sorted(s.index for s in table.stripes_for(objects)) == list(range(8))
+
+
+def test_striped_unknown_object():
+    db = NestedTransactionDB({"a": 0}, latch_mode="striped")
+    txn = db.begin_transaction()
+    with pytest.raises(UnknownObject):
+        txn.read("nope")
+    with pytest.raises(UnknownObject):
+        db.read_committed("nope")
+    txn.abort()
+
+
+def test_striped_read_committed_ignores_uncommitted_writes():
+    db = NestedTransactionDB({"a": 10}, latch_mode="striped")
+    txn = db.begin_transaction()
+    txn.write("a", 77)
+    assert db.read_committed("a") == 10
+    txn.commit()
+    assert db.read_committed("a") == 77
+
+
+def test_striped_hot_objects_alias():
+    db = NestedTransactionDB({"a": 0, "b": 0}, latch_mode="striped")
+    holder = db.begin_transaction()
+    holder.write("a", 1)
+
+    def contender():
+        other = db.begin_transaction()
+        try:
+            other.write("a", 2)
+            other.commit()
+        except TransactionAborted:
+            other.abort()
+
+    thread = threading.Thread(target=contender, daemon=True)
+    thread.start()
+    time.sleep(0.1)
+    holder.commit()
+    thread.join(5)
+    assert not thread.is_alive()
+    assert db.hot_objects() == db.contention_profile()
+    assert dict(db.hot_objects()).get("a", 0) >= 1
+
+
+def test_striped_targeted_wakeup_is_prompt():
+    """A commit must wake the waiter parked on the released object well
+    before the lock timeout — the targeted-wakeup path, not a timeout."""
+    db = NestedTransactionDB({"a": 0}, latch_mode="striped", lock_timeout=30.0)
+    holder = db.begin_transaction()
+    holder.write("a", 1)
+    elapsed = {}
+
+    def waiter():
+        txn = db.begin_transaction()
+        start = time.monotonic()
+        value = txn.read("a")
+        elapsed["wait"] = time.monotonic() - start
+        elapsed["value"] = value
+        txn.commit()
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.2)  # let the waiter park on "a"
+    holder.commit()
+    thread.join(5)
+    assert not thread.is_alive()
+    assert elapsed["value"] == 1
+    assert elapsed["wait"] < 5.0  # woken by notify, not the 30 s timeout
+
+
+def test_striped_abort_wakes_doomed_waiter():
+    """Aborting a subtree must wake its own parked descendants promptly
+    (the case notify_all handled for free under the global latch)."""
+    db = NestedTransactionDB({"a": 0, "b": 0}, latch_mode="striped", lock_timeout=30.0)
+    blocker = db.begin_transaction()
+    blocker.write("a", 5)
+    parent = db.begin_transaction()
+    outcome = {}
+
+    def child_worker():
+        child = parent.begin_subtransaction()
+        start = time.monotonic()
+        try:
+            child.read("a")  # parks behind blocker's write lock
+            outcome["error"] = None
+        except TransactionAborted:
+            outcome["error"] = "aborted"
+        outcome["wait"] = time.monotonic() - start
+
+    thread = threading.Thread(target=child_worker, daemon=True)
+    thread.start()
+    time.sleep(0.2)  # let the child park on "a"
+    parent.abort()  # kills the parked child's subtree
+    thread.join(5)
+    assert not thread.is_alive()
+    assert outcome["error"] == "aborted"
+    assert outcome["wait"] < 5.0
+    blocker.commit()
+    check_engine(db)
+    db.assert_quiescent()
+
+
+def test_striped_deadlock_detection_across_stripes():
+    """Classic two-object deadlock with the objects (almost surely) on
+    different stripes: the cross-stripe waits-for graph must catch it."""
+    db = NestedTransactionDB(
+        {"a": 0, "b": 0}, latch_mode="striped", deadlock_policy="requester"
+    )
+    t1 = db.begin_transaction()
+    t2 = db.begin_transaction()
+    t1.write("a", 1)
+    t2.write("b", 2)
+    ready = threading.Barrier(2)
+    aborted = []
+
+    def cross(txn, obj):
+        ready.wait()
+        try:
+            txn.write(obj, 9)
+            txn.commit()
+        except DeadlockAbort:
+            aborted.append(txn.name)
+            txn.abort()
+        except TransactionAborted:
+            aborted.append(txn.name)
+
+    threads = [
+        threading.Thread(target=cross, args=(t1, "b"), daemon=True),
+        threading.Thread(target=cross, args=(t2, "a"), daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+        assert not thread.is_alive()
+    assert len(aborted) >= 1
+    assert db.stats.deadlocks >= 1
+    db.assert_quiescent()
+
+
+def test_striped_lock_timeout_without_detection():
+    db = NestedTransactionDB(
+        {"a": 0},
+        latch_mode="striped",
+        detect_deadlocks=False,
+        lock_timeout=0.2,
+    )
+    holder = db.begin_transaction()
+    holder.write("a", 1)
+    other = db.begin_transaction()
+    with pytest.raises(LockTimeout):
+        other.write("a", 2)
+    other.abort()
+    holder.commit()
+    db.assert_quiescent()
+
+
+def test_striped_lazy_cleanup_reaps_dead_locks():
+    """With lazy cleanup, an aborted holder's locks stay in the table
+    until a conflicting requester reaps them."""
+    db = NestedTransactionDB(
+        {"a": 0}, latch_mode="striped", lazy_lock_cleanup=True
+    )
+    holder = db.begin_transaction()
+    holder.write("a", 1)
+    holder.abort()
+    other = db.begin_transaction()
+    other.write("a", 2)  # must reap the dead lock, not block
+    other.commit()
+    assert db.snapshot()["a"] == 2
+    assert db.stats.lazy_lock_reaps >= 1
+    db.assert_quiescent()

@@ -11,8 +11,6 @@ from repro.core import (
     Level3Algebra,
     Level4Algebra,
     RunConfig,
-    Scenario,
-    U,
     random_run,
     random_scenario,
 )

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.baselines import MVTODatabase
 from repro.core import Level2Algebra, is_data_serializable, project_run

@@ -3,7 +3,6 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
@@ -19,7 +18,6 @@ from repro.checker import (
     check_lemma19,
 )
 from repro.core import (
-    ABORTED,
     ACTIVE,
     COMMITTED,
     ActionTree,

@@ -18,7 +18,6 @@ from repro.core import (
     Perform,
     U,
     Universe,
-    add,
     is_data_serializable,
     random_run,
     random_scenario,

@@ -22,7 +22,6 @@ from repro.core import (
     U,
     Universe,
     VersionMap,
-    add,
     check_possibilities_lockstep,
     mapping_3_to_2,
     random_run,

@@ -26,7 +26,6 @@ from repro.core import (
     mapping_4_to_3,
     random_run,
     random_scenario,
-    read,
     write,
 )
 

@@ -22,12 +22,10 @@ from repro.core import (
     LoseLock,
     Perform,
     Receive,
-    ReleaseLock,
     RunConfig,
     Send,
     U,
     Universe,
-    add,
     random_run,
     random_scenario,
     read,

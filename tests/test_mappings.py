@@ -17,7 +17,6 @@ from repro.core import (
     Level3Algebra,
     Level4Algebra,
     Level5Algebra,
-    Perform,
     PossibilitiesViolation,
     RunConfig,
     SimulationViolation,
@@ -35,8 +34,6 @@ from repro.core import (
     interpret_sequence,
     local_mapping_5_to_4,
     mapping_2_to_1,
-    mapping_3_to_2,
-    mapping_4_to_3,
     project_run,
     random_run,
     random_scenario,

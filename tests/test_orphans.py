@@ -15,7 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.checker import consistent_view_value, orphan_view_report
+from repro.checker import orphan_view_report
 from repro.core import (
     Abort,
     Commit,

@@ -8,7 +8,6 @@ import random
 import pytest
 
 from repro.core import (
-    ACTIVE,
     Commit,
     Create,
     Level2Algebra,

@@ -27,7 +27,6 @@ from repro.core import (
     ReleaseLock,
     U,
     Universe,
-    add,
     check_possibilities_lockstep,
     conflict_sibling_edges,
     find_rw_serializing_order,

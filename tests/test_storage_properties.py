@@ -3,7 +3,7 @@ version stacks and Moss lock tables under random legal op sequences."""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

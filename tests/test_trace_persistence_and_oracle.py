@@ -8,10 +8,7 @@ import random
 
 import pytest
 
-from repro.checker import (
-    OracleViolation,
-    check_trace_serializable,
-)
+from repro.checker import check_trace_serializable
 from repro.core import (
     ActionSummary,
     Create,

@@ -11,7 +11,6 @@ from repro.engine import NestedTransactionDB
 from repro.workload import (
     Block,
     Op,
-    Program,
     WorkloadConfig,
     WorkloadGenerator,
     ZipfSampler,
