@@ -22,7 +22,15 @@ from __future__ import annotations
 import json
 import os
 
-from repro.bench import Table, emit, make_striped_system, make_system, run_cell
+from repro.bench import (
+    Table,
+    emit,
+    enable_metrics,
+    make_striped_system,
+    make_system,
+    metrics_summary,
+    run_cell,
+)
 from repro.bench.reporting import RESULTS_DIR
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute
 
@@ -147,6 +155,7 @@ def _striped_sweep(thetas=(0.0, 0.5), threads=8):
         programs = WorkloadGenerator(config).programs()
 
         def one(db, label, stripes):
+            enable_metrics(db)
             report = execute(
                 db, programs, threads=threads, op_delay=OP_DELAY, seed=17
             )
@@ -162,6 +171,9 @@ def _striped_sweep(thetas=(0.0, 0.5), threads=8):
                     "p95_ms": round(report.latency_percentile(0.95) * 1000, 2),
                     "lock_waits": report.db_stats.get("lock_waits", 0),
                     "deadlocks": report.db_stats.get("deadlocks", 0),
+                    # Registry snapshot: lock-wait/commit latency
+                    # percentiles and per-stripe contention counters.
+                    "metrics": metrics_summary(report),
                 }
             )
 

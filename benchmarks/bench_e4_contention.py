@@ -12,7 +12,11 @@ commits wake only the waiters of the objects they release.
 
 from __future__ import annotations
 
-from repro.bench import Table, emit, run_cell
+import json
+import os
+
+from repro.bench import Table, emit, metrics_summary, run_cell
+from repro.bench.reporting import RESULTS_DIR
 
 THETAS = (0.0, 0.5, 0.9, 1.2)
 PROGRAMS = 60
@@ -27,6 +31,7 @@ def _sweep():
                 threads=6,
                 op_delay=0.0002,
                 max_retries=500,  # extreme skew thrashes MVTO; let it finish
+                with_metrics=True,
                 objects=32,
                 theta=theta,
                 shape="bushy",
@@ -42,15 +47,16 @@ def _sweep():
                 + stats.get("validation_failures", 0)
             )
             rows.append(
-                (
-                    theta,
-                    system,
-                    report.committed_programs,
-                    report.retries,
-                    stats.get("lock_waits", 0),
-                    conflict_signals,
-                    round(report.goodput, 1),
-                )
+                {
+                    "theta": theta,
+                    "system": system,
+                    "committed": report.committed_programs,
+                    "retries": report.retries,
+                    "lock_waits": stats.get("lock_waits", 0),
+                    "conflicts": conflict_signals,
+                    "goodput": round(report.goodput, 1),
+                    "metrics": metrics_summary(report),
+                }
             )
     return rows
 
@@ -58,20 +64,24 @@ def _sweep():
 def test_e4_contention(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     table = Table(
-        ["theta", "system", "committed", "retries", "lock waits", "conflicts", "ops/s"]
+        ["theta", "system", "committed", "retries", "lock_waits", "conflicts", "goodput"]
     )
     for row in rows:
-        table.add_row(*row)
+        table.add_dict(row)
     emit(
         "E4: contention sweep — conflicts vs access skew",
         table,
         notes="Conflicts = deadlocks (locking) or rejections/validations (MVTO).",
     )
-    assert all(row[2] == PROGRAMS for row in rows)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_e4_contention.json")
+    with open(out, "w") as fh:
+        json.dump({"experiment": "e4-contention", "rows": rows}, fh, indent=2)
+    assert all(row["committed"] == PROGRAMS for row in rows)
     # Shape (noise-tolerant: aggregate across systems): total conflict
     # signals at the highest skew exceed those at uniform access.
-    lo = sum(r[5] for r in rows if r[0] == 0.0)
-    hi = sum(r[5] for r in rows if r[0] == 1.2)
+    lo = sum(r["conflicts"] for r in rows if r["theta"] == 0.0)
+    hi = sum(r["conflicts"] for r in rows if r["theta"] == 1.2)
     assert hi >= lo
 
 

@@ -23,6 +23,7 @@ from repro.engine import (
     FailureInjector,
     InjectedFailure,
     NestedTransactionDB,
+    RetryPolicy,
     retry_subtransaction,
 )
 
@@ -30,6 +31,12 @@ ACCOUNTS = 16
 TELLERS = 6
 TRANSFERS_PER_TELLER = 40
 INITIAL_BALANCE = 1000
+
+#: Deadlock victims retry with linear backoff plus a little jitter so
+#: competing tellers decorrelate (the post-1.1 way to configure retries —
+#: the old ``run_transaction(max_retries=, backoff=)`` kwargs are
+#: deprecated).
+TELLER_RETRIES = RetryPolicy(max_retries=30, backoff=0.0005, jitter=0.0005)
 
 
 def transfer(txn, src: str, dst: str, amount: int, injector: FailureInjector) -> None:
@@ -90,11 +97,11 @@ def main() -> None:
                 )
 
             try:
-                db.run_transaction(body)
+                db.run_transaction(body, policy=TELLER_RETRIES)
             except ValueError:
                 pass  # insufficient funds: business-level rejection
         # Every teller audits once at the end of its shift.
-        audits.append(db.run_transaction(audit))
+        audits.append(db.run_transaction(audit, policy=TELLER_RETRIES))
 
     threads = [
         threading.Thread(target=teller, args=(i,), daemon=True)

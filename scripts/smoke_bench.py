@@ -23,15 +23,24 @@ import sys
 
 from repro.checker import OracleViolation, check_engine
 from repro.engine import NestedTransactionDB
+from repro.obs import JsonlFileSink
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 MODES = ("global", "striped")
 
 
-def run_mode(latch_mode: str, threads: int, programs: int) -> dict:
+def run_mode(
+    latch_mode: str,
+    threads: int,
+    programs: int,
+    metrics_jsonl=None,
+) -> dict:
     db = NestedTransactionDB(
         initial_values(32), latch_mode=latch_mode, record_trace=True
     )
+    if metrics_jsonl is not None:
+        db.metrics.enable()
+        db.events.attach(JsonlFileSink(metrics_jsonl))
     config = WorkloadConfig(
         objects=32,
         theta=0.6,
@@ -76,6 +85,16 @@ def run_mode(latch_mode: str, threads: int, programs: int) -> dict:
         ok = False
     if report.committed_programs != programs:
         ok = False
+    if metrics_jsonl is not None:
+        # Embed the registry snapshot and hold the run to the sink
+        # contract: any sink exception fails the smoke benchmark.
+        summary["metrics"] = db.metrics.snapshot()
+        summary["events_emitted"] = db.events.emitted
+        summary["sink_errors"] = db.events.sink_errors
+        db.events.close()
+        if db.events.sink_errors:
+            summary["sink_error"] = repr(db.events.last_sink_error)
+            ok = False
     summary["ok"] = ok
     return summary
 
@@ -85,9 +104,26 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="smoke_bench.json")
     parser.add_argument("--threads", type=int, default=6)
     parser.add_argument("--programs", type=int, default=40)
+    parser.add_argument(
+        "--with-metrics",
+        action="store_true",
+        help="enable the metrics registry, stream engine events to "
+        "--metrics-out as JSONL, and fail if any event sink raised",
+    )
+    parser.add_argument("--metrics-out", default="smoke_metrics.jsonl")
     args = parser.parse_args(argv)
 
-    summaries = [run_mode(mode, args.threads, args.programs) for mode in MODES]
+    metrics_fh = None
+    if args.with_metrics:
+        metrics_fh = open(args.metrics_out, "w", encoding="utf-8")
+    try:
+        summaries = [
+            run_mode(mode, args.threads, args.programs, metrics_fh)
+            for mode in MODES
+        ]
+    finally:
+        if metrics_fh is not None:
+            metrics_fh.close()
     result = {"experiment": "ci-smoke-e1", "modes": summaries}
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)

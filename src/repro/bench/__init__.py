@@ -1,6 +1,14 @@
 """Benchmark harness: system builders and table reporting."""
 
-from .harness import SYSTEMS, Cell, make_striped_system, make_system, run_cell
+from .harness import (
+    SYSTEMS,
+    Cell,
+    enable_metrics,
+    make_striped_system,
+    make_system,
+    metrics_summary,
+    run_cell,
+)
 from .reporting import Table, emit
 
 __all__ = [
@@ -8,7 +16,9 @@ __all__ = [
     "SYSTEMS",
     "Table",
     "emit",
+    "enable_metrics",
     "make_striped_system",
     "make_system",
+    "metrics_summary",
     "run_cell",
 ]

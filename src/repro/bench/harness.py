@@ -44,9 +44,26 @@ SYSTEMS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 }
 
 
-def make_system(name: str, objects: int) -> Any:
-    """Instantiate a system under test over a fresh object population."""
-    return SYSTEMS[name](initial_values(objects))
+def make_system(name: str, objects: int, with_metrics: bool = False) -> Any:
+    """Instantiate a system under test over a fresh object population.
+
+    ``with_metrics=True`` enables the metrics registry on systems that
+    carry one (the nested engine); other systems ignore the flag.
+    """
+    db = SYSTEMS[name](initial_values(objects))
+    if with_metrics:
+        enable_metrics(db)
+    return db
+
+
+def enable_metrics(db: Any) -> bool:
+    """Turn on ``db.metrics`` when the system has a registry; returns
+    whether metrics are now recording."""
+    registry = getattr(db, "metrics", None)
+    if registry is None:
+        return False
+    registry.enable()
+    return True
 
 
 def make_striped_system(
@@ -74,9 +91,12 @@ class Cell:
     failure_prob: float = 0.0
     op_delay: float = 0.0
     max_retries: int = 50
+    #: Enable the engine metrics registry for this cell; the resulting
+    #: :attr:`ExecutionReport.metrics` snapshot lands in JSON artifacts.
+    with_metrics: bool = False
 
     def run(self) -> ExecutionReport:
-        db = make_system(self.system, self.config.objects)
+        db = make_system(self.system, self.config.objects, self.with_metrics)
         programs = WorkloadGenerator(self.config).programs()
         return execute(
             db,
@@ -95,8 +115,40 @@ def run_cell(
     failure_prob: float = 0.0,
     op_delay: float = 0.0,
     max_retries: int = 50,
+    with_metrics: bool = False,
     **config_kwargs: Any,
 ) -> ExecutionReport:
     """Convenience wrapper building the cell in one call."""
     config = WorkloadConfig(**config_kwargs)
-    return Cell(system, config, threads, failure_prob, op_delay, max_retries).run()
+    return Cell(
+        system, config, threads, failure_prob, op_delay, max_retries, with_metrics
+    ).run()
+
+
+def metrics_summary(report: ExecutionReport) -> Dict[str, Any]:
+    """The compact metrics block benchmark JSON artifacts embed per cell:
+    lock-wait and commit latency percentiles plus per-stripe contention
+    counters.  Empty dict when the cell ran without metrics."""
+    snapshot = report.metrics
+    if not snapshot:
+        return {}
+    histograms = snapshot.get("histograms", {})
+    counters = snapshot.get("counters", {})
+    summary: Dict[str, Any] = {}
+    for key in ("engine_lock_wait_seconds", "engine_commit_seconds"):
+        data = histograms.get(key)
+        if data:
+            summary[key] = {
+                "count": data["count"],
+                "p50": data["p50"],
+                "p95": data["p95"],
+                "p99": data["p99"],
+            }
+    contention = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("engine_stripe_contention_total") and value
+    }
+    if contention:
+        summary["stripe_contention"] = contention
+    return summary

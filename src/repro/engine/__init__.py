@@ -1,6 +1,8 @@
 """The nested-transaction engine: Moss locking, versioned storage,
-deadlock handling, failure injection, and oracle-ready trace recording."""
+deadlock handling, failure injection, observability (see ``repro.obs``),
+and oracle-ready trace recording."""
 
+from ..obs import STATS_KEYS, EventBus, MetricsRegistry, ObservableStats
 from .database import EngineStats, NestedTransactionDB, StripedEngineStats
 from .deadlock import BLOCKER, REQUESTER, YOUNGEST, WaitsForGraph, choose_victim
 from .errors import (
@@ -26,26 +28,33 @@ from .recovery import (
     recovery_block,
     retry_subtransaction,
 )
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore, VersionStack
 from .trace import TraceRecord, TraceRecorder
 from .transaction import Outcome, Transaction
 
 __all__ = [
     "BLOCKER",
+    "DEFAULT_RETRY_POLICY",
     "DEFAULT_STRIPES",
     "DeadlockAbort",
     "EngineError",
     "EngineStats",
+    "EventBus",
     "FailureInjector",
     "InjectedFailure",
     "InvalidTransactionState",
     "LockStripe",
     "LockTimeout",
+    "MetricsRegistry",
     "NestedTransactionDB",
     "ObjectLocks",
+    "ObservableStats",
     "Outcome",
     "READ",
     "REQUESTER",
+    "RetryPolicy",
+    "STATS_KEYS",
     "StripedEngineStats",
     "StripedLockTable",
     "TraceRecord",

@@ -41,13 +41,26 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass
+import warnings
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from contextlib import contextmanager
 
 from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
 from ..core.naming import U, ActionName
+from ..obs import (
+    DeadlockDetected,
+    EventBus,
+    LockInherited,
+    LockWaited,
+    MetricsRegistry,
+    ObservableStats,
+    OrphanReaped,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+    VictimChosen,
+)
 from .deadlock import BLOCKER, WaitsForGraph, choose_victim
 from .errors import (
     DeadlockAbort,
@@ -57,6 +70,7 @@ from .errors import (
     UnknownObject,
 )
 from .locks import DEFAULT_STRIPES, READ, WRITE, ObjectLocks, StripedLockTable
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore
 from .trace import TraceRecorder
 from .transaction import Transaction
@@ -65,67 +79,31 @@ GLOBAL = "global"
 STRIPED = "striped"
 
 
-@dataclass
-class EngineStats:
-    """Counters for benchmarking and diagnostics."""
+class EngineStats(ObservableStats):
+    """Deprecated alias of :class:`repro.obs.ObservableStats` (the old
+    global-latch stats shape).  Will be removed one release after 1.1.0."""
 
-    begun: int = 0
-    committed: int = 0
-    aborted: int = 0
-    reads: int = 0
-    writes: int = 0
-    lock_waits: int = 0
-    deadlocks: int = 0
-    lazy_lock_reaps: int = 0
-
-    def snapshot(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+    def __init__(self) -> None:
+        warnings.warn(
+            "EngineStats is deprecated; use repro.obs.ObservableStats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__()
 
 
-class StripedEngineStats:
-    """:class:`EngineStats`-compatible view for ``latch_mode="striped"``.
-
-    Lifecycle counters (begun/committed/aborted/deadlocks) are mutated
-    under the metadata latch and live here; data-path counters
-    (reads/writes/lock_waits/lazy_lock_reaps) are sharded across the lock
-    stripes — each guarded by its stripe mutex — and summed on access, so
-    the hot path never touches a shared counter.
-    """
+class StripedEngineStats(ObservableStats):
+    """Deprecated alias of :class:`repro.obs.ObservableStats` constructed
+    over a striped lock table.  Will be removed one release after 1.1.0."""
 
     def __init__(self, table: StripedLockTable) -> None:
-        self._table = table
-        self.begun = 0
-        self.committed = 0
-        self.aborted = 0
-        self.deadlocks = 0
-
-    @property
-    def reads(self) -> int:
-        return sum(stripe.reads for stripe in self._table.stripes)
-
-    @property
-    def writes(self) -> int:
-        return sum(stripe.writes for stripe in self._table.stripes)
-
-    @property
-    def lock_waits(self) -> int:
-        return sum(stripe.lock_waits for stripe in self._table.stripes)
-
-    @property
-    def lazy_lock_reaps(self) -> int:
-        return sum(stripe.lazy_lock_reaps for stripe in self._table.stripes)
-
-    def snapshot(self) -> Dict[str, int]:
-        return {
-            "begun": self.begun,
-            "committed": self.committed,
-            "aborted": self.aborted,
-            "reads": self.reads,
-            "writes": self.writes,
-            "lock_waits": self.lock_waits,
-            "deadlocks": self.deadlocks,
-            "lazy_lock_reaps": self.lazy_lock_reaps,
-        }
+        warnings.warn(
+            "StripedEngineStats is deprecated; use "
+            "repro.obs.ObservableStats(table=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(table=table)
 
 
 class NestedTransactionDB:
@@ -150,6 +128,8 @@ class NestedTransactionDB:
         record_trace: bool = True,
         latch_mode: str = GLOBAL,
         stripes: int = DEFAULT_STRIPES,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         if latch_mode not in (GLOBAL, STRIPED):
             raise ValueError(
@@ -161,6 +141,14 @@ class NestedTransactionDB:
         self._latch = threading.Lock()
         self._cond = threading.Condition(self._latch)
         self._store = VersionedStore(initial)
+        # Observability: a disabled registry and an empty bus cost one
+        # attribute load per guard on the hot path.  Enable with
+        # ``db.metrics.enable()`` / ``db.events.attach(sink)`` or inject
+        # pre-configured instances.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry(enabled=False)
+        )
+        self.events: EventBus = events if events is not None else EventBus()
         if self._striped:
             self._table: Optional[StripedLockTable] = StripedLockTable(
                 initial, stripes
@@ -170,14 +158,34 @@ class NestedTransactionDB:
             }
             self._meta = threading.Lock()
             self._parked: Dict[ActionName, str] = {}
-            self.stats: Any = StripedEngineStats(self._table)
         else:
             self._table = None
             self._locks = {obj: ObjectLocks() for obj in initial}
             self._meta = self._latch  # alias: one latch guards everything
             self._parked = {}
-            self.stats = EngineStats()
+        self.stats: ObservableStats = ObservableStats(table=self._table)
+        self.stats.bind(self.metrics)
+        # Hot-path histograms are resolved once; samples go through each
+        # metric's own leaf lock, never an engine latch (see repro.obs).
+        self._h_lock_wait = self.metrics.histogram("engine_lock_wait_seconds")
+        self._h_commit = self.metrics.histogram("engine_commit_seconds")
+        self._h_inherit = self.metrics.histogram("engine_lock_inherit_seconds")
+        if self._striped:
+            self._h_latch_hold = self.metrics.histogram(
+                "engine_commit_latch_hold_seconds"
+            )
+            self._stripe_contention = [
+                self.metrics.counter(
+                    "engine_stripe_contention_total",
+                    labels={"stripe": "%02d" % stripe.index},
+                )
+                for stripe in self._table.stripes
+            ]
+        else:
+            self._h_latch_hold = None
+            self._stripe_contention = []
         self._waits = WaitsForGraph()
+        self._waits.bind(self.metrics)
         self._txns: Dict[ActionName, Transaction] = {}
         self._top_counter = itertools.count()
         self.single_mode = single_mode
@@ -226,11 +234,42 @@ class NestedTransactionDB:
     def run_transaction(
         self,
         fn: Callable[[Transaction], Any],
-        max_retries: int = 20,
-        backoff: float = 0.0005,
+        max_retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        *,
+        policy: Optional[RetryPolicy] = None,
     ) -> Any:
-        """Run ``fn`` in a top-level transaction, retrying on abort
-        (deadlock victims retry with a small backoff)."""
+        """Run ``fn`` in a top-level transaction, retrying per ``policy``
+        (by default: retry :class:`TransactionAborted` — deadlock victims
+        included — with a small linear backoff).
+
+        ``max_retries``/``backoff`` are deprecated; pass
+        ``policy=RetryPolicy(max_retries=…, backoff=…)`` instead.
+        """
+        if max_retries is not None or backoff is not None:
+            if policy is not None:
+                raise TypeError(
+                    "pass either policy= or the deprecated "
+                    "max_retries/backoff kwargs, not both"
+                )
+            warnings.warn(
+                "run_transaction(max_retries=, backoff=) is deprecated; "
+                "pass policy=RetryPolicy(max_retries=, backoff=)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = RetryPolicy(
+                max_retries=(
+                    max_retries
+                    if max_retries is not None
+                    else DEFAULT_RETRY_POLICY.max_retries
+                ),
+                backoff=(
+                    backoff if backoff is not None else DEFAULT_RETRY_POLICY.backoff
+                ),
+            )
+        elif policy is None:
+            policy = DEFAULT_RETRY_POLICY
         attempt = 0
         while True:
             txn = self.begin_transaction()
@@ -238,16 +277,16 @@ class NestedTransactionDB:
                 value = fn(txn)
                 txn.commit()
                 return value
-            except TransactionAborted:
-                txn.abort()
-                attempt += 1
-                if attempt > max_retries:
-                    raise
-                if backoff:
-                    time.sleep(backoff * attempt)
-            except BaseException:
+            except BaseException as error:
                 txn.abort()  # application bugs must not leak transactions
-                raise
+                if not policy.is_retryable(error):
+                    raise
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise
+                delay = policy.delay(attempt)
+                if delay:
+                    time.sleep(delay)
 
     def snapshot(self) -> Dict[str, Any]:
         """Permanently committed values of all objects."""
@@ -378,12 +417,17 @@ class NestedTransactionDB:
         self.stats.begun += 1
         if self.trace is not None:
             self.trace.record_create(name)
+        if self.events.enabled:
+            self.events.emit(
+                TxnBegun(name, parent.name if parent is not None else None)
+            )
         return txn
 
     def _commit(self, txn: Transaction) -> None:
         if self._striped:
             self._commit_striped(txn)
             return
+        started = time.monotonic() if self.metrics.enabled else None
         with self._cond:
             if txn.status == ABORTED:
                 raise TransactionAborted(txn.name, "commit after abort")
@@ -399,12 +443,27 @@ class NestedTransactionDB:
             txn.status = COMMITTED
             if self.trace is not None:
                 self.trace.record_commit(txn.name)
+            inherited = tuple(txn.held_objects)
             self._inherit_locks(txn)
             self._waits.remove_transaction(txn.name)
             self.stats.committed += 1
             self._cond.notify_all()
+        if started is not None:
+            self._h_commit.observe(time.monotonic() - started)
+        if self.events.enabled:
+            parent = txn.parent
+            self.events.emit(TxnCommitted(txn.name, len(inherited)))
+            if inherited:
+                self.events.emit(
+                    LockInherited(
+                        txn.name,
+                        parent.name if parent is not None else None,
+                        inherited,
+                    )
+                )
 
     def _inherit_locks(self, txn: Transaction) -> None:
+        started = time.monotonic() if self.metrics.enabled else None
         parent = txn.parent
         for obj in txn.held_objects:
             locks = self._locks[obj]
@@ -416,6 +475,8 @@ class NestedTransactionDB:
         if parent is not None:
             parent.held_objects |= txn.held_objects
         txn.held_objects = set()
+        if started is not None:
+            self._h_inherit.observe(time.monotonic() - started)
 
     def _abort(self, txn: Transaction) -> None:
         if self._striped:
@@ -442,6 +503,8 @@ class NestedTransactionDB:
             txn.held_objects = set()
         self._waits.remove_transaction(txn.name)
         self.stats.aborted += 1
+        if self.events.enabled:
+            self.events.emit(TxnAborted(txn.name, reason))
 
     def _is_live(self, txn: Transaction) -> bool:
         if self._striped:
@@ -467,6 +530,8 @@ class NestedTransactionDB:
             # An ancestor died; this transaction is an orphan.  Kill its
             # subtree so its locks do not linger.
             self._abort_subtree_locked(txn, reason="ancestor aborted")
+            if self.events.enabled:
+                self.events.emit(OrphanReaped(txn.name, "ancestor aborted"))
             raise TransactionAborted(txn.name, "ancestor aborted")
 
     # -- data operation internals ------------------------------------------------------
@@ -526,6 +591,16 @@ class NestedTransactionDB:
                     victim_name = choose_victim(
                         cycle, self.deadlock_policy, txn.name
                     )
+                    if self.events.enabled:
+                        self.events.emit(DeadlockDetected(txn.name, tuple(cycle)))
+                        self.events.emit(
+                            VictimChosen(
+                                victim_name,
+                                self.deadlock_policy,
+                                txn.name,
+                                len(cycle),
+                            )
+                        )
                     victim = self._txns[victim_name]
                     self._waits.clear_waits(txn.name)
                     self._abort_subtree_locked(victim, reason="deadlock")
@@ -536,7 +611,19 @@ class NestedTransactionDB:
             self.stats.lock_waits += 1
             self._object_waits[obj] += 1
             remaining = deadline - time.monotonic()
-            if remaining <= 0 or not self._cond.wait(timeout=remaining):
+            waited_at = (
+                time.monotonic()
+                if (self.metrics.enabled or self.events.enabled)
+                else None
+            )
+            woke = remaining > 0 and self._cond.wait(timeout=remaining)
+            if waited_at is not None:
+                waited = time.monotonic() - waited_at
+                if self.metrics.enabled:
+                    self._h_lock_wait.observe(waited)
+                if self.events.enabled:
+                    self.events.emit(LockWaited(txn.name, obj, mode, waited))
+            if not woke:
                 self._waits.clear_waits(txn.name)
                 raise LockTimeout(txn.name, obj)
 
@@ -554,6 +641,8 @@ class NestedTransactionDB:
                 self._store.stack(obj).discard(holder)
                 holder_txn.held_objects.discard(obj)
                 self.stats.lazy_lock_reaps += 1
+                if self.events.enabled:
+                    self.events.emit(OrphanReaped(holder, "lazy lock reap"))
             else:
                 survivors.append(holder)
         return survivors
@@ -575,6 +664,8 @@ class NestedTransactionDB:
 
     def _die_as_orphan(self, txn: Transaction) -> None:
         self._abort_subtree_striped(txn, reason="ancestor aborted")
+        if self.events.enabled:
+            self.events.emit(OrphanReaped(txn.name, "ancestor aborted"))
         raise TransactionAborted(txn.name, "ancestor aborted")
 
     def _perform_striped(
@@ -659,6 +750,8 @@ class NestedTransactionDB:
                 if victim_name is None:
                     stripe.lock_waits += 1
                     stripe.object_waits[obj] += 1
+                    if self.metrics.enabled:
+                        self._stripe_contention[stripe.index].inc()
                     with self._meta:
                         self._parked[txn.name] = obj
                     # Re-check after publishing the parked entry: a
@@ -671,7 +764,24 @@ class NestedTransactionDB:
                         continue  # loop top runs the orphan path
                     remaining = deadline - time.monotonic()
                     cond = stripe.condition(obj)
+                    waited_at = (
+                        time.monotonic()
+                        if (self.metrics.enabled or self.events.enabled)
+                        else None
+                    )
                     woke = remaining > 0 and cond.wait(timeout=remaining)
+                    if waited_at is not None:
+                        # The histogram/bus take only their own leaf
+                        # locks — never a stripe latch (see repro.obs).
+                        waited = time.monotonic() - waited_at
+                        if self.metrics.enabled:
+                            self._h_lock_wait.observe(waited)
+                        if self.events.enabled:
+                            self.events.emit(
+                                LockWaited(
+                                    txn.name, obj, mode, waited, stripe.index
+                                )
+                            )
                     with self._meta:
                         self._parked.pop(txn.name, None)
                     if not woke:
@@ -680,6 +790,16 @@ class NestedTransactionDB:
             if victim_name is not None:
                 with self._meta:
                     self.stats.deadlocks += 1
+                if self.events.enabled:
+                    self.events.emit(DeadlockDetected(txn.name, tuple(cycle)))
+                    self.events.emit(
+                        VictimChosen(
+                            victim_name,
+                            self.deadlock_policy,
+                            txn.name,
+                            len(cycle) if cycle else 0,
+                        )
+                    )
                 victim = self._txns[victim_name]
                 self._abort_subtree_striped(victim, reason="deadlock")
                 if victim_name.is_ancestor_of(txn.name):
@@ -701,6 +821,8 @@ class NestedTransactionDB:
                 with self._meta:
                     holder_txn.held_objects.discard(obj)
                 stripe.lazy_lock_reaps += 1
+                if self.events.enabled:
+                    self.events.emit(OrphanReaped(holder, "lazy lock reap"))
             else:
                 survivors.append(holder)
         return survivors
@@ -714,10 +836,12 @@ class NestedTransactionDB:
         cross-stripe lock inheritance are one atomic step — a concurrent
         requester can never observe a half-inherited lock set.
         """
+        started = time.monotonic() if self.metrics.enabled else None
         while True:
             with self._meta:
                 held = frozenset(txn.held_objects)
             orphan = False
+            latched_at = time.monotonic() if started is not None else None
             with self._table.locked(held):
                 with self._meta:
                     if frozenset(txn.held_objects) != held:
@@ -749,6 +873,7 @@ class NestedTransactionDB:
                     # Still inside the stripe mutexes: inherit or retire
                     # each lock and wake exactly the waiters parked on the
                     # objects whose locks changed.
+                    inherit_at = time.monotonic() if started is not None else None
                     for obj in held:
                         locks = self._table.locks_of(obj)
                         if txn.parent is None:
@@ -757,8 +882,25 @@ class NestedTransactionDB:
                             locks.inherit(txn.name)
                         self._store.stack(obj).commit_to_parent(txn.name)
                         self._table.stripe_of(obj).notify_object(obj)
+                    if inherit_at is not None:
+                        self._h_inherit.observe(time.monotonic() - inherit_at)
+            if latched_at is not None:
+                self._h_latch_hold.observe(time.monotonic() - latched_at)
             if orphan:
                 self._die_as_orphan(txn)
+            if started is not None:
+                self._h_commit.observe(time.monotonic() - started)
+            if self.events.enabled:
+                parent = txn.parent
+                self.events.emit(TxnCommitted(txn.name, len(held)))
+                if held:
+                    self.events.emit(
+                        LockInherited(
+                            txn.name,
+                            parent.name if parent is not None else None,
+                            tuple(sorted(held)),
+                        )
+                    )
             return
 
     def _collect_active_subtree(self, root: Transaction) -> List[Transaction]:
@@ -806,6 +948,7 @@ class NestedTransactionDB:
             with self._table.locked(objs):
                 cleanup: List[Tuple[ActionName, Tuple[str, ...]]] = []
                 wake: set = set()
+                aborted_names: List[ActionName] = []
                 with self._meta:
                     doomed = self._collect_active_subtree(root)
                     replan = False
@@ -833,6 +976,7 @@ class NestedTransactionDB:
                             wake.add(parked)
                         self._waits.remove_transaction(txn.name)
                         self.stats.aborted += 1
+                        aborted_names.append(txn.name)
                 # Still inside the stripe mutexes: pop versions, drop
                 # locks, and wake only the affected objects' waiters.
                 for name, held in cleanup:
@@ -841,6 +985,9 @@ class NestedTransactionDB:
                         self._store.stack(obj).discard(name)
                 for obj in wake:
                     self._table.stripe_of(obj).notify_object(obj)
+            if self.events.enabled:
+                for name in aborted_names:
+                    self.events.emit(TxnAborted(name, reason))
             return
 
     def __repr__(self) -> str:

@@ -19,7 +19,8 @@ cross-stripe snapshot of who waits for whom.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.naming import ActionName
 
@@ -39,6 +40,16 @@ class WaitsForGraph:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._edges: Dict[ActionName, Set[ActionName]] = {}
+        self._registry: Optional[Any] = None
+        self._sweep_hist: Optional[Any] = None
+
+    def bind(self, registry: Any) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry`: cycle sweeps are
+        timed into ``engine_deadlock_sweep_seconds`` (only while the
+        registry is enabled — the guard is one attribute test)."""
+        self._registry = registry
+        self._sweep_hist = registry.histogram("engine_deadlock_sweep_seconds")
+        registry.gauge("engine_waits_for_edges", callback=self.__len__)
 
     def set_waits(self, waiter: ActionName, blockers: Iterable[ActionName]) -> None:
         blockers = set(blockers)
@@ -74,6 +85,16 @@ class WaitsForGraph:
         under the graph lock, so the cycle is judged against one
         consistent snapshot even while other stripes mutate edges.
         """
+        registry = self._registry
+        if registry is not None and registry.enabled:
+            sweep_started = time.monotonic()
+            try:
+                return self._find_cycle_from(start)
+            finally:
+                self._sweep_hist.observe(time.monotonic() - sweep_started)
+        return self._find_cycle_from(start)
+
+    def _find_cycle_from(self, start: ActionName) -> Optional[List[ActionName]]:
         with self._lock:
             target = set(start.ancestors())  # ancestors of start, start included
             visited: Set[ActionName] = set()

@@ -10,9 +10,12 @@ retry combinator implementing the recovery-block pattern over the engine.
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Callable, Optional, Sequence
 
+from ..obs import FailureInjected
 from .errors import EngineError
+from .retry import RetryPolicy
 from .transaction import Transaction
 
 
@@ -27,19 +30,41 @@ class InjectedFailure(EngineError):
 
 class FailureInjector:
     """Raises :class:`InjectedFailure` with a given probability at each
-    named failure point.  Deterministic under a seed."""
+    named failure point.  Deterministic under a seed.
 
-    def __init__(self, failure_prob: float, seed: int = 0) -> None:
+    Optionally observable: pass a :class:`repro.obs.MetricsRegistry` to
+    count injections (``injected_failures_total``) and/or an
+    :class:`repro.obs.EventBus` to emit a ``failure_injected`` event per
+    firing.
+    """
+
+    def __init__(
+        self,
+        failure_prob: float,
+        seed: int = 0,
+        metrics: Optional[Any] = None,
+        events: Optional[Any] = None,
+    ) -> None:
         if not 0.0 <= failure_prob <= 1.0:
             raise ValueError("failure_prob must be in [0, 1]")
         self.failure_prob = failure_prob
         self._rng = random.Random(seed)
         self.injected = 0
+        self._events = events
+        self._counter = (
+            metrics.counter("injected_failures_total")
+            if metrics is not None
+            else None
+        )
 
     def point(self, label: str = "") -> None:
         """A potential failure site; call inside subtransaction bodies."""
         if self._rng.random() < self.failure_prob:
             self.injected += 1
+            if self._counter is not None:
+                self._counter.inc()
+            if self._events is not None and self._events.enabled:
+                self._events.emit(FailureInjected(label))
             raise InjectedFailure(label)
 
 
@@ -73,6 +98,38 @@ def retry_subtransaction(
     parent: Transaction,
     fn: Callable[[Transaction], Any],
     attempts: int = 3,
+    policy: Optional[RetryPolicy] = None,
 ) -> Any:
-    """Retry one body up to ``attempts`` times in fresh subtransactions."""
-    return recovery_block(parent, [fn] * attempts)
+    """Retry one body in fresh subtransactions.
+
+    Without ``policy`` this is the classic recovery block: ``attempts``
+    tries, any failure contained, no sleeps.  With a
+    :class:`~repro.engine.retry.RetryPolicy`, the policy drives the loop
+    instead: ``policy.max_retries`` retries beyond the first attempt,
+    ``policy.delay`` sleeps between them, and only ``policy.retryable``
+    errors are retried (plus :class:`InjectedFailure`, the whole point of
+    a recovery block) — anything else propagates after aborting the
+    child.
+    """
+    if policy is None:
+        return recovery_block(parent, [fn] * attempts)
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_retries + 1):
+        if attempt and last_error is not None:
+            delay = policy.delay(attempt)
+            if delay:
+                time.sleep(delay)
+        child = parent.begin_subtransaction()
+        try:
+            value = fn(child)
+            child.commit()
+            return value
+        except BaseException as error:  # noqa: BLE001 - contained by design
+            child.abort()
+            if not (
+                policy.is_retryable(error) or isinstance(error, InjectedFailure)
+            ):
+                raise
+            last_error = error
+    assert last_error is not None
+    raise last_error

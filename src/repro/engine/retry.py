@@ -1,0 +1,69 @@
+"""Retry policy for transaction bodies.
+
+``run_transaction(fn, max_retries=…, backoff=…)`` hardcoded its retry
+behaviour inline; :class:`RetryPolicy` makes it a first-class value that
+can be shared, tuned per workload, and passed to both the top-level
+retry loop (:meth:`NestedTransactionDB.run_transaction`) and the
+subtransaction retry combinator
+(:func:`repro.engine.recovery.retry_subtransaction`).
+
+The old loose kwargs still work but emit :class:`DeprecationWarning`;
+they are removed one release after 1.1.0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple, Type
+
+from .errors import TransactionAborted
+
+#: Matches the pre-1.1 run_transaction defaults.
+DEFAULT_MAX_RETRIES = 20
+DEFAULT_BACKOFF = 0.0005
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transaction body is retried after a retryable failure.
+
+    * ``max_retries`` — attempts beyond the first (0 = run once);
+    * ``backoff`` — base sleep between attempts, scaled linearly by the
+      attempt number (attempt *n* sleeps ``backoff * n``);
+    * ``jitter`` — an extra uniform-random 0..jitter seconds added to
+      each sleep, decorrelating retry storms between threads;
+    * ``retryable`` — exception classes that trigger a retry; anything
+      else propagates immediately.  The default retries
+      :class:`TransactionAborted` (which covers deadlock victims via
+      :class:`DeadlockAbort`).
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff: float = DEFAULT_BACKOFF
+    jitter: float = 0.0
+    retryable: Tuple[Type[BaseException], ...] = field(
+        default=(TransactionAborted,)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        delay = self.backoff * attempt
+        if self.jitter:
+            delay += random.random() * self.jitter
+        return delay
+
+
+#: The engine-wide default (shared, immutable).
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -115,20 +115,25 @@ class TraceRecorder:
         """Write the trace as JSON lines (one record per line).
 
         Values must be JSON-serializable (ints/strings in all shipped
-        workloads).
+        workloads).  Files are always written UTF-8 with non-ASCII object
+        names and values kept readable (``ensure_ascii=False``) — never
+        the locale's default encoding, so a trace dumped under one locale
+        loads under any other.
         """
         if isinstance(destination, str):
-            with open(destination, "w") as fh:
+            with open(destination, "w", encoding="utf-8") as fh:
                 self.dump(fh)
             return
         for record in self._records:
-            destination.write(json.dumps(_record_to_json(record)) + "\n")
+            destination.write(
+                json.dumps(_record_to_json(record), ensure_ascii=False) + "\n"
+            )
 
     @classmethod
     def load(cls, source: Union[str, IO[str]]) -> "TraceRecorder":
         """Read a trace previously written by :meth:`dump`."""
         if isinstance(source, str):
-            with open(source) as fh:
+            with open(source, encoding="utf-8") as fh:
                 return cls.load(fh)
         recorder = cls()
         for line in source:

@@ -1,0 +1,58 @@
+"""Engine observability: metrics registry, structured events, sinks.
+
+The subsystem is deliberately dependency-free and engine-agnostic — it
+knows nothing about transactions; the engine pushes samples and events
+into it.  See ``docs/observability.md`` for the event taxonomy, the sink
+contract, and how to read the Prometheus text export.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    DeadlockDetected,
+    Event,
+    EventBus,
+    FailureInjected,
+    LockInherited,
+    LockWaited,
+    OrphanReaped,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+    VictimChosen,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    timed,
+)
+from .sinks import JsonlFileSink, RingBufferSink, StderrPrettySink
+from .stats import STATS_KEYS, ObservableStats
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DeadlockDetected",
+    "EVENT_KINDS",
+    "Event",
+    "EventBus",
+    "FailureInjected",
+    "Gauge",
+    "Histogram",
+    "JsonlFileSink",
+    "LockInherited",
+    "LockWaited",
+    "MetricsRegistry",
+    "ObservableStats",
+    "OrphanReaped",
+    "RingBufferSink",
+    "STATS_KEYS",
+    "StderrPrettySink",
+    "TxnAborted",
+    "TxnBegun",
+    "TxnCommitted",
+    "VictimChosen",
+    "timed",
+]

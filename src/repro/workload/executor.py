@@ -38,6 +38,9 @@ class ExecutionReport:
     injected: int = 0
     db_stats: Dict[str, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)  # per committed program
+    #: ``db.metrics.snapshot()`` taken at the end of the run, when the
+    #: system under test carries an *enabled* metrics registry ({} else).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -68,6 +71,7 @@ class ExecutionReport:
         row = dict(self.__dict__)
         row.pop("db_stats", None)
         row.pop("latencies", None)
+        row.pop("metrics", None)
         row["throughput"] = round(self.throughput, 1)
         row["goodput"] = round(self.goodput, 1)
         row["p95_ms"] = round(self.latency_percentile(0.95) * 1000, 2)
@@ -241,6 +245,12 @@ def execute(
         queue.append((program, _Firing(ids)))
     index_lock = threading.Lock()
     next_index = [0]
+    registry = getattr(db, "metrics", None)
+    program_hist = (
+        registry.histogram("workload_program_seconds")
+        if registry is not None
+        else None
+    )
 
     def worker() -> None:
         while True:
@@ -273,12 +283,13 @@ def execute(
                         break
                     time.sleep(0.0002 * attempts)
                     continue
+                elapsed = time.perf_counter() - program_start
+                if program_hist is not None and registry.enabled:
+                    program_hist.observe(elapsed)
                 with counters.lock:
                     counters.committed_programs += 1
                     counters.ops_committed += done
-                    counters.latencies.append(
-                        time.perf_counter() - program_start
-                    )
+                    counters.latencies.append(elapsed)
                 break
 
     pool = [threading.Thread(target=worker, daemon=True) for _ in range(threads)]
@@ -288,6 +299,10 @@ def execute(
     for thread in pool:
         thread.join()
     duration = time.perf_counter() - start
+
+    metrics_snapshot: Dict[str, object] = {}
+    if registry is not None and getattr(registry, "enabled", False):
+        metrics_snapshot = registry.snapshot()
 
     return ExecutionReport(
         duration=duration,
@@ -301,4 +316,5 @@ def execute(
         injected=counters.injected,
         db_stats=db.stats.snapshot() if hasattr(db, "stats") else {},
         latencies=counters.latencies,
+        metrics=metrics_snapshot,
     )

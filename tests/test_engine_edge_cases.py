@@ -10,6 +10,7 @@ import pytest
 from repro.engine import (
     LockTimeout,
     NestedTransactionDB,
+    RetryPolicy,
     TransactionAborted,
 )
 
@@ -22,7 +23,9 @@ class TestRunTransactionRetries:
             raise TransactionAborted(txn.name, "synthetic")
 
         with pytest.raises(TransactionAborted):
-            db.run_transaction(always_doomed, max_retries=3, backoff=0)
+            db.run_transaction(
+                always_doomed, policy=RetryPolicy(max_retries=3, backoff=0)
+            )
         # 1 initial + 3 retries
         assert db.stats.begun == 4
         assert db.stats.aborted == 4
@@ -39,8 +42,35 @@ class TestRunTransactionRetries:
             txn.write("a", len(attempts))
             return "done"
 
-        assert db.run_transaction(flaky, backoff=0) == "done"
+        assert db.run_transaction(flaky, policy=RetryPolicy(backoff=0)) == "done"
         assert db.snapshot()["a"] == 3
+
+    def test_loose_retry_kwargs_deprecated_but_equivalent(self):
+        db = NestedTransactionDB({"a": 0})
+
+        def always_doomed(txn):
+            raise TransactionAborted(txn.name, "synthetic")
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TransactionAborted):
+                db.run_transaction(always_doomed, max_retries=2, backoff=0)
+        assert db.stats.begun == 3  # 1 initial + 2 retries
+        with pytest.raises(TypeError):
+            db.run_transaction(always_doomed, max_retries=1, policy=RetryPolicy())
+
+    def test_policy_retryable_filter(self):
+        db = NestedTransactionDB({"a": 0})
+        count = []
+
+        def raises_key_error(txn):
+            count.append(1)
+            raise KeyError("retry me")
+
+        policy = RetryPolicy(max_retries=2, backoff=0, retryable=(KeyError,))
+        with pytest.raises(KeyError):
+            db.run_transaction(raises_key_error, policy=policy)
+        assert len(count) == 3  # KeyError was retryable under this policy
+        db.assert_quiescent()
 
     def test_non_abort_exceptions_propagate_immediately(self):
         db = NestedTransactionDB({"a": 0})

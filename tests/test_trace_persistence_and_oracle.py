@@ -73,6 +73,36 @@ class TestTracePersistence:
         assert loaded.records[1].access == txn.child("r0")
         assert loaded.records[1].seen == 7
 
+    def test_empty_trace_roundtrip(self, tmp_path):
+        recorder = TraceRecorder()
+        path = str(tmp_path / "empty.jsonl")
+        recorder.dump(path)
+        loaded = TraceRecorder.load(path)
+        assert loaded.records == ()
+        # The reloaded recorder is still usable: sequence numbering
+        # restarts from zero, same as a fresh one.
+        loaded.record_create(U.child(1))
+        assert loaded.records[0].seq == 0
+
+    def test_non_ascii_object_names_roundtrip(self, tmp_path):
+        """Object names and values outside ASCII survive a file round
+        trip byte-for-byte (files are written/read as UTF-8 regardless
+        of locale, with ensure_ascii off so the JSONL stays readable)."""
+        db = NestedTransactionDB({"café": 0, "口座": 5})
+        with db.transaction() as t:
+            t.write("café", "✓ français")
+            t.write("口座", t.read("café"))
+        path = str(tmp_path / "unicode.jsonl")
+        db.trace.dump(path)
+        # The on-disk form keeps the raw characters (no \uXXXX escapes).
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        assert "café" in raw and "口座" in raw
+        loaded = TraceRecorder.load(path)
+        assert loaded.records == db.trace.records
+        report = check_trace_serializable(loaded.records, db.initial_values)
+        assert report.ok
+
 
 class TestLatencyStats:
     def test_percentiles_tracked(self):
