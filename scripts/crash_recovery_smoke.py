@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI crash-recovery smoke: kill durable workers, recover, write a report.
+
+Runs the crash-restart harness (``repro.durability.crashtest``) across a
+small matrix of latch modes and sync policies, collects each scenario's
+:class:`CrashReport`, and writes the whole batch as JSON (default
+``crash_recovery_report.json``, override with ``--out``) so CI can upload
+it as an artifact.  Exits nonzero when any scenario violates the
+durability contract — the JSON then names the failed invariants.
+
+Usage:
+    PYTHONPATH=src python scripts/crash_recovery_smoke.py [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.durability.crashtest import run_crash_recovery_scenario  # noqa: E402
+
+SCENARIOS = [
+    {"latch": "global", "sync": "commit", "seed": 11},
+    {"latch": "striped", "sync": "commit", "seed": 12},
+    {"latch": "striped", "sync": "group", "seed": 13},
+    {"latch": "global", "sync": "commit", "seed": 14, "checkpoint_interval": 20,
+     "min_acks": 60},
+]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="crash_recovery_report.json")
+    parser.add_argument("--min-acks", type=int, default=30)
+    args = parser.parse_args(argv)
+
+    results = []
+    failed = 0
+    for scenario in SCENARIOS:
+        params = dict(scenario)
+        params.setdefault("min_acks", args.min_acks)
+        with tempfile.TemporaryDirectory(prefix="crash-smoke-") as directory:
+            start = time.monotonic()
+            try:
+                report = run_crash_recovery_scenario(directory, **params)
+                entry = report.as_dict()
+            except RuntimeError as error:  # harness problem, not a verdict
+                entry = {"ok": False, "failures": ["harness: %s" % error]}
+                entry.update({"latch": params["latch"], "sync": params["sync"]})
+            entry["scenario"] = scenario
+            entry["seconds"] = round(time.monotonic() - start, 3)
+        results.append(entry)
+        status = "ok" if entry["ok"] else "FAIL"
+        print(
+            "[%s] latch=%-7s sync=%-6s acked=%s recovered=%s replayed=%s "
+            "ckpt=%s (%.1fs)"
+            % (
+                status,
+                entry.get("latch"),
+                entry.get("sync"),
+                entry.get("acked_commits", "?"),
+                entry.get("recovered_total", "?"),
+                entry.get("commits_replayed", "?"),
+                entry.get("checkpoint_seq", "?"),
+                entry["seconds"],
+            )
+        )
+        if not entry["ok"]:
+            failed += 1
+            for failure in entry["failures"]:
+                print("    - %s" % failure)
+
+    batch = {"ok": failed == 0, "scenarios": results}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(batch, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("report: %s (%d/%d scenarios passed)"
+          % (args.out, len(results) - failed, len(results)))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

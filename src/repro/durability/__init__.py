@@ -1,0 +1,62 @@
+"""Durability for the nested-transaction engine: write-ahead logging,
+fuzzy checkpoints, and crash recovery.
+
+The layer sits *below* the lock discipline, as in the multi-level
+transaction literature: subtransaction commits stay purely in memory
+(Moss version-stack merges), and a log batch becomes durable exactly when
+a **top-level** transaction commits — only ``perm(T)`` values are ever
+externally visible, so only they are ever on disk.  See
+``docs/durability.md`` for the log format, the checkpoint protocol, the
+recovery algorithm, and every knob.
+
+Enable it on an engine with the ``durability=`` constructor flag::
+
+    from repro.durability import DurabilityManager
+    from repro.engine import NestedTransactionDB
+
+    db = NestedTransactionDB({"x": 0}, durability="./dbdir")   # or:
+    db = NestedTransactionDB(
+        {"x": 0},
+        durability=DurabilityManager("./dbdir", sync_policy="group"),
+    )
+
+(The crash-restart harness lives in :mod:`repro.durability.crashtest`;
+it is not imported here because it imports the engine.)
+"""
+
+from .checkpoint import CHECKPOINT_FORMAT, CheckpointData, Checkpointer
+from .manager import DurabilityManager
+from .recovery import RecoveryManager, RecoveryResult
+from .wal import (
+    DEFAULT_GROUP_WINDOW,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    SYNC_COMMIT,
+    SYNC_GROUP,
+    SYNC_NONE,
+    SYNC_POLICIES,
+    CommitRecord,
+    ReplayStats,
+    WriteAheadLog,
+    list_segments,
+    replay_commits,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointData",
+    "Checkpointer",
+    "CommitRecord",
+    "DEFAULT_GROUP_WINDOW",
+    "DEFAULT_SEGMENT_MAX_BYTES",
+    "DurabilityManager",
+    "RecoveryManager",
+    "RecoveryResult",
+    "ReplayStats",
+    "SYNC_COMMIT",
+    "SYNC_GROUP",
+    "SYNC_NONE",
+    "SYNC_POLICIES",
+    "WriteAheadLog",
+    "list_segments",
+    "replay_commits",
+]

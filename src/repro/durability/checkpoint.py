@@ -1,0 +1,156 @@
+"""Fuzzy checkpoints of the committed object store.
+
+A checkpoint is one JSON file ``checkpoint-<seq>.json`` holding the
+permanently committed (U-owned) value of every object plus the WAL
+position the snapshot is *at least* as new as.  The protocol is fuzzy in
+the ARIES sense but leans on redo idempotence rather than dirty-page
+tables:
+
+1. capture ``lsn`` = the WAL's last assigned LSN;
+2. take the engine snapshot (the engine latches internally, so the
+   snapshot is a consistent committed state, and every commit with a
+   record at or below ``lsn`` is already merged — LSNs are assigned
+   inside the same critical section as the in-memory merge);
+3. write the checkpoint file durably (temp file + fsync + ``os.replace``
+   + directory fsync), so a crash mid-checkpoint leaves the previous
+   checkpoint intact;
+4. only then truncate WAL segments wholly at or below ``lsn``.
+
+Commits that landed between steps 1 and 2 may already be inside the
+snapshot *and* still in the log; recovery replays them again, which is
+harmless — redo records carry absolute values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+CHECKPOINT_FORMAT = 1
+_PREFIX = "checkpoint-"
+_SUFFIX = ".json"
+
+
+def _checkpoint_name(seq: int) -> str:
+    return "%s%08d%s" % (_PREFIX, seq, _SUFFIX)
+
+
+def _checkpoint_seq(name: str) -> Optional[int]:
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    try:
+        return int(name[len(_PREFIX) : -len(_SUFFIX)])
+    except ValueError:
+        return None
+
+
+@dataclass
+class CheckpointData:
+    """One on-disk checkpoint, decoded."""
+
+    seq: int
+    lsn: int
+    values: Dict[str, Any]
+    path: str
+
+
+class Checkpointer:
+    """Write, enumerate and prune checkpoints in a durability directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def list(self) -> List[Tuple[int, str]]:
+        """(seq, path) of every checkpoint file, ascending by seq."""
+        found = []
+        for name in os.listdir(self.directory):
+            seq = _checkpoint_seq(name)
+            if seq is not None:
+                found.append((seq, os.path.join(self.directory, name)))
+        found.sort()
+        return found
+
+    def latest(self) -> Optional[CheckpointData]:
+        """The newest readable checkpoint (corrupt files are skipped, so a
+        bad write can only ever cost one checkpoint, never recovery)."""
+        for seq, path in reversed(self.list()):
+            data = self._read(seq, path)
+            if data is not None:
+                return data
+        return None
+
+    def _read(self, seq: int, path: str) -> Optional[CheckpointData]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if raw.get("format") != CHECKPOINT_FORMAT:
+            return None
+        try:
+            return CheckpointData(
+                seq=seq,
+                lsn=int(raw["lsn"]),
+                values=dict(raw["values"]),
+                path=path,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def write(self, lsn: int, values: Dict[str, Any]) -> CheckpointData:
+        """Durably write the next checkpoint (atomic rename, fsynced)."""
+        existing = self.list()
+        seq = (existing[-1][0] + 1) if existing else 1
+        path = os.path.join(self.directory, _checkpoint_name(seq))
+        payload = json.dumps(
+            {"format": CHECKPOINT_FORMAT, "seq": seq, "lsn": lsn, "values": values},
+            ensure_ascii=False,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=_PREFIX, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_directory()
+        return CheckpointData(seq=seq, lsn=lsn, values=dict(values), path=path)
+
+    def prune(self, keep: int = 1) -> int:
+        """Delete all but the newest ``keep`` checkpoints; returns count
+        removed."""
+        removed = 0
+        entries = self.list()
+        if keep > 0:
+            entries = entries[:-keep]
+        for _seq, path in entries:
+            try:
+                os.unlink(path)
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def _fsync_directory(self) -> None:
+        try:
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds; rename is still atomic
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)

@@ -34,6 +34,16 @@ Configuration axes (these drive the E1/E6 benchmarks):
 * ``lazy_lock_cleanup`` — on abort, leave dead holders' locks in place to
   be reaped by the next conflicting request (the paper's ``lose-lock``
   event firing late) instead of eagerly.
+
+Durability (off by default) is a fourth axis: pass ``durability=`` a
+directory path or a :class:`repro.durability.DurabilityManager` and
+top-level commits are written ahead to a CRC-framed log and fsync'd
+before ``commit()`` returns (group-commit batching optional), while
+subtransaction commits stay purely in memory — only ``perm(T)`` values
+ever reach disk, per the paper's visibility rule.  On construction over
+an existing directory the committed state is recovered from the latest
+checkpoint plus the log.  Works under both latch modes; see
+``docs/durability.md``.
 """
 
 from __future__ import annotations
@@ -69,6 +79,7 @@ from .errors import (
     TransactionAborted,
     UnknownObject,
 )
+from ..durability import DurabilityManager
 from .locks import DEFAULT_STRIPES, READ, WRITE, ObjectLocks, StripedLockTable
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore
@@ -130,6 +141,7 @@ class NestedTransactionDB:
         stripes: int = DEFAULT_STRIPES,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
+        durability: Optional[Any] = None,
     ) -> None:
         if latch_mode not in (GLOBAL, STRIPED):
             raise ValueError(
@@ -140,7 +152,6 @@ class NestedTransactionDB:
         self._striped = latch_mode == STRIPED
         self._latch = threading.Lock()
         self._cond = threading.Condition(self._latch)
-        self._store = VersionedStore(initial)
         # Observability: a disabled registry and an empty bus cost one
         # attribute load per guard on the hot path.  Enable with
         # ``db.metrics.enable()`` / ``db.events.attach(sink)`` or inject
@@ -149,6 +160,23 @@ class NestedTransactionDB:
             metrics if metrics is not None else MetricsRegistry(enabled=False)
         )
         self.events: EventBus = events if events is not None else EventBus()
+        # Durability: off by default.  A path (or DurabilityManager) turns
+        # on write-ahead logging of top-level commits and, when the
+        # directory already holds a checkpoint/WAL, recovers the committed
+        # state — the recovered values *become* this engine's initial
+        # values (the oracle replays post-recovery traces from them).
+        self.durability: Optional[DurabilityManager] = None
+        if durability is not None:
+            manager = (
+                durability
+                if isinstance(durability, DurabilityManager)
+                else DurabilityManager(durability)
+            )
+            manager.bind(self.metrics, self.events)
+            recovered = manager.recover(initial)
+            initial = recovered.values
+            self.durability = manager
+        self._store = VersionedStore(initial)
         if self._striped:
             self._table: Optional[StripedLockTable] = StripedLockTable(
                 initial, stripes
@@ -238,10 +266,15 @@ class NestedTransactionDB:
         backoff: Optional[float] = None,
         *,
         policy: Optional[RetryPolicy] = None,
+        sleep_fn: Callable[[float], None] = time.sleep,
     ) -> Any:
         """Run ``fn`` in a top-level transaction, retrying per ``policy``
         (by default: retry :class:`TransactionAborted` — deadlock victims
         included — with a small linear backoff).
+
+        ``sleep_fn`` is the backoff clock — inject a no-op (or a fake
+        clock) so resilience tests run deterministically with no
+        wall-clock delay.
 
         ``max_retries``/``backoff`` are deprecated; pass
         ``policy=RetryPolicy(max_retries=…, backoff=…)`` instead.
@@ -286,7 +319,7 @@ class NestedTransactionDB:
                     raise
                 delay = policy.delay(attempt)
                 if delay:
-                    time.sleep(delay)
+                    sleep_fn(delay)
 
     def snapshot(self) -> Dict[str, Any]:
         """Permanently committed values of all objects."""
@@ -444,10 +477,20 @@ class NestedTransactionDB:
             if self.trace is not None:
                 self.trace.record_commit(txn.name)
             inherited = tuple(txn.held_objects)
+            wal_writes = self._collect_perm_writes(txn)
             self._inherit_locks(txn)
             self._waits.remove_transaction(txn.name)
             self.stats.committed += 1
+            # Append inside the latch so WAL order equals commit order;
+            # the fsync happens after release (see below).
+            wal_lsn = (
+                self.durability.log_commit(txn.name, wal_writes)
+                if wal_writes
+                else None
+            )
             self._cond.notify_all()
+        if wal_lsn is not None:
+            self._finish_durable_commit(wal_lsn)
         if started is not None:
             self._h_commit.observe(time.monotonic() - started)
         if self.events.enabled:
@@ -461,6 +504,52 @@ class NestedTransactionDB:
                         inherited,
                     )
                 )
+
+    def _collect_perm_writes(
+        self, txn: Transaction, held: Optional[Any] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The values a committing **top-level** transaction is about to
+        merge into U — the WAL redo batch.  Must run under the latches
+        covering ``txn.held_objects``, *before* the version-stack merge
+        (the merge consumes the entries).  Returns None when durability is
+        off, the committer is a subtransaction (its merge is in-memory
+        only, per Moss), or it holds only read locks (nothing to redo).
+        """
+        if self.durability is None or txn.parent is not None:
+            return None
+        objects = held if held is not None else txn.held_objects
+        writes: Dict[str, Any] = {}
+        for obj in objects:
+            entry = self._store.stack(obj).version_of(txn.name)
+            if entry is not None:
+                writes[obj] = entry[1]
+        return writes or None
+
+    def _finish_durable_commit(self, wal_lsn: int) -> None:
+        """Post-latch half of a durable commit: fsync per the sync policy,
+        then take the auto-checkpoint when the interval elapsed.  The
+        commit call does not return until its batch is durable."""
+        durability = self.durability
+        assert durability is not None
+        durability.sync(wal_lsn)
+        if durability.should_checkpoint():
+            self.checkpoint()
+
+    def checkpoint(self) -> Any:
+        """Take a fuzzy checkpoint of the committed store and truncate the
+        WAL.  Requires durability; concurrent calls coalesce (the loser
+        returns None)."""
+        if self.durability is None:
+            raise ValueError("checkpoint() requires durability= to be enabled")
+        return self.durability.checkpoint(self.snapshot)
+
+    def close(self) -> None:
+        """Flush and close the durability layer (if any) and any event
+        sinks that support closing.  The engine itself holds no other
+        external resources."""
+        if self.durability is not None:
+            self.durability.close()
+        self.events.close()
 
     def _inherit_locks(self, txn: Transaction) -> None:
         started = time.monotonic() if self.metrics.enabled else None
@@ -869,11 +958,13 @@ class NestedTransactionDB:
                         txn.held_objects = set()
                         self._waits.remove_transaction(txn.name)
                         self.stats.committed += 1
+                wal_lsn = None
                 if not orphan:
                     # Still inside the stripe mutexes: inherit or retire
                     # each lock and wake exactly the waiters parked on the
                     # objects whose locks changed.
                     inherit_at = time.monotonic() if started is not None else None
+                    wal_writes = self._collect_perm_writes(txn, held)
                     for obj in held:
                         locks = self._table.locks_of(obj)
                         if txn.parent is None:
@@ -882,12 +973,21 @@ class NestedTransactionDB:
                             locks.inherit(txn.name)
                         self._store.stack(obj).commit_to_parent(txn.name)
                         self._table.stripe_of(obj).notify_object(obj)
+                    # Append inside the stripe mutexes so WAL order agrees
+                    # with commit order on conflicting objects; the fsync
+                    # waits until every latch is released.
+                    if wal_writes:
+                        wal_lsn = self.durability.log_commit(
+                            txn.name, wal_writes
+                        )
                     if inherit_at is not None:
                         self._h_inherit.observe(time.monotonic() - inherit_at)
             if latched_at is not None:
                 self._h_latch_hold.observe(time.monotonic() - latched_at)
             if orphan:
                 self._die_as_orphan(txn)
+            if wal_lsn is not None:
+                self._finish_durable_commit(wal_lsn)
             if started is not None:
                 self._h_commit.observe(time.monotonic() - started)
             if self.events.enabled:

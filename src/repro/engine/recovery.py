@@ -99,6 +99,7 @@ def retry_subtransaction(
     fn: Callable[[Transaction], Any],
     attempts: int = 3,
     policy: Optional[RetryPolicy] = None,
+    sleep_fn: Callable[[float], None] = time.sleep,
 ) -> Any:
     """Retry one body in fresh subtransactions.
 
@@ -110,6 +111,10 @@ def retry_subtransaction(
     errors are retried (plus :class:`InjectedFailure`, the whole point of
     a recovery block) — anything else propagates after aborting the
     child.
+
+    ``sleep_fn`` is the backoff clock; resilience and recovery tests
+    inject a no-op (or a recording fake) so deterministic schedules run
+    without wall-clock delays.
     """
     if policy is None:
         return recovery_block(parent, [fn] * attempts)
@@ -118,7 +123,7 @@ def retry_subtransaction(
         if attempt and last_error is not None:
             delay = policy.delay(attempt)
             if delay:
-                time.sleep(delay)
+                sleep_fn(delay)
         child = parent.begin_subtransaction()
         try:
             value = fn(child)

@@ -71,6 +71,13 @@ class VersionStack:
         if index is not None:
             del self.entries[index]
 
+    def version_of(self, txn: ActionName) -> Optional[Tuple[ActionName, Value]]:
+        """The (owner, value) entry owned by ``txn``, or None.  The WAL
+        reads a committing top-level transaction's entries through this
+        just before they merge into U."""
+        index = self._index_of(txn)
+        return None if index is None else self.entries[index]
+
     def _index_of(self, txn: ActionName) -> Optional[int]:
         for i, (owner, _value) in enumerate(self.entries):
             if owner == txn:

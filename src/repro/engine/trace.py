@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
+import tempfile
 import threading
 from dataclasses import dataclass, replace
 from typing import Any, IO, List, Optional, Tuple, Union
@@ -119,10 +121,32 @@ class TraceRecorder:
         names and values kept readable (``ensure_ascii=False``) — never
         the locale's default encoding, so a trace dumped under one locale
         loads under any other.
+
+        Path destinations are written **atomically** (temp file in the
+        same directory, fsync, then ``os.replace``): a crash mid-dump
+        leaves either the previous file or the complete new one, never a
+        torn trace — the crash-restart harness trusts on-disk artifacts
+        on exactly this guarantee.
         """
         if isinstance(destination, str):
-            with open(destination, "w", encoding="utf-8") as fh:
-                self.dump(fh)
+            directory = os.path.dirname(os.path.abspath(destination))
+            fd, tmp = tempfile.mkstemp(
+                dir=directory,
+                prefix=os.path.basename(destination) + ".",
+                suffix=".tmp",
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    self.dump(fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, destination)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             return
         for record in self._records:
             destination.write(

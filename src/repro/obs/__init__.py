@@ -8,6 +8,7 @@ contract, and how to read the Prometheus text export.
 
 from .events import (
     EVENT_KINDS,
+    CheckpointTaken,
     DeadlockDetected,
     Event,
     EventBus,
@@ -15,10 +16,13 @@ from .events import (
     LockInherited,
     LockWaited,
     OrphanReaped,
+    RecoveryCompleted,
     TxnAborted,
     TxnBegun,
     TxnCommitted,
     VictimChosen,
+    WalCommitLogged,
+    WalSynced,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -32,6 +36,7 @@ from .sinks import JsonlFileSink, RingBufferSink, StderrPrettySink
 from .stats import STATS_KEYS, ObservableStats
 
 __all__ = [
+    "CheckpointTaken",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DeadlockDetected",
@@ -47,6 +52,7 @@ __all__ = [
     "MetricsRegistry",
     "ObservableStats",
     "OrphanReaped",
+    "RecoveryCompleted",
     "RingBufferSink",
     "STATS_KEYS",
     "StderrPrettySink",
@@ -54,5 +60,7 @@ __all__ = [
     "TxnBegun",
     "TxnCommitted",
     "VictimChosen",
+    "WalCommitLogged",
+    "WalSynced",
     "timed",
 ]

@@ -145,6 +145,60 @@ class FailureInjected(Event):
         self.kind = "failure_injected"
 
 
+@dataclass
+class WalCommitLogged(Event):
+    """A top-level commit's redo batch was appended to the WAL (not yet
+    necessarily fsync'd — see ``wal_synced``)."""
+
+    txn: Any = None
+    lsn: int = 0
+    objects: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = "wal_commit_logged"
+
+
+@dataclass
+class WalSynced(Event):
+    """An fsync made the log durable through ``lsn``; ``commits`` is how
+    many commit batches this single fsync covered (group commit > 1)."""
+
+    lsn: int = 0
+    commits: int = 0
+    seconds: float = 0.0
+    policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.kind = "wal_synced"
+
+
+@dataclass
+class CheckpointTaken(Event):
+    """A fuzzy checkpoint was written durably and the WAL truncated."""
+
+    seq: int = 0
+    lsn: int = 0
+    objects: int = 0
+    truncated_segments: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = "checkpoint_taken"
+
+
+@dataclass
+class RecoveryCompleted(Event):
+    """A durability directory was replayed into a fresh engine."""
+
+    commits_replayed: int = 0
+    records_discarded: int = 0
+    checkpoint_seq: int = 0
+    last_lsn: int = 0
+    clean: bool = True
+
+    def __post_init__(self) -> None:
+        self.kind = "recovery_completed"
+
+
 class EventBus:
     """Fan-out of engine events to attached sinks.
 
@@ -215,4 +269,8 @@ EVENT_KINDS: List[str] = [
     "lock_inherited",
     "orphan_reaped",
     "failure_injected",
+    "wal_commit_logged",
+    "wal_synced",
+    "checkpoint_taken",
+    "recovery_completed",
 ]

@@ -1,0 +1,306 @@
+"""Unit tests for the durability primitives: WAL framing and replay,
+segment rotation and truncation, group-commit fsync batching, checkpoint
+files, and the standalone RecoveryManager."""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.core.naming import ActionName
+from repro.durability.checkpoint import Checkpointer
+from repro.durability.recovery import RecoveryManager
+from repro.durability.wal import (
+    SYNC_GROUP,
+    SYNC_NONE,
+    WriteAheadLog,
+    list_segments,
+    replay_commits,
+)
+
+T1 = ActionName((1,))
+T2 = ActionName((2,))
+T3 = ActionName((3,))
+
+
+def wal_dir(tmp_path):
+    return str(tmp_path / "wal")
+
+
+# ---------------------------------------------------------------------------
+# Framing / replay
+# ---------------------------------------------------------------------------
+
+
+def test_append_replay_roundtrip(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    lsn1 = wal.append_commit(T1, {"x": 5, "y": 7})
+    lsn2 = wal.append_commit(T2, {"x": 6})
+    assert lsn2 > lsn1
+    wal.close()
+
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [(c.txn, c.writes) for c in commits] == [
+        (T1, {"x": 5, "y": 7}),
+        (T2, {"x": 6}),
+    ]
+    assert commits[0].lsn == lsn1 and commits[1].lsn == lsn2
+    assert stats.commits == 2
+    assert stats.discarded_records == 0
+    assert not stats.torn_tail
+    assert stats.last_lsn == lsn2
+
+
+def test_replay_after_lsn_skips_covered_commits(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    lsn1 = wal.append_commit(T1, {"x": 1})
+    wal.append_commit(T2, {"x": 2})
+    wal.close()
+    commits, stats = replay_commits(wal_dir(tmp_path), after_lsn=lsn1)
+    assert [c.writes for c in commits] == [{"x": 2}]
+    assert stats.commits == 1
+
+
+def test_corrupt_frame_ends_the_scan(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    boundary = os.path.getsize(wal.segments[0])
+    wal.append_commit(T2, {"x": 2})
+    path = wal.segments[0]
+    wal.close()
+
+    # Flip one payload byte of the second batch: its CRC no longer
+    # matches, so replay must stop there and keep only the first commit.
+    with open(path, "rb+") as fh:
+        fh.seek(boundary + 8 + 2)  # past the first frame header
+        byte = fh.read(1)
+        fh.seek(boundary + 8 + 2)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [c.writes for c in commits] == [{"x": 1}]
+    assert stats.torn_tail
+
+
+def test_torn_tail_truncated_on_reopen(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    path = wal.segments[0]
+    wal.close()
+    whole = os.path.getsize(path)
+
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T2, {"x": 2})
+    wal.close()
+    with open(path, "rb+") as fh:  # tear T2's batch mid-header
+        fh.truncate(whole + 1)
+
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert stats.torn_tail
+    assert [c.writes for c in commits] == [{"x": 1}]
+
+    # Reopening for append drops the torn tail, then extends a valid log.
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    assert os.path.getsize(path) == whole
+    wal.append_commit(T3, {"x": 3})
+    wal.close()
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [c.writes for c in commits] == [{"x": 1}, {"x": 3}]
+    assert not stats.torn_tail
+
+
+def test_uncommitted_batch_is_discarded(tmp_path):
+    """Write frames without a commit frame model a crash mid-batch: the
+    values must never be replayed."""
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    path = wal.segments[0]
+    wal.close()
+
+    payload = json.dumps(
+        {"t": "w", "l": 99, "x": [2], "o": "x", "v": 1234}
+    ).encode("utf-8")
+    with open(path, "ab") as fh:  # a valid frame, but no commit follows
+        fh.write(struct.pack(">II", len(payload), zlib.crc32(payload)))
+        fh.write(payload)
+
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [c.writes for c in commits] == [{"x": 1}]
+    assert stats.discarded_records == 1
+    assert stats.per_txn_discarded == [str(T2)]
+
+
+def test_commit_with_wrong_count_is_discarded(tmp_path):
+    """A commit frame whose batch is not whole (count mismatch) must not
+    apply a partial batch."""
+    directory = wal_dir(tmp_path)
+    os.makedirs(directory)
+
+    def frame(record):
+        payload = json.dumps(record).encode("utf-8")
+        return struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+
+    with open(os.path.join(directory, "wal-00000001.log"), "wb") as fh:
+        fh.write(frame({"t": "w", "l": 1, "x": [1], "o": "x", "v": 5}))
+        fh.write(frame({"t": "c", "l": 2, "x": [1], "n": 2}))  # claims 2 writes
+
+    commits, stats = replay_commits(directory)
+    assert commits == []
+    assert stats.discarded_records == 1
+    assert str(T1) in stats.per_txn_discarded
+
+
+# ---------------------------------------------------------------------------
+# Rotation / truncation
+# ---------------------------------------------------------------------------
+
+
+def test_segment_rotation_and_cross_segment_replay(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path), segment_max_bytes=1)
+    for i in range(1, 6):
+        wal.append_commit(ActionName((i,)), {"x": i})
+    assert wal.rotations >= 4
+    assert len(list_segments(wal_dir(tmp_path))) >= 5
+    wal.close()
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [c.writes["x"] for c in commits] == [1, 2, 3, 4, 5]
+    assert stats.segments >= 5
+
+
+def test_truncate_through_only_removes_covered_segments(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path), segment_max_bytes=1)
+    lsns = [wal.append_commit(ActionName((i,)), {"x": i}) for i in (1, 2, 3)]
+    removed = wal.truncate_through(lsns[1])
+    assert removed == 2  # segments for commits 1 and 2 are covered
+    commits, _stats = wal.replay()
+    assert [c.writes["x"] for c in commits] == [3]
+
+    # LSNs keep ascending across reopen after truncation.
+    wal.close()
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    lsn4 = wal.append_commit(ActionName((4,)), {"x": 4})
+    assert lsn4 > lsns[2]
+    wal.close()
+
+
+# ---------------------------------------------------------------------------
+# Sync policies
+# ---------------------------------------------------------------------------
+
+
+def test_sync_batches_pending_commits(tmp_path):
+    fsyncs = []
+    wal = WriteAheadLog(wal_dir(tmp_path), fsync_fn=fsyncs.append)
+    fsyncs.clear()  # ignore any fsync during open
+    for i in (1, 2, 3):
+        wal.append_commit(ActionName((i,)), {"x": i})
+    last = wal.last_lsn
+    assert wal.durable_lsn < last
+
+    batched = wal.sync(last)
+    assert batched == 3  # one fsync covered all three commits
+    assert len(fsyncs) == 1
+    assert wal.durable_lsn == last
+
+    assert wal.sync(last) == 0  # already durable: no extra fsync
+    assert len(fsyncs) == 1
+    wal.close()
+
+
+def test_group_policy_waits_the_window_then_syncs(tmp_path):
+    sleeps = []
+    wal = WriteAheadLog(
+        wal_dir(tmp_path),
+        sync_policy=SYNC_GROUP,
+        group_window=0.004,
+        sleep_fn=sleeps.append,
+    )
+    lsn = wal.append_commit(T1, {"x": 1})
+    assert wal.sync(lsn) == 1
+    assert sleeps == [0.004]  # leader held the window open before fsync
+    assert wal.durable_lsn == lsn
+    wal.close()
+
+
+def test_none_policy_never_fsyncs(tmp_path):
+    fsyncs = []
+    wal = WriteAheadLog(
+        wal_dir(tmp_path), sync_policy=SYNC_NONE, fsync_fn=fsyncs.append
+    )
+    fsyncs.clear()
+    lsn = wal.append_commit(T1, {"x": 1})
+    assert wal.sync(lsn) == 0
+    assert fsyncs == []
+    assert wal.durable_lsn < lsn
+    wal.close()
+
+
+def test_bad_sync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(wal_dir(tmp_path), sync_policy="eventually")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_write_latest_prune(tmp_path):
+    cp = Checkpointer(str(tmp_path))
+    assert cp.latest() is None
+    first = cp.write(10, {"x": 1})
+    second = cp.write(20, {"x": 2, "y": 3})
+    assert (first.seq, second.seq) == (1, 2)
+
+    latest = cp.latest()
+    assert latest.seq == 2
+    assert latest.lsn == 20
+    assert latest.values == {"x": 2, "y": 3}
+
+    assert cp.prune(keep=1) == 1
+    assert [seq for seq, _path in cp.list()] == [2]
+    # No temp files left behind by the atomic write protocol.
+    assert not [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+
+
+def test_corrupt_checkpoint_skipped(tmp_path):
+    cp = Checkpointer(str(tmp_path))
+    good = cp.write(10, {"x": 1})
+    bad = cp.write(20, {"x": 2})
+    with open(bad.path, "w", encoding="utf-8") as fh:
+        fh.write('{"format": 1, "seq": 2')  # torn JSON
+    latest = cp.latest()
+    assert latest.seq == good.seq
+    assert latest.values == {"x": 1}
+
+
+# ---------------------------------------------------------------------------
+# RecoveryManager (checkpoint overlay + log suffix)
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_overlays_checkpoint_then_replays_suffix(tmp_path):
+    d = str(tmp_path)
+    wal = WriteAheadLog(d)
+    wal.append_commit(T1, {"x": 1, "y": 1})
+    lsn = wal.last_lsn
+    Checkpointer(d).write(lsn, {"x": 1, "y": 1, "z": 0})
+    wal.append_commit(T2, {"x": 2})
+    wal.close()
+
+    result = RecoveryManager(d).recover({"x": 0, "y": 0, "z": 0})
+    assert result.values == {"x": 2, "y": 1, "z": 0}
+    assert result.checkpoint_seq == 1
+    assert result.checkpoint_lsn == lsn
+    assert result.commits_replayed == 1  # only the suffix past the checkpoint
+    assert result.clean
+
+
+def test_recovery_on_empty_directory_is_identity(tmp_path):
+    result = RecoveryManager(str(tmp_path)).recover({"x": 7})
+    assert result.values == {"x": 7}
+    assert result.checkpoint_seq == 0
+    assert result.commits_replayed == 0
+    assert result.clean

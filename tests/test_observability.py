@@ -201,7 +201,7 @@ class TestEventBusAndSinks:
         assert "txn_committed" in line and "objects=2" in line
 
     def test_event_taxonomy_is_complete(self):
-        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 9
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 13
 
 
 class TestStatsParity:

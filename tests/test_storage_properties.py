@@ -82,6 +82,106 @@ class TestVersionStackProperties:
         assert stack.current == 42
 
 
+class TestVersionStackRoundTrips:
+    """Durability-facing round trips: commit-merge vs abort-pop under
+    random nested schedules, driven against an independent shadow model
+    (visible-value bookkeeping, not a re-implementation of the stack)."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "write", "commit", "abort"]),
+                st.integers(0, 99),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_commit_merge_vs_abort_pop(self, script):
+        """At every step: an abort restores exactly the value that was
+        visible when the aborting transaction pushed its version; a commit
+        makes the child's value the parent's.  ``saved[owner]`` records
+        what each live owner would restore — the paper's value map."""
+        stack = VersionStack(0)
+        # What was on top (visible) when each live owner pushed.
+        saved = {}
+        chain = [U]  # live owner chain, bottom to top
+        for action, value in script:
+            top = chain[-1]
+            if action == "push":
+                node = top.child(len(chain))
+                saved[node] = stack.current
+                stack.ensure_version(node)
+                chain.append(node)
+            elif action == "write":
+                if top == U:
+                    continue  # only transactions write through the engine
+                stack.set_value(top, value)
+            elif action == "commit":
+                if top == U:
+                    continue
+                committed = stack.current
+                stack.commit_to_parent(top)
+                chain.pop()
+                del saved[top]
+                # The parent now sees the child's value...
+                assert stack.current == committed
+            else:  # abort
+                if top == U:
+                    continue
+                stack.discard(top)
+                chain.pop()
+                # ...whereas an abort restores the pre-push value exactly.
+                assert stack.current == saved.pop(top)
+        # Resolve everything: aborting the whole live chain walks the
+        # saved values back down to the oldest still-live restore point.
+        while len(chain) > 1:
+            top = chain.pop()
+            stack.discard(top)
+            assert stack.current == saved.pop(top)
+        assert stack.owner == U
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "write", "commit", "abort"]),
+                st.integers(0, 99),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_owner_chain_invariant(self, script):
+        """The stack's owners always form a strict ancestor chain with a
+        U-owned base — the structural invariant recovery's snapshot and
+        the WAL's ``version_of`` read both lean on."""
+        stack = VersionStack(5)
+        chain = [U]
+        for action, value in script:
+            top = chain[-1]
+            if action == "push":
+                node = top.child(len(chain))
+                stack.ensure_version(node)
+                chain.append(node)
+            elif action == "write" and top != U:
+                stack.set_value(top, value)
+            elif action == "commit" and top != U:
+                stack.commit_to_parent(top)
+                chain.pop()
+            elif action == "abort" and top != U:
+                stack.discard(top)
+                chain.pop()
+            owners = [owner for owner, _value in stack.entries]
+            assert owners[0] == U
+            assert len(set(owners)) == len(owners)
+            for below, above in zip(owners, owners[1:]):
+                assert below.is_proper_ancestor_of(above)
+            # version_of agrees with the entries it indexes.
+            for owner, value_ in stack.entries:
+                assert stack.version_of(owner) == (owner, value_)
+            assert stack.version_of(U.child("nope")) is None
+
+
 class TestObjectLocksProperties:
     @given(
         st.lists(
