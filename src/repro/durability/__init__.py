@@ -35,7 +35,10 @@ from .wal import (
     SYNC_NONE,
     SYNC_POLICIES,
     CommitRecord,
+    CorruptSegmentError,
     ReplayStats,
+    WalError,
+    WalSyncError,
     WriteAheadLog,
     list_segments,
     replay_commits,
@@ -46,6 +49,7 @@ __all__ = [
     "CheckpointData",
     "Checkpointer",
     "CommitRecord",
+    "CorruptSegmentError",
     "DEFAULT_GROUP_WINDOW",
     "DEFAULT_SEGMENT_MAX_BYTES",
     "DurabilityManager",
@@ -56,6 +60,8 @@ __all__ = [
     "SYNC_GROUP",
     "SYNC_NONE",
     "SYNC_POLICIES",
+    "WalError",
+    "WalSyncError",
     "WriteAheadLog",
     "list_segments",
     "replay_commits",

@@ -26,9 +26,17 @@ see ``engine/database.py``).  Durability is decided by ``sync_policy``:
 
 Frames are ``>II`` (payload length, CRC32 of payload) headers followed by
 a UTF-8 JSON payload.  A torn or corrupt frame ends the readable log —
-everything after it is discarded by replay and truncated when the log is
-reopened for append.  Values must be JSON-serializable (ints/strings in
-all shipped workloads), the same contract as trace persistence.
+everything after it is discarded by replay.  Reopening for append
+truncates the active segment back to the end of the last *complete batch*
+(the last commit frame): both the torn frame and any individually-valid
+write frames of an unfinished batch are dropped, because a later process
+incarnation reuses top-level transaction names and stale write frames
+under the same name would otherwise corrupt that name's next commit.  A
+corrupt frame in a *non-final* segment raises :class:`CorruptSegmentError`
+instead — appending to a log whose suffix recovery will never read would
+silently lose every new commit.  Values must be JSON-serializable
+(ints/strings in all shipped workloads), the same contract as trace
+persistence.
 
 Segments rotate at ``segment_max_bytes``; closed segments are deleted by
 :meth:`WriteAheadLog.truncate_through` once a checkpoint covers them.
@@ -62,6 +70,29 @@ _SEGMENT_SUFFIX = ".log"
 
 DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
 DEFAULT_GROUP_WINDOW = 0.002
+
+
+class WalError(RuntimeError):
+    """Base class for write-ahead-log failures."""
+
+
+class CorruptSegmentError(WalError):
+    """A non-final segment holds a corrupt frame.
+
+    Replay stops at the first corrupt frame, so every later segment —
+    including anything appended from now on — would be silently dropped
+    by recovery.  Opening such a log for append is refused.
+    """
+
+
+class WalSyncError(WalError):
+    """A previous fsync failed; the log no longer promises durability.
+
+    After a failed fsync the kernel may have discarded the dirty pages
+    (the "fsyncgate" failure mode), so retrying the fsync could report
+    success without the data ever reaching disk.  The log is therefore
+    poisoned: every later :meth:`WriteAheadLog.sync` raises this error.
+    """
 
 
 def _segment_name(seq: int) -> str:
@@ -100,39 +131,44 @@ def _encode_frame(record: Dict[str, Any]) -> bytes:
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def _scan_file(path: str) -> Tuple[List[Dict[str, Any]], int, bool]:
+def _scan_file(path: str) -> Tuple[List[Dict[str, Any]], int, bool, int]:
     """Decode the valid frame prefix of one segment.
 
-    Returns ``(records, valid_bytes, clean)`` where ``valid_bytes`` is the
-    byte length of the decodable prefix and ``clean`` is False when the
-    file holds a torn or corrupt tail after it.
-    """
+    Returns ``(records, valid_bytes, clean, batch_end)`` where
+    ``valid_bytes`` is the byte length of the decodable prefix, ``clean``
+    is False when the file holds a torn or corrupt tail after it, and
+    ``batch_end`` is the offset just past the last *commit* frame — the
+    end of the last complete batch, which is where reopening for append
+    truncates to (``0`` when the segment holds no commit frame)."""
     records: List[Dict[str, Any]] = []
+    batch_end = 0
     try:
         with open(path, "rb") as fh:
             data = fh.read()
     except FileNotFoundError:
-        return [], 0, True
+        return [], 0, True, 0
     offset = 0
     total = len(data)
     while offset < total:
         header_end = offset + _FRAME.size
         if header_end > total:
-            return records, offset, False
+            return records, offset, False, batch_end
         length, crc = _FRAME.unpack_from(data, offset)
         payload_end = header_end + length
         if payload_end > total:
-            return records, offset, False
+            return records, offset, False, batch_end
         payload = data[header_end:payload_end]
         if zlib.crc32(payload) != crc:
-            return records, offset, False
+            return records, offset, False, batch_end
         try:
             record = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
-            return records, offset, False
+            return records, offset, False, batch_end
         records.append(record)
         offset = payload_end
-    return records, offset, True
+        if record.get("t") == COMMIT:
+            batch_end = offset
+    return records, offset, True, batch_end
 
 
 @dataclass
@@ -178,7 +214,7 @@ def replay_commits(
     pending_counts: Dict[Tuple[Any, ...], int] = {}
     for _seq, path in list_segments(directory):
         stats.segments += 1
-        records, _valid, clean = _scan_file(path)
+        records, _valid, clean, _batch_end = _scan_file(path)
         if not clean:
             stats.torn_tail = True
         for record in records:
@@ -244,6 +280,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._sync_cond = threading.Condition(threading.Lock())
         self._sync_leader = False
+        self._sync_error: Optional[BaseException] = None
         self._closed_segments: List[Tuple[str, int]] = []  # (path, last lsn)
         self._fh: Optional[Any] = None
         self._active_path = ""
@@ -266,23 +303,40 @@ class WriteAheadLog:
         segments = list_segments(self.directory)
         last_lsn = 0
         for seq, path in segments[:-1] if segments else []:
-            records, _valid, _clean = _scan_file(path)
+            records, _valid, clean, _batch_end = _scan_file(path)
+            if not clean:
+                # Replay stops at the corrupt frame, so every segment
+                # after this one — and every commit we would append and
+                # ack from here on — would be silently dropped by
+                # recovery.  Refuse to build on such a log.
+                raise CorruptSegmentError(
+                    "corrupt frame in non-final WAL segment %r; "
+                    "recovery cannot read past it" % path
+                )
             for record in records:
                 last_lsn = max(last_lsn, record.get("l", 0))
             self._closed_segments.append((path, last_lsn))
         if segments:
             seq, path = segments[-1]
-            records, valid_bytes, clean = _scan_file(path)
+            records, _valid_bytes, _clean, batch_end = _scan_file(path)
+            # LSNs from dropped frames still advance _next_lsn: the new
+            # incarnation must never reuse an LSN that may have reached
+            # disk before the crash.
             for record in records:
                 last_lsn = max(last_lsn, record.get("l", 0))
-            if not clean:
-                # Drop the torn tail so fresh appends extend a valid log.
+            if batch_end < os.path.getsize(path):
+                # Truncate back to the last complete batch.  This drops
+                # the torn frame *and* any complete write frames of an
+                # unfinished batch — top-level txn names restart per
+                # process, so a later incarnation reusing this name would
+                # otherwise accumulate these stale writes under its own
+                # commit and replay would discard the whole acked batch.
                 with open(path, "rb+") as fh:
-                    fh.truncate(valid_bytes)
+                    fh.truncate(batch_end)
             self._active_seq = seq
             self._active_path = path
             self._fh = open(path, "ab")
-            self._active_bytes = valid_bytes
+            self._active_bytes = batch_end
         else:
             self._active_seq = 1
             self._active_path = os.path.join(self.directory, _segment_name(1))
@@ -353,8 +407,11 @@ class WriteAheadLog:
 
         Returns the number of commits this call's fsync covered (0 when
         another committer's fsync already covered ``lsn``, or when the
-        policy is ``"none"``).  Must not be called while holding engine
-        latches — the fsync (and the group window) block.
+        policy is ``"none"``).  Raises :class:`WalSyncError` once any
+        fsync has failed — the log is poisoned and nothing appended after
+        the last successful fsync may be reported durable.  Must not be
+        called while holding engine latches — the fsync (and the group
+        window) block.
         """
         if self.sync_policy == SYNC_NONE:
             return 0
@@ -362,28 +419,56 @@ class WriteAheadLog:
             while self._durable_lsn < lsn and self._sync_leader:
                 self._sync_cond.wait()
             if self._durable_lsn >= lsn:
-                return 0  # a leader's batch already covered us
+                return 0  # made durable before any failure
+            if self._sync_error is not None:
+                raise WalSyncError(
+                    "a previous fsync failed; the log is poisoned"
+                ) from self._sync_error
             self._sync_leader = True
-        if self.sync_policy == SYNC_GROUP and self.group_window > 0:
-            # Let concurrent committers append onto this fsync.
-            self._sleep_fn(self.group_window)
+        batched = 0
+        target = 0
+        synced = False
+        poison: Optional[BaseException] = None
         try:
-            with self._lock:
-                fh = self._fh
-                target = self._next_lsn - 1
-                batched = self._pending_commits
-                self._pending_commits = 0
-                if fh is not None:
-                    fh.flush()
-            if fh is not None:
-                self._fsync_fn(fh.fileno())
+            if self.sync_policy == SYNC_GROUP and self.group_window > 0:
+                # Let concurrent committers append onto this fsync.  The
+                # sleep sits inside this try so an injected clock raising
+                # still clears the leader flag in the finally below —
+                # otherwise every later sync() would wait forever.
+                self._sleep_fn(self.group_window)
+            try:
+                with self._lock:
+                    fh = self._fh
+                    target = self._next_lsn - 1
+                    batched = self._pending_commits
+                    self._pending_commits = 0
+                    if fh is not None:
+                        fh.flush()
+                        # fsync under _lock: a concurrent append crossing
+                        # segment_max_bytes rotates and closes fh, and an
+                        # unlocked fsync would hit a closed (or reused)
+                        # descriptor.
+                        self._fsync_fn(fh.fileno())
+            except BaseException as exc:
+                # fsyncgate: the kernel may have dropped the dirty pages,
+                # and a retried fsync could "succeed" without the data
+                # ever reaching disk.  Put the batch back as pending and
+                # poison the log so no later sync reports it durable.
+                poison = exc
+                with self._lock:
+                    self._pending_commits += batched
+                raise
+            synced = True
         finally:
             with self._sync_cond:
                 self._sync_leader = False
-                if self._durable_lsn < target:
-                    self._durable_lsn = target
-                self.syncs += 1
-                self.synced_commits += batched
+                if poison is not None:
+                    self._sync_error = poison
+                elif synced:
+                    if self._durable_lsn < target:
+                        self._durable_lsn = target
+                    self.syncs += 1
+                    self.synced_commits += batched
                 self._sync_cond.notify_all()
         return batched
 

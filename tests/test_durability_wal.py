@@ -15,10 +15,17 @@ from repro.durability.recovery import RecoveryManager
 from repro.durability.wal import (
     SYNC_GROUP,
     SYNC_NONE,
+    CorruptSegmentError,
+    WalSyncError,
     WriteAheadLog,
     list_segments,
     replay_commits,
 )
+
+
+def frame(record):
+    payload = json.dumps(record).encode("utf-8")
+    return struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
 
 T1 = ActionName((1,))
 T2 = ActionName((2,))
@@ -304,3 +311,166 @@ def test_recovery_on_empty_directory_is_identity(tmp_path):
     assert result.checkpoint_seq == 0
     assert result.commits_replayed == 0
     assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# Reopen truncates to the last complete batch
+# ---------------------------------------------------------------------------
+
+
+def test_reopen_drops_dangling_writes_so_reused_txn_name_commits(tmp_path):
+    """Two-crash scenario: a crash mid-batch leaves individually-valid
+    write frames without their commit frame; top-level txn names restart
+    per process, so the next incarnation reuses the same name.  Reopening
+    must truncate back to the last complete batch — otherwise the stale
+    writes accumulate under the reused name, the commit record's count
+    mismatches, and replay discards the fsync'd, acked batch."""
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    path = wal.segments[0]
+    wal.close()
+
+    # Crash mid-batch: T2's write frames reached disk, its commit did not.
+    with open(path, "ab") as fh:
+        fh.write(frame({"t": "w", "l": 98, "x": [2], "o": "x", "v": 666}))
+        fh.write(frame({"t": "w", "l": 99, "x": [2], "o": "y", "v": 667}))
+
+    # Next incarnation: reopen, reuse T2's name, commit and sync.
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    lsn = wal.append_commit(T2, {"y": 9})
+    assert lsn > 99  # dropped frames still advance the LSN (no reuse)
+    wal.sync(lsn)
+    wal.close()
+
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert [(c.txn, c.writes) for c in commits] == [
+        (T1, {"x": 1}),
+        (T2, {"y": 9}),  # the acked commit survives
+    ]
+    assert stats.discarded_records == 0
+    assert not stats.torn_tail
+
+
+def test_reopen_truncates_dangling_writes_and_torn_frame_together(tmp_path):
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    path = wal.segments[0]
+    wal.close()
+    whole = os.path.getsize(path)
+
+    with open(path, "ab") as fh:
+        fh.write(frame({"t": "w", "l": 50, "x": [2], "o": "x", "v": 1}))
+        fh.write(b"\x00\x00\x00\x09torn")  # torn frame after the writes
+
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    # Truncated past both the torn frame and the batchless write frame.
+    assert os.path.getsize(path) == whole
+    wal.close()
+
+
+def test_open_refuses_corrupt_non_final_segment(tmp_path):
+    """A corrupt frame in a closed segment means recovery can never read
+    anything after it; appending (and acking) new commits to such a log
+    would silently lose them, so opening must fail loudly."""
+    wal = WriteAheadLog(wal_dir(tmp_path))
+    wal.append_commit(T1, {"x": 1})
+    first = wal.segments[0]
+    wal.rotate()
+    wal.append_commit(T2, {"x": 2})
+    wal.close()
+
+    with open(first, "rb+") as fh:
+        fh.seek(10)
+        byte = fh.read(1)
+        fh.seek(10)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    with pytest.raises(CorruptSegmentError):
+        WriteAheadLog(wal_dir(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# fsync failure (fsyncgate) and leader-flag hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_failed_fsync_poisons_the_log(tmp_path):
+    """After a failed fsync the data may never reach disk even if a retry
+    'succeeds', so sync() must not advance the durable horizon and every
+    later sync() must keep failing rather than ack lost data."""
+    calls = []
+
+    def flaky_fsync(fd):
+        calls.append(fd)
+        raise OSError(5, "Input/output error")
+
+    wal = WriteAheadLog(wal_dir(tmp_path), fsync_fn=flaky_fsync)
+    durable_before = wal.durable_lsn
+    lsn = wal.append_commit(T1, {"x": 1})
+    with pytest.raises(OSError):
+        wal.sync(lsn)
+    assert wal.durable_lsn == durable_before  # never advanced
+    assert wal.syncs == 0 and wal.synced_commits == 0
+    assert wal._pending_commits == 1  # the batch went back to pending
+
+    # Poisoned: even an fsync that would now "succeed" must not ack.
+    wal._fsync_fn = lambda fd: None
+    with pytest.raises(WalSyncError):
+        wal.sync(lsn)
+    assert wal.durable_lsn == durable_before
+    wal._fsync_fn = lambda fd: None  # let close() fsync harmlessly
+    wal.close()
+
+
+def test_sleep_failure_releases_the_leader_without_poisoning(tmp_path):
+    """If the group-window sleep raises (fake clock, KeyboardInterrupt),
+    the leader flag must be cleared — otherwise every later sync() waits
+    forever — but nothing failed on disk, so the log is not poisoned."""
+    boom = [True]
+
+    def sleep_once(seconds):
+        if boom[0]:
+            boom[0] = False
+            raise RuntimeError("fake clock exploded")
+
+    wal = WriteAheadLog(
+        wal_dir(tmp_path), sync_policy=SYNC_GROUP, sleep_fn=sleep_once
+    )
+    lsn = wal.append_commit(T1, {"x": 1})
+    with pytest.raises(RuntimeError):
+        wal.sync(lsn)
+    assert wal.durable_lsn < lsn
+    # Not poisoned and not deadlocked: the retry becomes leader and syncs.
+    assert wal.sync(lsn) == 1
+    assert wal.durable_lsn == lsn
+    wal.close()
+
+
+def test_sync_during_rotation_storm(tmp_path):
+    """Concurrent appends that rotate on every batch must not yank the
+    active file handle out from under a syncing leader."""
+    import threading
+
+    wal = WriteAheadLog(wal_dir(tmp_path), segment_max_bytes=1)
+    errors = []
+
+    def committer(base):
+        try:
+            for i in range(25):
+                lsn = wal.append_commit(ActionName((base + i,)), {"x": i})
+                wal.sync(lsn)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=committer, args=(100 * t,)) for t in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    wal.close()
+    commits, stats = replay_commits(wal_dir(tmp_path))
+    assert len(commits) == 100
+    assert not stats.torn_tail
