@@ -13,14 +13,45 @@ registry.  ``U`` is the empty path.
 Child labels are arbitrary hashable, orderable atoms (ints or strings); in
 generated workloads they are small integers, while hand-written examples
 use readable strings such as ``("transfer", "debit")``.
+
+Hot-path notes (E10).  Names key every lock table, waits-for edge,
+version stack, and transaction registry in the engine, so this module is
+tuned accordingly — without changing any observable semantics:
+
+* the hash of the path is computed once and cached in a slot;
+* a process-wide **interning table** (:meth:`ActionName.make` /
+  :meth:`ActionName.intern`) canonicalizes names, and the derived-name
+  constructors (``parent()``, ``ancestors()``, ``ancestor_at_depth()``,
+  ``lca()``...) return cached instances, giving equality and ancestry
+  checks an identity fast path;
+* construction from an already-validated name's path skips atom
+  re-validation.
+
+Interning is **best-effort and invisible**: the table holds weak
+references (names used only transiently — e.g. per-operation access
+names — do not accumulate), a racing double-insert merely yields two
+equal instances, and nothing anywhere relies on identity for
+correctness; ``is`` is only ever a short-circuit for ``==``.  The
+levels 1–5 algebras and the checker see exactly the value semantics the
+paper specifies (property-tested in ``tests/test_naming.py``).
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
 from typing import Iterable, Iterator, Optional, Tuple, Union
+from weakref import WeakValueDictionary
 
 Atom = Union[int, str]
+
+#: Process-wide canonicalization table: path -> the interned ActionName.
+#: Weak values, so names no longer referenced anywhere are reclaimed.
+#: Best-effort under concurrency — dict operations are individually
+#: atomic under the GIL, and a lost setdefault race only costs identity,
+#: never equality.
+_INTERNED: "WeakValueDictionary[Tuple[Atom, ...], ActionName]" = (
+    WeakValueDictionary()
+)
 
 
 @total_ordering
@@ -32,7 +63,7 @@ class ActionName:
     distinguished root action ``U`` is ``ActionName()``.
     """
 
-    __slots__ = ("_path",)
+    __slots__ = ("_path", "_hash", "_parent", "__weakref__")
 
     def __init__(self, *path: Atom) -> None:
         if len(path) == 1 and isinstance(path[0], tuple):
@@ -43,6 +74,44 @@ class ActionName:
                     "action path atoms must be int or str, got %r" % (atom,)
                 )
         self._path: Tuple[Atom, ...] = tuple(path)
+        self._hash: Optional[int] = None
+        self._parent: Optional["ActionName"] = None
+
+    # -- cached construction ----------------------------------------------
+
+    @classmethod
+    def _of(cls, path: Tuple[Atom, ...]) -> "ActionName":
+        """Interned instance for an **already-validated** path (a slice or
+        join of existing names' paths) — no atom re-validation."""
+        name = _INTERNED.get(path)
+        if name is not None:
+            return name
+        name = object.__new__(cls)
+        name._path = path
+        name._hash = None
+        name._parent = None
+        return _INTERNED.setdefault(path, name)
+
+    @classmethod
+    def make(cls, path: Iterable[Atom] = ()) -> "ActionName":
+        """The canonical (interned) instance for ``path``.
+
+        Equivalent to ``ActionName(tuple(path)).intern()`` but cheaper on
+        a cache hit.  Use this (or the derived-name methods) wherever the
+        same name is constructed repeatedly on a hot path.
+        """
+        if isinstance(path, ActionName):
+            path = path._path
+        else:
+            path = tuple(path)
+        name = _INTERNED.get(path)
+        if name is not None:
+            return name
+        return cls(path).intern()
+
+    def intern(self) -> "ActionName":
+        """The canonical instance equal to this name (may be ``self``)."""
+        return _INTERNED.setdefault(self._path, self)
 
     # -- basic structure ---------------------------------------------------
 
@@ -65,14 +134,37 @@ class ActionName:
         """The unique parent action (paper: ``parent(A)``).
 
         Raises :class:`ValueError` for ``U``, which has no parent.
+        Cached after the first call (like ``_hash`` — a racing double
+        compute stores equal values, so the cache is benign).
         """
         if not self._path:
             raise ValueError("U has no parent")
-        return ActionName(self._path[:-1])
+        p = self._parent
+        if p is None:
+            p = self._parent = ActionName._of(self._path[:-1])
+        return p
 
     def child(self, label: Atom) -> "ActionName":
-        """The child of this action with the given label."""
-        return ActionName(self._path + (label,))
+        """The child of this action with the given label.
+
+        Returns the interned instance when one is live; fresh child names
+        (the common case — transaction and access labels are unique) are
+        *not* inserted into the table, so per-operation names cost one
+        failed lookup, not a table mutation.
+        """
+        if not isinstance(label, (int, str)):
+            raise TypeError(
+                "action path atoms must be int or str, got %r" % (label,)
+            )
+        path = self._path + (label,)
+        name = _INTERNED.get(path)
+        if name is not None:
+            return name
+        name = object.__new__(ActionName)
+        name._path = path
+        name._hash = None
+        name._parent = self  # equal to the canonical parent; identity optional
+        return name
 
     def leaf_label(self) -> Atom:
         """The final atom of the path (this action's label under its parent)."""
@@ -87,22 +179,40 @@ class ActionName:
 
         Matches the paper's ``anc(A)`` (which is reflexive: A ∈ anc(A)).
         """
-        for i in range(len(self._path) + 1):
-            yield ActionName(self._path[:i])
+        of = ActionName._of
+        path = self._path
+        for i in range(len(path)):
+            yield of(path[:i])
+        yield self
 
     def proper_ancestors(self) -> Iterator["ActionName"]:
         """Ancestors excluding this action itself, root-first."""
-        for i in range(len(self._path)):
-            yield ActionName(self._path[:i])
+        of = ActionName._of
+        path = self._path
+        for i in range(len(path)):
+            yield of(path[:i])
 
     def is_ancestor_of(self, other: "ActionName") -> bool:
         """True iff self ∈ anc(other) — reflexive, as in the paper."""
-        n = len(self._path)
-        return other._path[:n] == self._path
+        if self is other:
+            return True
+        mine = self._path
+        theirs = other._path
+        n = len(mine)
+        if len(theirs) < n:
+            return False
+        return theirs[:n] == mine
 
     def is_proper_ancestor_of(self, other: "ActionName") -> bool:
         """True iff self ∈ proper-anc(other)."""
-        return self != other and self.is_ancestor_of(other)
+        if self is other:
+            return False
+        mine = self._path
+        theirs = other._path
+        n = len(mine)
+        if len(theirs) <= n:
+            return False
+        return theirs[:n] == mine
 
     def is_descendant_of(self, other: "ActionName") -> bool:
         """True iff self ∈ desc(other) — reflexive."""
@@ -120,31 +230,42 @@ class ActionName:
 
     def lca(self, other: "ActionName") -> "ActionName":
         """Least common ancestor (paper: ``lca(A, B)``)."""
-        prefix = []
-        for a, b in zip(self._path, other._path):
+        if self is other:
+            return self
+        mine = self._path
+        theirs = other._path
+        if theirs[: len(mine)] == mine:
+            return self  # self is an ancestor of other
+        i = 0
+        for a, b in zip(mine, theirs):
             if a != b:
                 break
-            prefix.append(a)
-        return ActionName(tuple(prefix))
+            i += 1
+        return ActionName._of(mine[:i])
 
     def ancestor_at_depth(self, depth: int) -> "ActionName":
         """The unique ancestor of this action at the given depth."""
         if depth > len(self._path):
             raise ValueError("no ancestor at depth %d of %r" % (depth, self))
-        return ActionName(self._path[:depth])
+        return ActionName._of(self._path[:depth])
 
     def child_toward(self, descendant: "ActionName") -> "ActionName":
         """The unique child of self on the path to a proper descendant."""
         if not self.is_proper_ancestor_of(descendant):
             raise ValueError("%r is not a proper descendant of %r" % (descendant, self))
-        return ActionName(descendant._path[: len(self._path) + 1])
+        return ActionName._of(descendant._path[: len(self._path) + 1])
 
     # -- dunder plumbing ---------------------------------------------------
 
     def __hash__(self) -> int:
-        return hash(self._path)
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._path)
+        return h
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ActionName):
             return NotImplemented
         return self._path == other._path
@@ -154,10 +275,12 @@ class ActionName:
             return NotImplemented
         return self._sort_key() < other._sort_key()
 
-    def _sort_key(self) -> Tuple[Tuple[int, str], ...]:
-        # Ints sort before strings; within a kind, natural order.
+    def _sort_key(self) -> Tuple[Tuple[int, Atom], ...]:
+        # Ints sort before strings; within a kind, natural order.  Ints
+        # compare as ints (sign-aware) — never via a formatted string,
+        # which would order "-1" before "-2".
         return tuple(
-            (0, "%020d" % atom) if isinstance(atom, int) else (1, atom)
+            (0, atom) if isinstance(atom, int) else (1, atom)
             for atom in self._path
         )
 
@@ -171,7 +294,7 @@ class ActionName:
 
 
 #: The distinguished root action, parent of all top-level actions.
-U = ActionName()
+U = ActionName.make(())
 
 
 def lca_of(names: Iterable[ActionName]) -> ActionName:

@@ -83,7 +83,7 @@ from ..durability import DurabilityManager
 from .locks import DEFAULT_STRIPES, READ, WRITE, ObjectLocks, StripedLockTable
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore
-from .trace import TraceRecorder
+from .trace import COMMIT, CREATE, PERFORM, TraceRecord, TraceRecorder
 from .transaction import Transaction
 
 GLOBAL = "global"
@@ -238,10 +238,13 @@ class NestedTransactionDB:
         if self._striped:
             with self._meta:
                 name = U.child(next(self._top_counter))
-                return self._begin_locked(name, parent=None)
-        with self._cond:
-            name = U.child(next(self._top_counter))
-            return self._begin_locked(name, parent=None)
+                txn, seq = self._begin_locked(name, parent=None)
+        else:
+            with self._cond:
+                name = U.child(next(self._top_counter))
+                txn, seq = self._begin_locked(name, parent=None)
+        self._publish_begin(txn, seq)
+        return txn
 
     @contextmanager
     def transaction(self) -> Iterator[Transaction]:
@@ -414,18 +417,24 @@ class NestedTransactionDB:
 
     def _begin(self, parent: Transaction) -> Transaction:
         if self._striped:
+            txn = seq = None
             with self._meta:
                 self._check_begin_parent_locked(parent)
                 if self._live_status_locked(parent):
                     name = parent._next_child_name()
-                    return self._begin_locked(name, parent)
-            # An ancestor died while the parent was still marked active.
-            self._die_as_orphan(parent)
+                    txn, seq = self._begin_locked(name, parent)
+            if txn is None:
+                # An ancestor died while the parent was still marked active.
+                self._die_as_orphan(parent)
+            self._publish_begin(txn, seq)
+            return txn
         with self._cond:
             self._check_begin_parent_locked(parent)
             self._check_live_locked(parent)
             name = parent._next_child_name()
-            return self._begin_locked(name, parent)
+            txn, seq = self._begin_locked(name, parent)
+        self._publish_begin(txn, seq)
+        return txn
 
     @staticmethod
     def _check_begin_parent_locked(parent: Transaction) -> None:
@@ -442,19 +451,30 @@ class NestedTransactionDB:
 
     def _begin_locked(
         self, name: ActionName, parent: Optional[Transaction]
-    ) -> Transaction:
+    ) -> Tuple[Transaction, Optional[int]]:
+        """Register a new transaction (latch held).  Only the trace seq
+        is reserved here; the record and the event fan-out happen in
+        :meth:`_publish_begin`, after the latch is released."""
         txn = Transaction(self, name, parent)
         self._txns[name] = txn
         if parent is not None:
             parent.children.append(txn)
+        # ``begun`` is a plain attribute: every bump runs under the
+        # metadata latch (striped) or the global latch, so it is exact.
         self.stats.begun += 1
-        if self.trace is not None:
-            self.trace.record_create(name)
+        seq = self.trace.reserve_seq() if self.trace is not None else None
+        return txn, seq
+
+    def _publish_begin(self, txn: Transaction, seq: Optional[int]) -> None:
+        """Off-critical-path half of begin: trace publication and event
+        emission (both touch only leaf locks)."""
+        if seq is not None:
+            self.trace.publish(TraceRecord(CREATE, txn.name, seq=seq))
         if self.events.enabled:
+            parent = txn.parent
             self.events.emit(
-                TxnBegun(name, parent.name if parent is not None else None)
+                TxnBegun(txn.name, parent.name if parent is not None else None)
             )
-        return txn
 
     def _commit(self, txn: Transaction) -> None:
         if self._striped:
@@ -474,8 +494,9 @@ class NestedTransactionDB:
                         % (txn.name, child.name)
                     )
             txn.status = COMMITTED
-            if self.trace is not None:
-                self.trace.record_commit(txn.name)
+            commit_seq = (
+                self.trace.reserve_seq() if self.trace is not None else None
+            )
             inherited = tuple(txn.held_objects)
             wal_writes = self._collect_perm_writes(txn)
             self._inherit_locks(txn)
@@ -489,6 +510,8 @@ class NestedTransactionDB:
                 else None
             )
             self._cond.notify_all()
+        if commit_seq is not None:
+            self.trace.publish(TraceRecord(COMMIT, txn.name, seq=commit_seq))
         if wal_lsn is not None:
             self._finish_durable_commit(wal_lsn)
         if started is not None:
@@ -554,13 +577,15 @@ class NestedTransactionDB:
     def _inherit_locks(self, txn: Transaction) -> None:
         started = time.monotonic() if self.metrics.enabled else None
         parent = txn.parent
+        name = txn.name
+        parent_name = parent.name if parent is not None else U
         for obj in txn.held_objects:
             locks = self._locks[obj]
             if parent is None:
-                locks.discard(txn.name)  # inherited by U: retained forever, blocks no one
+                locks.discard(name)  # inherited by U: retained forever, blocks no one
             else:
-                locks.inherit(txn.name)
-            self._store.stack(obj).commit_to_parent(txn.name)
+                locks.inherit(name, parent_name)
+            self._store.stack(obj).commit_to_parent(name, parent_name)
         if parent is not None:
             parent.held_objects |= txn.held_objects
         txn.held_objects = set()
@@ -605,11 +630,11 @@ class NestedTransactionDB:
             return self._live_status_locked(txn)
 
     def _live_status_locked(self, txn: Transaction) -> bool:
-        node: Optional[Transaction] = txn
-        while node is not None:
+        # ``lineage`` is the ancestor chain frozen at begin (self-first);
+        # iterating it avoids chasing parent pointers on every check.
+        for node in txn.lineage:
             if node.status == ABORTED:
                 return False
-            node = node.parent
         return True
 
     def _check_live_locked(self, txn: Transaction) -> None:
@@ -629,50 +654,92 @@ class NestedTransactionDB:
         mode = WRITE if (self.single_mode or for_update) else READ
         if self._striped:
             return self._perform_striped(txn, obj, mode, "read", None)
+        trace = self.trace
+        seq = None
         with self._cond:
             self._acquire_locked(txn, obj, mode)
             value = self._store.stack(obj).current
-            self.stats.reads += 1
-            if self.trace is not None:
-                access = txn.next_access_name("read")
-                self.trace.record_perform(txn.name, access, obj, "read", value)
-            return value
+            # Direct bump of the local counter: the property pair exists
+            # for the striped aggregation; under the global latch every
+            # increment is serialized right here.
+            self.stats._reads += 1
+            if trace is not None:
+                seq = trace.reserve_seq()
+        if seq is not None:
+            # Off the critical path: record construction and publication
+            # touch only the recorder's leaf lock (see trace.py).
+            trace.publish(
+                TraceRecord(
+                    PERFORM,
+                    txn.name,
+                    txn.next_access_name("read"),
+                    obj,
+                    "read",
+                    value,
+                    None,
+                    seq,
+                )
+            )
+        return value
 
     def _write(self, txn: Transaction, obj: str, value: Any) -> None:
         if self._striped:
             self._perform_striped(txn, obj, WRITE, "write", value)
             return
+        trace = self.trace
+        seq = None
+        name = txn.name
         with self._cond:
             self._acquire_locked(txn, obj, WRITE)
             stack = self._store.stack(obj)
             seen = stack.current
-            stack.ensure_version(txn.name)
-            stack.set_value(txn.name, value)
-            self.stats.writes += 1
-            if self.trace is not None:
-                access = txn.next_access_name("write")
-                self.trace.record_perform(
-                    txn.name, access, obj, "write", seen, value
+            stack.ensure_version(name)
+            stack.set_value(name, value)
+            self.stats._writes += 1
+            if trace is not None:
+                seq = trace.reserve_seq()
+        if seq is not None:
+            trace.publish(
+                TraceRecord(
+                    PERFORM,
+                    name,
+                    txn.next_access_name("write"),
+                    obj,
+                    "write",
+                    seen,
+                    value,
+                    seq,
                 )
+            )
 
     def _acquire_locked(self, txn: Transaction, obj: str, mode: str) -> None:
-        if obj not in self._locks:
+        locks = self._locks.get(obj)
+        if locks is None:
             raise UnknownObject(obj)
-        locks = self._locks[obj]
-        deadline = time.monotonic() + self.lock_timeout
+        name = txn.name
+        ancestors = txn.ancestor_names
+        # The deadline clock starts lazily at the first block, so the
+        # granted-immediately fast path never touches the clock.
+        deadline: Optional[float] = None
+        blocked = False
         while True:
             self._check_live_locked(txn)
-            conflicts = locks.conflicts_with(txn.name, mode)
+            conflicts = locks.conflicts_with(name, mode, ancestors)
             if conflicts and self.lazy_lock_cleanup:
                 conflicts = self._reap_dead_holders_locked(obj, conflicts)
             if not conflicts:
-                locks.grant(txn.name, mode)
+                locks.grant(name, mode)
                 txn.held_objects.add(obj)
                 if mode == WRITE:
-                    self._store.stack(obj).ensure_version(txn.name)
-                self._waits.clear_waits(txn.name)
+                    self._store.stack(obj).ensure_version(name)
+                if blocked:
+                    # Only a request that actually registered waits-for
+                    # edges needs to clear them — sparing granted-first-
+                    # try requests the graph's leaf lock.
+                    self._waits.clear_waits(name)
                 return
-            self._waits.set_waits(txn.name, conflicts)
+            blocked = True
+            self._waits.set_waits(name, conflicts)
             if self.detect_deadlocks:
                 cycle = self._waits.find_cycle_from(txn.name)
                 if cycle is not None:
@@ -697,13 +764,14 @@ class NestedTransactionDB:
                     if victim_name.is_ancestor_of(txn.name):
                         raise DeadlockAbort(txn.name, cycle)
                     continue
-            self.stats.lock_waits += 1
+            self.stats._lock_waits += 1
             self._object_waits[obj] += 1
-            remaining = deadline - time.monotonic()
+            now = time.monotonic()
+            if deadline is None:
+                deadline = now + self.lock_timeout
+            remaining = deadline - now
             waited_at = (
-                time.monotonic()
-                if (self.metrics.enabled or self.events.enabled)
-                else None
+                now if (self.metrics.enabled or self.events.enabled) else None
             )
             woke = remaining > 0 and self._cond.wait(timeout=remaining)
             if waited_at is not None:
@@ -729,7 +797,7 @@ class NestedTransactionDB:
                 locks.discard(holder)
                 self._store.stack(obj).discard(holder)
                 holder_txn.held_objects.discard(obj)
-                self.stats.lazy_lock_reaps += 1
+                self.stats._lazy_lock_reaps += 1
                 if self.events.enabled:
                     self.events.emit(OrphanReaped(holder, "lazy lock reap"))
             else:
@@ -770,29 +838,46 @@ class NestedTransactionDB:
         ``held_objects`` and a racing subtree abort cleans it), or the
         abort's runs first (so the confirmation sees a dead transaction
         and the grant is undone in place).  Locks never leak either way.
+
+        Hot-path discipline: inside the stripe mutex only the state
+        change itself, the stripe-local counters, and a trace seq
+        reservation happen; the trace record is constructed and published
+        — and events fan out — after the mutex is released (see the
+        linearization argument in trace.py).
         """
-        if self._table is None or obj not in self._table:
+        table = self._table
+        if table is None or obj not in table:
             raise UnknownObject(obj)
-        stripe = self._table.stripe_of(obj)
+        stripe = table.stripe_of(obj)
         locks = stripe.locks[obj]
         stack = self._store.stack(obj)
-        deadline = time.monotonic() + self.lock_timeout
+        name = txn.name
+        ancestors = txn.ancestor_names
+        trace = self.trace
+        waits = self._waits
+        # Deadline clock starts lazily at the first block: the immediate-
+        # grant fast path never reads the clock.
+        deadline: Optional[float] = None
+        blocked = False
         while True:
             self._check_live_striped(txn)
             victim_name: Optional[ActionName] = None
             cycle: Optional[List[ActionName]] = None
+            granted = False
+            seq = None
+            value = seen = None
             with stripe.mutex:
-                conflicts = locks.conflicts_with(txn.name, mode)
+                conflicts = locks.conflicts_with(name, mode, ancestors)
                 if conflicts and self.lazy_lock_cleanup:
                     conflicts = self._reap_dead_holders_striped(
                         stripe, obj, conflicts
                     )
                 if not conflicts:
-                    prev_mode = locks.mode_of(txn.name)
-                    had_version = stack.owns_version(txn.name)
-                    locks.grant(txn.name, mode)
+                    prev_mode = locks.mode_of(name)
+                    had_version = stack.owns_version(name)
+                    locks.grant(name, mode)
                     if mode == WRITE:
-                        stack.ensure_version(txn.name)
+                        stack.ensure_version(name)
                     with self._meta:
                         granted = self._live_status_locked(txn)
                         if granted:
@@ -802,82 +887,116 @@ class NestedTransactionDB:
                         # grant in place (nothing observed it — the stripe
                         # mutex was held throughout).
                         if prev_mode is None:
-                            locks.discard(txn.name)
+                            locks.discard(name)
                         else:
-                            locks.holders[txn.name] = prev_mode
+                            locks.holders[name] = prev_mode
                         if mode == WRITE and not had_version:
-                            stack.discard(txn.name)
+                            stack.discard(name)
                         stripe.notify_object(obj)
                         continue  # loop re-checks liveness -> orphan path
-                    self._waits.clear_waits(txn.name)
+                    if blocked:
+                        waits.clear_waits(name)
+                    # Stripe-local counters: exact because every bump of
+                    # this stripe's reads/writes runs under this stripe's
+                    # mutex; ObservableStats sums stripes at read time.
                     if kind == "read":
                         value = stack.current
                         stripe.reads += 1
-                        if self.trace is not None:
-                            access = txn.next_access_name("read")
-                            self.trace.record_perform(
-                                txn.name, access, obj, "read", value
+                    else:
+                        seen = stack.current
+                        stack.set_value(name, arg)
+                        stripe.writes += 1
+                    if trace is not None:
+                        seq = trace.reserve_seq()
+                else:
+                    blocked = True
+                    waits.set_waits(name, conflicts)
+                    if self.detect_deadlocks:
+                        cycle = waits.find_cycle_from(name)
+                        if cycle is not None:
+                            victim_name = choose_victim(
+                                cycle, self.deadlock_policy, name
                             )
-                        return value
-                    seen = stack.current
-                    stack.set_value(txn.name, arg)
-                    stripe.writes += 1
-                    if self.trace is not None:
-                        access = txn.next_access_name("write")
-                        self.trace.record_perform(
-                            txn.name, access, obj, "write", seen, arg
-                        )
-                    return None
-                self._waits.set_waits(txn.name, conflicts)
-                if self.detect_deadlocks:
-                    cycle = self._waits.find_cycle_from(txn.name)
-                    if cycle is not None:
-                        victim_name = choose_victim(
-                            cycle, self.deadlock_policy, txn.name
-                        )
-                        self._waits.clear_waits(txn.name)
-                if victim_name is None:
-                    stripe.lock_waits += 1
-                    stripe.object_waits[obj] += 1
-                    if self.metrics.enabled:
-                        self._stripe_contention[stripe.index].inc()
-                    with self._meta:
-                        self._parked[txn.name] = obj
-                    # Re-check after publishing the parked entry: a
-                    # subtree abort either sees it (and will notify this
-                    # object) or marked us dead before we looked.
-                    if not self._live_status_locked(txn):
-                        with self._meta:
-                            self._parked.pop(txn.name, None)
-                        self._waits.clear_waits(txn.name)
-                        continue  # loop top runs the orphan path
-                    remaining = deadline - time.monotonic()
-                    cond = stripe.condition(obj)
-                    waited_at = (
-                        time.monotonic()
-                        if (self.metrics.enabled or self.events.enabled)
-                        else None
-                    )
-                    woke = remaining > 0 and cond.wait(timeout=remaining)
-                    if waited_at is not None:
-                        # The histogram/bus take only their own leaf
-                        # locks — never a stripe latch (see repro.obs).
-                        waited = time.monotonic() - waited_at
+                            waits.clear_waits(name)
+                    if victim_name is None:
+                        # Serialized by this stripe's mutex (see the
+                        # reads/writes bumps above).
+                        stripe.lock_waits += 1
+                        stripe.object_waits[obj] += 1
                         if self.metrics.enabled:
-                            self._h_lock_wait.observe(waited)
-                        if self.events.enabled:
-                            self.events.emit(
-                                LockWaited(
-                                    txn.name, obj, mode, waited, stripe.index
+                            self._stripe_contention[stripe.index].inc()
+                        with self._meta:
+                            self._parked[name] = obj
+                        # Re-check after publishing the parked entry: a
+                        # subtree abort either sees it (and will notify
+                        # this object) or marked us dead before we looked.
+                        if not self._live_status_locked(txn):
+                            with self._meta:
+                                self._parked.pop(name, None)
+                            waits.clear_waits(name)
+                            continue  # loop top runs the orphan path
+                        now = time.monotonic()
+                        if deadline is None:
+                            deadline = now + self.lock_timeout
+                        remaining = deadline - now
+                        cond = stripe.condition(obj)
+                        waited_at = (
+                            now
+                            if (self.metrics.enabled or self.events.enabled)
+                            else None
+                        )
+                        woke = remaining > 0 and cond.wait(timeout=remaining)
+                        if waited_at is not None:
+                            # The histogram/bus take only their own leaf
+                            # locks — never a stripe latch (see repro.obs).
+                            waited = time.monotonic() - waited_at
+                            if self.metrics.enabled:
+                                self._h_lock_wait.observe(waited)
+                            if self.events.enabled:
+                                self.events.emit(
+                                    LockWaited(
+                                        name, obj, mode, waited, stripe.index
+                                    )
                                 )
-                            )
-                    with self._meta:
-                        self._parked.pop(txn.name, None)
-                    if not woke:
-                        self._waits.clear_waits(txn.name)
-                        raise LockTimeout(txn.name, obj)
+                        with self._meta:
+                            self._parked.pop(name, None)
+                        if not woke:
+                            waits.clear_waits(name)
+                            raise LockTimeout(name, obj)
+            if granted:
+                # Stripe mutex released: construct and publish the trace
+                # record off the critical path (its seq was reserved
+                # under the mutex, so the linearization is unaffected).
+                if seq is not None:
+                    if kind == "read":
+                        record = TraceRecord(
+                            PERFORM,
+                            name,
+                            txn.next_access_name("read"),
+                            obj,
+                            "read",
+                            value,
+                            None,
+                            seq,
+                        )
+                    else:
+                        record = TraceRecord(
+                            PERFORM,
+                            name,
+                            txn.next_access_name("write"),
+                            obj,
+                            "write",
+                            seen,
+                            arg,
+                            seq,
+                        )
+                    trace.publish(record)
+                return value if kind == "read" else None
             if victim_name is not None:
                 with self._meta:
+                    # Serialized by the metadata latch — ``deadlocks`` is
+                    # a plain attribute, see the stats-concurrency note
+                    # in repro.obs.stats.
                     self.stats.deadlocks += 1
                 if self.events.enabled:
                     self.events.emit(DeadlockDetected(txn.name, tuple(cycle)))
@@ -909,6 +1028,7 @@ class NestedTransactionDB:
                 stack.discard(holder)
                 with self._meta:
                     holder_txn.held_objects.discard(obj)
+                # Caller holds this stripe's mutex, so the bump is exact.
                 stripe.lazy_lock_reaps += 1
                 if self.events.enabled:
                     self.events.emit(OrphanReaped(holder, "lazy lock reap"))
@@ -921,25 +1041,29 @@ class NestedTransactionDB:
 
         Two-phase acquire: every stripe covering the transaction's held
         objects is taken (ascending index) *before* the metadata latch, so
-        status flip, trace record, held-set merge into the parent and
-        cross-stripe lock inheritance are one atomic step — a concurrent
-        requester can never observe a half-inherited lock set.
+        status flip, trace-seq reservation, held-set merge into the parent
+        and cross-stripe lock inheritance are one atomic step — a
+        concurrent requester can never observe a half-inherited lock set.
         """
         started = time.monotonic() if self.metrics.enabled else None
+        name = txn.name
+        parent = txn.parent
+        parent_name = parent.name if parent is not None else U
         while True:
             with self._meta:
                 held = frozenset(txn.held_objects)
             orphan = False
+            commit_seq: Optional[int] = None
             latched_at = time.monotonic() if started is not None else None
             with self._table.locked(held):
                 with self._meta:
                     if frozenset(txn.held_objects) != held:
                         continue  # a child committed concurrently; re-plan
                     if txn.status == ABORTED:
-                        raise TransactionAborted(txn.name, "commit after abort")
+                        raise TransactionAborted(name, "commit after abort")
                     if txn.status == COMMITTED:
                         raise InvalidTransactionState(
-                            "%r already committed" % txn.name
+                            "%r already committed" % name
                         )
                     if not self._live_status_locked(txn):
                         orphan = True
@@ -948,15 +1072,20 @@ class NestedTransactionDB:
                             if child.status == ACTIVE:
                                 raise InvalidTransactionState(
                                     "cannot commit %r: child %r still active"
-                                    % (txn.name, child.name)
+                                    % (name, child.name)
                                 )
                         txn.status = COMMITTED
                         if self.trace is not None:
-                            self.trace.record_commit(txn.name)
-                        if txn.parent is not None:
-                            txn.parent.held_objects |= held
+                            # Reserve here (serialized with the status
+                            # flip); the record publishes after the
+                            # stripe mutexes are released.
+                            commit_seq = self.trace.reserve_seq()
+                        if parent is not None:
+                            parent.held_objects |= held
                         txn.held_objects = set()
-                        self._waits.remove_transaction(txn.name)
+                        self._waits.remove_transaction(name)
+                        # Lifecycle counter: exact, serialized by the
+                        # metadata latch held here.
                         self.stats.committed += 1
                 wal_lsn = None
                 if not orphan:
@@ -967,11 +1096,11 @@ class NestedTransactionDB:
                     wal_writes = self._collect_perm_writes(txn, held)
                     for obj in held:
                         locks = self._table.locks_of(obj)
-                        if txn.parent is None:
-                            locks.discard(txn.name)  # inherited by U
+                        if parent is None:
+                            locks.discard(name)  # inherited by U
                         else:
-                            locks.inherit(txn.name)
-                        self._store.stack(obj).commit_to_parent(txn.name)
+                            locks.inherit(name, parent_name)
+                        self._store.stack(obj).commit_to_parent(name, parent_name)
                         self._table.stripe_of(obj).notify_object(obj)
                     # Append inside the stripe mutexes so WAL order agrees
                     # with commit order on conflicting objects; the fsync
@@ -986,18 +1115,20 @@ class NestedTransactionDB:
                 self._h_latch_hold.observe(time.monotonic() - latched_at)
             if orphan:
                 self._die_as_orphan(txn)
+            if commit_seq is not None:
+                # Off the critical path: every latch is released.
+                self.trace.publish(TraceRecord(COMMIT, name, seq=commit_seq))
             if wal_lsn is not None:
                 self._finish_durable_commit(wal_lsn)
             if started is not None:
                 self._h_commit.observe(time.monotonic() - started)
             if self.events.enabled:
-                parent = txn.parent
-                self.events.emit(TxnCommitted(txn.name, len(held)))
+                self.events.emit(TxnCommitted(name, len(held)))
                 if held:
                     self.events.emit(
                         LockInherited(
-                            txn.name,
-                            parent.name if parent is not None else None,
+                            name,
+                            parent_name if parent is not None else None,
                             tuple(sorted(held)),
                         )
                     )
@@ -1075,6 +1206,8 @@ class NestedTransactionDB:
                         if parked is not None:
                             wake.add(parked)
                         self._waits.remove_transaction(txn.name)
+                        # Lifecycle counter: exact, serialized by the
+                        # metadata latch held here.
                         self.stats.aborted += 1
                         aborted_names.append(txn.name)
                 # Still inside the stripe mutexes: pop versions, drop

@@ -21,7 +21,15 @@ from __future__ import annotations
 import threading
 import zlib
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..core.naming import ActionName
 
@@ -31,6 +39,13 @@ WRITE = "write"
 #: Default stripe count for :class:`StripedLockTable` (a power of two so
 #: the modulo spreads crc32 output evenly).
 DEFAULT_STRIPES = 16
+
+#: Shared no-conflict result.  ``conflicts_with`` runs on every data
+#: access, and the overwhelmingly common outcome is "no conflict" — so
+#: that path must not allocate.  Callers treat the result as read-only
+#: (the engine only iterates it or hands it to ``WaitsForGraph``, which
+#: copies); it compares equal to ``[]`` for the existing call sites.
+_NO_CONFLICTS: List[ActionName] = []
 
 
 def stripe_index(obj: str, n_stripes: int) -> int:
@@ -57,32 +72,61 @@ class ObjectLocks:
     def write_holders(self) -> Iterator[ActionName]:
         return (t for t, m in self.holders.items() if m == WRITE)
 
-    def conflicts_with(self, txn: ActionName, mode: str) -> List[ActionName]:
+    def conflicts_with(
+        self,
+        txn: ActionName,
+        mode: str,
+        ancestors: Optional[AbstractSet[ActionName]] = None,
+    ) -> Sequence[ActionName]:
         """Holders that block a request by ``txn`` in ``mode`` — everyone
-        relevant who is neither txn itself nor a proper ancestor of it."""
-        relevant = (
-            self.holders.items()
-            if mode == WRITE
-            else ((t, m) for t, m in self.holders.items() if m == WRITE)
-        )
-        return [
-            holder
-            for holder, _mode in relevant
-            if holder != txn and not holder.is_proper_ancestor_of(txn)
-        ]
+        relevant who is neither txn itself nor a proper ancestor of it.
+
+        ``ancestors`` (when given) is the requester's precomputed proper
+        ancestor set — :attr:`repro.engine.transaction.Transaction.ancestor_names`
+        — turning each ancestry test into an O(1) membership check
+        instead of a per-holder path comparison.
+
+        The common shapes all take the no-allocation fast path: an empty
+        table, or every holder being the requester / one of its
+        ancestors, returns the shared empty sequence (it compares equal
+        to ``[]``; treat it as read-only).
+        """
+        holders = self.holders
+        if not holders:
+            return _NO_CONFLICTS
+        conflicts: Optional[List[ActionName]] = None
+        for holder, held_mode in holders.items():
+            if held_mode != WRITE and mode != WRITE:
+                continue  # read/read never conflicts
+            if holder is txn or holder == txn:
+                continue
+            if ancestors is not None:
+                if holder in ancestors:
+                    continue
+            elif holder.is_proper_ancestor_of(txn):
+                continue
+            if conflicts is None:
+                conflicts = [holder]
+            else:
+                conflicts.append(holder)
+        return _NO_CONFLICTS if conflicts is None else conflicts
 
     def grant(self, txn: ActionName, mode: str) -> None:
         current = self.holders.get(txn)
         if current is None or (current == READ and mode == WRITE):
             self.holders[txn] = mode
 
-    def inherit(self, txn: ActionName) -> None:
+    def inherit(
+        self, txn: ActionName, parent: Optional[ActionName] = None
+    ) -> None:
         """Commit of txn: its lock (if any) passes to its parent, merging
-        modes (write wins)."""
+        modes (write wins).  Callers that already know the parent name
+        (the engine's commit path does) pass it to skip the derivation."""
         mode = self.holders.pop(txn, None)
         if mode is None:
             return
-        parent = txn.parent()
+        if parent is None:
+            parent = txn.parent()
         existing = self.holders.get(parent)
         if existing is None or (existing == READ and mode == WRITE):
             self.holders[parent] = mode

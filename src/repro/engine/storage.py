@@ -36,7 +36,7 @@ class VersionStack:
         return self.entries[-1][0]
 
     def owns_version(self, txn: ActionName) -> bool:
-        return any(owner == txn for owner, _value in self.entries)
+        return self._index_of(txn) is not None
 
     def ensure_version(self, txn: ActionName) -> None:
         """First write by txn: push a version owned by it (copying the
@@ -52,13 +52,19 @@ class VersionStack:
             )
         self.entries[-1] = (owner, value)
 
-    def commit_to_parent(self, txn: ActionName) -> None:
-        """Merge txn's version into its parent's (level-4 release-lock)."""
+    def commit_to_parent(
+        self, txn: ActionName, parent: Optional[ActionName] = None
+    ) -> None:
+        """Merge txn's version into its parent's (level-4 release-lock).
+
+        ``parent`` may be supplied by callers that already know it (the
+        engine's commit path does) to skip the name derivation."""
         index = self._index_of(txn)
         if index is None:
             return
         owner, value = self.entries[index]
-        parent = txn.parent()
+        if parent is None:
+            parent = txn.parent()
         if index > 0 and self.entries[index - 1][0] == parent:
             self.entries[index - 1] = (parent, value)
             del self.entries[index]
@@ -79,8 +85,13 @@ class VersionStack:
         return None if index is None else self.entries[index]
 
     def _index_of(self, txn: ActionName) -> Optional[int]:
-        for i, (owner, _value) in enumerate(self.entries):
-            if owner == txn:
+        # Top-down: the overwhelmingly common case is the requester's own
+        # version sitting at (or just under) the top of the stack, so the
+        # scan is memoization-free but O(1) in practice.  An owner appears
+        # at most once (``ensure_version`` never double-pushes).
+        entries = self.entries
+        for i in range(len(entries) - 1, -1, -1):
+            if entries[i][0] == txn:
                 return i
         return None
 

@@ -1,18 +1,32 @@
 """Execution trace recording.
 
 Every lifecycle event and data access the engine performs is appended to
-a :class:`TraceRecorder`.  The recorder owns a dedicated counter lock:
-each record takes a monotonically increasing sequence number and is
-appended under that lock, so the trace is a single linearization of what
-happened regardless of the engine's latch mode — under the global latch,
-trace order coincides with latch order; under the striped lock manager,
-stripes append concurrently and the counter lock decides the order (each
-append happens while the mutating thread still holds the stripe/metadata
-lock serializing the corresponding state change, so the linearization
-respects per-object and lifecycle causality).  The checker package
-replays traces through the formal algebras — the engine is
-*oracle-checked*: after any run, its trace must form an action tree whose
-permanent subtree is serializable.
+a :class:`TraceRecorder`.  Each record carries a monotonically
+increasing sequence number, so the trace is a single linearization of
+what happened regardless of the engine's latch mode.
+
+**Linearization argument.**  The sequence number is *reserved*
+(:meth:`TraceRecorder.reserve_seq` — one atomic counter bump) while the
+recording thread still holds the engine latch / stripe mutex / metadata
+latch that serializes the corresponding state change.  Two causally
+ordered events — two accesses of the same object, or a transaction's
+lifecycle transitions — are serialized by a common latch, so their
+reservations happen in causal order and the seq order respects
+per-object and lifecycle causality.  The :class:`TraceRecord` object
+itself may then be constructed and **published off the critical path**,
+after the latch is released: publication order does not matter, because
+:attr:`TraceRecorder.records` and :meth:`TraceRecorder.dump` present
+records in seq order (late publications are re-sorted on read).  The
+convenience ``record_*`` methods reserve and publish in one step, which
+is equivalent to deferred publication with an empty deferral window.
+
+One consequence of deferral: a reader that snapshots :attr:`records`
+while operations are still in flight may observe seq gaps (reserved but
+not yet published).  Quiescent traces — what the checker certifies —
+never have in-flight reservations.  The checker package replays traces
+through the formal algebras — the engine is *oracle-checked*: after any
+run, its trace must form an action tree whose permanent subtree is
+serializable.
 
 Traces serialize to JSON lines (:meth:`TraceRecorder.dump` /
 :meth:`TraceRecorder.load`), so executions can be archived and audited
@@ -26,7 +40,7 @@ import json
 import os
 import tempfile
 import threading
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, IO, List, Optional, Tuple, Union
 
 from ..core.naming import ActionName
@@ -63,28 +77,51 @@ class TraceRecord:
 class TraceRecorder:
     """An append-only linearized event log.
 
-    Thread-safe: appends are numbered and stored under a dedicated
-    counter lock (a leaf in the engine's lock order), so concurrent
-    stripes produce one well-defined linearization for replay.
+    Thread-safe.  Sequence numbers come from an atomic counter
+    (:meth:`reserve_seq`) that engine threads bump while holding the
+    latch serializing the recorded state change; the record itself is
+    appended under the recorder's own leaf lock — possibly later, from
+    outside the critical section — and readers always see records in seq
+    order (out-of-order publications are sorted on read).
     """
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
         self._lock = threading.Lock()
         self._seq = itertools.count()
+        self._last_seq = -1
+        self._unsorted = False
 
-    def _append(self, record: TraceRecord) -> None:
+    # -- hot-path API: reserve inside the latch, publish outside -----------
+
+    def reserve_seq(self) -> int:
+        """Claim the next sequence number.  A single atomic counter bump
+        (no lock) — the only trace work engine hot paths do inside their
+        critical sections."""
+        return next(self._seq)
+
+    def publish(self, record: TraceRecord) -> None:
+        """Append a record whose ``seq`` was previously reserved.  Safe
+        to call after the reserving critical section released its latch;
+        ordering is recovered from ``seq`` on read."""
         with self._lock:
-            self._records.append(replace(record, seq=next(self._seq)))
+            seq = record.seq
+            if seq is None or seq <= self._last_seq:
+                self._unsorted = True
+            else:
+                self._last_seq = seq
+            self._records.append(record)
+
+    # -- convenience API: reserve + publish in one step --------------------
 
     def record_create(self, txn: ActionName) -> None:
-        self._append(TraceRecord(CREATE, txn))
+        self.publish(TraceRecord(CREATE, txn, seq=next(self._seq)))
 
     def record_commit(self, txn: ActionName) -> None:
-        self._append(TraceRecord(COMMIT, txn))
+        self.publish(TraceRecord(COMMIT, txn, seq=next(self._seq)))
 
     def record_abort(self, txn: ActionName) -> None:
-        self._append(TraceRecord(ABORT, txn))
+        self.publish(TraceRecord(ABORT, txn, seq=next(self._seq)))
 
     def record_perform(
         self,
@@ -95,11 +132,18 @@ class TraceRecorder:
         seen: Any,
         arg: Any = None,
     ) -> None:
-        self._append(TraceRecord(PERFORM, txn, access, obj, kind, seen, arg))
+        self.publish(
+            TraceRecord(PERFORM, txn, access, obj, kind, seen, arg, next(self._seq))
+        )
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
         with self._lock:
+            if self._unsorted:
+                self._records.sort(
+                    key=lambda r: -1 if r.seq is None else r.seq
+                )
+                self._unsorted = False
             return tuple(self._records)
 
     def __len__(self) -> int:
@@ -110,6 +154,8 @@ class TraceRecorder:
         with self._lock:
             self._records.clear()
             self._seq = itertools.count()
+            self._last_seq = -1
+            self._unsorted = False
 
     # -- persistence (JSON lines) ---------------------------------------------
 
@@ -148,7 +194,7 @@ class TraceRecorder:
                     pass
                 raise
             return
-        for record in self._records:
+        for record in self.records:  # seq-sorted snapshot
             destination.write(
                 json.dumps(_record_to_json(record), ensure_ascii=False) + "\n"
             )

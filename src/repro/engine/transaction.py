@@ -14,14 +14,29 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Set, TYPE_CHECKING
+from typing import (
+    Any,
+    Callable,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..core.action_tree import ACTIVE
-from ..core.naming import ActionName
+from ..core.naming import U, ActionName
 from .errors import TransactionAborted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import NestedTransactionDB
+
+
+#: Proper ancestors of every top-level transaction: just the root U.
+_TOP_LEVEL_ANCESTORS: "FrozenSet[ActionName]" = frozenset((U,))
 
 
 @dataclass
@@ -55,6 +70,19 @@ class Transaction:
         self._child_counter = 0
         self._access_counter = 0
         self.held_objects: Set[str] = set()
+        # Ancestry is frozen at begin (a transaction never reparents), so
+        # the engine's conflict checks and liveness walks use these
+        # caches instead of re-deriving chains from names on every
+        # operation.  ``ancestor_names`` is the *proper* ancestor set of
+        # ``name`` (U included); ``lineage`` is self-first, root-last —
+        # aborts flip statuses deepest-first, so checking self before the
+        # ancestors fails fastest.
+        if parent is None:
+            self.ancestor_names: FrozenSet[ActionName] = _TOP_LEVEL_ANCESTORS
+            self.lineage: Tuple["Transaction", ...] = (self,)
+        else:
+            self.ancestor_names = parent.ancestor_names | {parent.name}
+            self.lineage = (self,) + parent.lineage
 
     # -- identity ----------------------------------------------------------
 

@@ -156,3 +156,96 @@ class TestProperties:
     def test_sort_key_total_order(self, p):
         node = name_of(p)
         assert not node < node
+
+
+class TestOrderingRegressions:
+    def test_negative_ints_sort_numerically(self):
+        # Regression: _sort_key once formatted ints as zero-padded
+        # strings, which ordered "-1" before "-2" lexicographically.
+        assert U.child(-2) < U.child(-1)
+        assert U.child(-1) < U.child(0)
+        labels = [3, -1, 0, -20, 2, -2]
+        ordered = sorted(U.child(label) for label in labels)
+        assert [n.leaf_label() for n in ordered] == sorted(labels)
+
+    @given(st.integers(), st.integers())
+    def test_int_labels_order_like_ints(self, a, b):
+        if a < b:
+            assert U.child(a) < U.child(b)
+        elif a > b:
+            assert U.child(b) < U.child(a)
+        else:
+            assert U.child(a) == U.child(b)
+
+
+# Paths with negative ints and strings, to exercise interning + ordering
+# over the full atom domain.
+mixed_paths = st.lists(
+    st.one_of(
+        st.integers(min_value=-3, max_value=3),
+        st.sampled_from(["a", "b", "xyz"]),
+    ),
+    max_size=5,
+)
+
+
+class TestInterning:
+    """Interning is invisible: canonical and fresh instances agree on
+    every observable relation."""
+
+    def test_make_returns_same_instance(self):
+        a = ActionName.make((1, "x"))
+        b = ActionName.make((1, "x"))
+        assert a is b
+
+    def test_intern_is_idempotent(self):
+        fresh = ActionName((7, "q"))
+        canon = fresh.intern()
+        assert canon.intern() is canon
+        assert canon == fresh
+
+    def test_derived_names_are_canonical(self):
+        node = ActionName.make((1, 2, 3))
+        assert node.parent() is ActionName.make((1, 2))
+        assert node.ancestor_at_depth(1) is ActionName.make((1,))
+        assert node.lca(ActionName.make((1, 9))) is ActionName.make((1,))
+
+    def test_child_does_not_pollute_table(self):
+        # Unique per-operation labels must not become table insertions.
+        from repro.core.naming import _INTERNED
+
+        base = ActionName.make((4,))
+        fresh = base.child("only-used-once-xyzzy")
+        assert fresh.path not in _INTERNED
+        assert fresh.parent() == base
+
+    @given(mixed_paths, mixed_paths)
+    def test_interned_and_fresh_agree(self, p, q):
+        fresh_a, fresh_b = name_of(p), name_of(q)
+        canon_a = ActionName.make(tuple(p))
+        canon_b = ActionName.make(tuple(q))
+        assert (fresh_a == fresh_b) == (canon_a == canon_b)
+        assert hash(fresh_a) == hash(canon_a)
+        assert (fresh_a < fresh_b) == (canon_a < canon_b)
+        assert fresh_a.is_ancestor_of(fresh_b) == canon_a.is_ancestor_of(
+            canon_b
+        )
+        assert fresh_a.is_proper_ancestor_of(
+            fresh_b
+        ) == canon_a.is_proper_ancestor_of(canon_b)
+        assert fresh_a.lca(fresh_b) == canon_a.lca(canon_b)
+        # Mixed pairs agree too (fresh vs canonical).
+        assert (fresh_a == canon_b) == (canon_a == fresh_b)
+        assert fresh_a.lca(canon_b) == canon_a.lca(fresh_b)
+
+    @given(mixed_paths)
+    def test_parent_cache_matches_slice(self, p):
+        if not p:
+            return
+        fresh = name_of(p)
+        canon = ActionName.make(tuple(p))
+        expected = ActionName(tuple(p[:-1]))
+        assert fresh.parent() == expected
+        assert canon.parent() == expected
+        # repeated calls are stable
+        assert fresh.parent() is fresh.parent()
