@@ -24,19 +24,21 @@ import os
 
 from repro.bench import (
     Table,
+    certify_if_enabled,
     emit,
     enable_metrics,
     make_striped_system,
     make_system,
     metrics_summary,
     run_cell,
+    scale,
 )
 from repro.bench.reporting import RESULTS_DIR
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute
 
 SYSTEM_NAMES = ("moss-rw", "moss-striped", "moss-single", "flat-2pl", "global-lock")
 THREADS = (1, 2, 4, 8)
-PROGRAMS = 48
+PROGRAMS = scale(48)  # REPRO_BENCH_SCALE shrinks the nightly sweep
 OBJECTS = 64
 OP_DELAY = 0.0003
 STRIPE_COUNTS = (1, 2, 4, 8, 16, 32)
@@ -159,6 +161,7 @@ def _striped_sweep(thetas=(0.0, 0.5), threads=8):
             report = execute(
                 db, programs, threads=threads, op_delay=OP_DELAY, seed=17
             )
+            certify_if_enabled(db)
             rows.append(
                 {
                     "system": label,

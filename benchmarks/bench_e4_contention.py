@@ -15,11 +15,11 @@ from __future__ import annotations
 import json
 import os
 
-from repro.bench import Table, emit, metrics_summary, run_cell
+from repro.bench import Table, emit, metrics_summary, run_cell, scale
 from repro.bench.reporting import RESULTS_DIR
 
 THETAS = (0.0, 0.5, 0.9, 1.2)
-PROGRAMS = 60
+PROGRAMS = scale(60)  # REPRO_BENCH_SCALE shrinks the nightly sweep
 
 
 def _sweep():

@@ -24,14 +24,14 @@ import os
 import shutil
 import tempfile
 
-from repro.bench import Table, emit, enable_metrics
+from repro.bench import Table, certify_if_enabled, certify_kwargs, emit, enable_metrics, scale
 from repro.bench.reporting import RESULTS_DIR
 from repro.durability import DurabilityManager, RecoveryManager
 from repro.engine import NestedTransactionDB
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 OBJECTS = 64
-PROGRAMS = 64
+PROGRAMS = scale(64)  # REPRO_BENCH_SCALE shrinks the nightly sweep
 THREADS = 4
 
 VARIANTS = (
@@ -86,12 +86,15 @@ def _run_variants():
             )
             db = NestedTransactionDB(
                 initial_values(OBJECTS),
-                latch_mode="striped",
-                record_trace=False,
-                durability=durability,
+                **certify_kwargs(
+                    latch_mode="striped",
+                    record_trace=False,
+                    durability=durability,
+                ),
             )
             enable_metrics(db)
             report = execute(db, programs, threads=THREADS, seed=23)
+            certify_if_enabled(db)
             final = db.snapshot()
             db.close()
             row = {

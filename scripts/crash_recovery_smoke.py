@@ -39,13 +39,40 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="crash_recovery_report.json")
     parser.add_argument("--min-acks", type=int, default=30)
+    parser.add_argument(
+        "--certify",
+        choices=("streaming",),
+        default=None,
+        help="subscribe the incremental certifier to each scenario's "
+        "post-recovery trace; its verdict must be clean",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="archive each scenario's post-recovery trace (JSONL plus "
+        "<name>.initial.json) here for offline re-certification via "
+        "scripts/certify_stream.py",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
 
     results = []
     failed = 0
-    for scenario in SCENARIOS:
+    for index, scenario in enumerate(SCENARIOS):
         params = dict(scenario)
         params.setdefault("min_acks", args.min_acks)
+        params.setdefault("certify", args.certify)
+        if args.trace_dir:
+            params.setdefault(
+                "trace_dump",
+                os.path.join(
+                    args.trace_dir,
+                    "scenario%d_%s_%s.trace.jsonl"
+                    % (index, scenario["latch"], scenario["sync"]),
+                ),
+            )
         with tempfile.TemporaryDirectory(prefix="crash-smoke-") as directory:
             start = time.monotonic()
             try:

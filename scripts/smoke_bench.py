@@ -19,14 +19,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.checker import OracleViolation, check_engine
-from repro.engine import NestedTransactionDB
+from repro.engine import NestedTransactionDB, TraceBusBridge
 from repro.obs import JsonlFileSink
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 MODES = ("global", "striped")
+OBJECTS = 32  # the CI streaming gate passes --objects 32 to certify_stream
 
 
 def run_mode(
@@ -34,13 +36,21 @@ def run_mode(
     threads: int,
     programs: int,
     metrics_jsonl=None,
+    certify: bool = False,
 ) -> dict:
     db = NestedTransactionDB(
-        initial_values(32), latch_mode=latch_mode, record_trace=True
+        initial_values(OBJECTS),
+        latch_mode=latch_mode,
+        record_trace=True,
+        certify="streaming" if certify else None,
     )
     if metrics_jsonl is not None:
         db.metrics.enable()
         db.events.attach(JsonlFileSink(metrics_jsonl))
+        # Republish every trace record on the bus: the JSONL event stream
+        # then doubles as a certifiable trace stream — CI pipes it
+        # through scripts/certify_stream.py as an independent gate.
+        db.trace.add_listener(TraceBusBridge(db.events))
     config = WorkloadConfig(
         objects=32,
         theta=0.6,
@@ -85,6 +95,25 @@ def run_mode(
         ok = False
     if report.committed_programs != programs:
         ok = False
+    if certify:
+        # The live streaming certifier must agree with the offline
+        # oracle that just replayed the same trace — a per-commit
+        # differential check of the incremental Theorem-9 path.
+        streaming = db.certifier.finish()
+        summary["streaming_ok"] = bool(streaming.ok)
+        summary["streaming_stats"] = streaming.stats
+        if not streaming.ok:
+            summary["streaming_violations"] = [
+                v.to_dict() for v in streaming.violations
+            ]
+            ok = False
+        if streaming.ok != summary["oracle_ok"]:
+            summary["streaming_disagrees_with_oracle"] = True
+            ok = False
+        if db.trace.listener_errors:
+            summary["trace_listener_errors"] = db.trace.listener_errors
+            summary["trace_listener_error"] = repr(db.trace.last_listener_error)
+            ok = False
     if metrics_jsonl is not None:
         # Embed the registry snapshot and hold the run to the sink
         # contract: any sink exception fails the smoke benchmark.
@@ -107,39 +136,59 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--with-metrics",
         action="store_true",
-        help="enable the metrics registry, stream engine events to "
-        "--metrics-out as JSONL, and fail if any event sink raised",
+        help="enable the metrics registry, stream engine events (and the "
+        "full trace) to per-mode JSONL files derived from --metrics-out, "
+        "and fail if any event sink raised",
     )
-    parser.add_argument("--metrics-out", default="smoke_metrics.jsonl")
+    parser.add_argument(
+        "--metrics-out",
+        default="smoke_metrics.jsonl",
+        help="base name for the per-mode event streams; smoke_metrics.jsonl "
+        "becomes smoke_metrics.global.jsonl and smoke_metrics.striped.jsonl",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the streaming certifier live on each mode's trace and "
+        "fail unless it certifies AND agrees with the offline oracle",
+    )
     args = parser.parse_args(argv)
 
-    metrics_fh = None
-    if args.with_metrics:
-        metrics_fh = open(args.metrics_out, "w", encoding="utf-8")
-    try:
-        summaries = [
-            run_mode(mode, args.threads, args.programs, metrics_fh)
-            for mode in MODES
-        ]
-    finally:
-        if metrics_fh is not None:
-            metrics_fh.close()
+    summaries = []
+    for mode in MODES:
+        metrics_fh = None
+        if args.with_metrics:
+            # One stream per mode: each engine starts from the same zero
+            # population, so each file certifies independently against
+            # ``--objects 32`` (concatenating them would replay mode 2
+            # against mode 1's final values).
+            base, ext = os.path.splitext(args.metrics_out)
+            metrics_fh = open(
+                "%s.%s%s" % (base, mode, ext or ".jsonl"), "w", encoding="utf-8"
+            )
+        try:
+            summaries.append(
+                run_mode(mode, args.threads, args.programs, metrics_fh, args.certify)
+            )
+        finally:
+            if metrics_fh is not None:
+                metrics_fh.close()
     result = {"experiment": "ci-smoke-e1", "modes": summaries}
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)
 
     for summary in summaries:
         status = "ok" if summary["ok"] else "FAILED"
-        print(
-            "%-8s %-7s %6.1f txn/s  oracle=%s quiescent=%s"
-            % (
-                summary["latch_mode"],
-                status,
-                summary["throughput"],
-                summary.get("oracle_ok"),
-                summary.get("quiescent"),
-            )
+        line = "%-8s %-7s %6.1f txn/s  oracle=%s quiescent=%s" % (
+            summary["latch_mode"],
+            status,
+            summary["throughput"],
+            summary.get("oracle_ok"),
+            summary.get("quiescent"),
         )
+        if "streaming_ok" in summary:
+            line += " streaming=%s" % summary["streaming_ok"]
+        print(line)
     if not all(summary["ok"] for summary in summaries):
         print("smoke benchmark FAILED; see %s" % args.out, file=sys.stderr)
         return 1

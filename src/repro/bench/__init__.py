@@ -3,11 +3,15 @@
 from .harness import (
     SYSTEMS,
     Cell,
+    certify_if_enabled,
+    certify_kwargs,
+    certify_mode,
     enable_metrics,
     make_striped_system,
     make_system,
     metrics_summary,
     run_cell,
+    scale,
 )
 from .reporting import Table, emit
 
@@ -15,10 +19,14 @@ __all__ = [
     "Cell",
     "SYSTEMS",
     "Table",
+    "certify_if_enabled",
+    "certify_kwargs",
+    "certify_mode",
     "emit",
     "enable_metrics",
     "make_striped_system",
     "make_system",
     "metrics_summary",
     "run_cell",
+    "scale",
 ]

@@ -7,8 +7,9 @@ single workload cell is run and summarized.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from ..baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
 from ..engine import NestedTransactionDB
@@ -20,22 +21,66 @@ from ..workload import (
     initial_values,
 )
 
+
+def certify_mode() -> Optional[str]:
+    """The engine-level certification the environment requests for
+    benchmark cells (``REPRO_BENCH_CERTIFY=streaming`` in the nightly
+    sweep); ``None`` when benchmarks should run uncertified."""
+    mode = os.environ.get("REPRO_BENCH_CERTIFY", "").strip()
+    return mode or None
+
+
+def certify_kwargs(**defaults: Any) -> Dict[str, Any]:
+    """Engine constructor kwargs with the environment's certification
+    request merged in: under ``REPRO_BENCH_CERTIFY`` the trace recorder
+    is forced on (the certifier subscribes to it) and ``certify=`` is
+    passed through."""
+    mode = certify_mode()
+    if mode is not None:
+        defaults["record_trace"] = True
+        defaults["certify"] = mode
+    return defaults
+
+
+def certify_if_enabled(db: Any) -> bool:
+    """Fail loudly if a cell's engine carries a streaming certifier that
+    has flagged a violation; returns whether a certifier was present.
+    Benchmarks call this after every certified execution so a nightly
+    sweep doubles as a correctness run."""
+    if getattr(db, "certifier", None) is None:
+        return False
+    db.assert_certified()
+    return True
+
+
+def scale(value: int, floor: int = 1) -> int:
+    """Scale a benchmark size constant by ``REPRO_BENCH_SCALE`` (a float
+    in (0, 1]; the nightly workflow runs the E1/E4/E9 sweeps at reduced
+    scale).  Unset or 1 leaves the constant untouched."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1") or "1")
+    return max(floor, int(round(value * factor)))
+
+
+def _nested(init: Dict[str, Any], **kwargs: Any) -> NestedTransactionDB:
+    return NestedTransactionDB(init, **certify_kwargs(**kwargs))
+
+
 #: The systems compared throughout E1-E7, by short name.
 SYSTEMS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
-    "moss-rw": lambda init: NestedTransactionDB(init, record_trace=False),
-    "moss-striped": lambda init: NestedTransactionDB(
+    "moss-rw": lambda init: _nested(init, record_trace=False),
+    "moss-striped": lambda init: _nested(
         init, latch_mode="striped", record_trace=False
     ),
-    "moss-single": lambda init: NestedTransactionDB(
+    "moss-single": lambda init: _nested(
         init, single_mode=True, record_trace=False
     ),
-    "moss-lazy": lambda init: NestedTransactionDB(
+    "moss-lazy": lambda init: _nested(
         init, lazy_lock_cleanup=True, record_trace=False
     ),
-    "moss-victim-requester": lambda init: NestedTransactionDB(
+    "moss-victim-requester": lambda init: _nested(
         init, deadlock_policy="requester", record_trace=False
     ),
-    "moss-victim-youngest": lambda init: NestedTransactionDB(
+    "moss-victim-youngest": lambda init: _nested(
         init, deadlock_policy="youngest", record_trace=False
     ),
     "flat-2pl": lambda init: FlatLockingDB(init),
@@ -72,7 +117,7 @@ def make_striped_system(
     """A striped-latch engine with an explicit stripe count — the
     stripe-count sweeps build their systems here instead of via
     :data:`SYSTEMS` so the sharding factor is a benchmark axis."""
-    return NestedTransactionDB(
+    return _nested(
         initial_values(objects),
         latch_mode="striped",
         stripes=stripes,
@@ -98,7 +143,7 @@ class Cell:
     def run(self) -> ExecutionReport:
         db = make_system(self.system, self.config.objects, self.with_metrics)
         programs = WorkloadGenerator(self.config).programs()
-        return execute(
+        report = execute(
             db,
             programs,
             threads=self.threads,
@@ -107,6 +152,8 @@ class Cell:
             op_delay=self.op_delay,
             max_retries=self.max_retries,
         )
+        certify_if_enabled(db)
+        return report
 
 
 def run_cell(

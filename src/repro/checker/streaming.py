@@ -1,0 +1,653 @@
+"""Streaming consistency certification: Theorem 9, applied incrementally.
+
+The offline oracle (:mod:`repro.checker.history`) certifies a *finished*
+trace by building the full augmented action tree and checking the two
+conditions of the paper's polynomial characterization (Theorem 9, in its
+read/write refinement): every permanent data step's label equals the
+replay of its visible predecessors, and the conflict-induced sibling
+precedence is acyclic.  E8 measures what the exponential exact oracle
+costs; even the polynomial one wants the whole trace in memory.
+
+:class:`StreamingCertifier` applies the same characterization *online*,
+consuming the engine's seq-ordered trace stream as it is produced and
+holding only a rolling window:
+
+* **Version compatibility, incrementally.**  Per object it keeps one
+  replayed "permanent value" plus a FIFO of accesses whose fate (will
+  this access survive into ``perm(T)``?) is not yet known.  An access's
+  fate resolves when its top-level transaction commits or aborts; the
+  FIFO pops in data order the moment every earlier same-object access
+  has a known fate, checking ``seen == replayed value`` for survivors
+  and discarding the rest.  This is exactly
+  ``label(A) == result(x, v-data(A))`` over ``perm(T)``, evaluated as
+  early as it is determined.
+
+* **Serialization-cycle detection, incrementally.**  Conflicting
+  permanent access pairs on an object induce precedence edges between
+  the siblings under their least common ancestor (Theorem 9(b) /
+  ``conflict_sibling_edges``).  Pairs in *different* top-level
+  transactions always meet at ``U``, so cross-transaction edges live in
+  one rolling top-level conflict graph, checked for a cycle at every
+  edge insertion — a violation is flagged the moment the forbidden
+  cycle closes.  Pairs *inside* one top-level transaction are checked
+  at its commit, when its permanent subtree is exactly known.
+
+* **Bounded memory (the watermark rule).**  A committed transaction's
+  node and applied accesses retire once every transaction concurrent
+  with it has resolved (:class:`~repro.checker.window.RetirementClock`).
+  After that point no new edge can terminate at it: a new edge ``X → T``
+  needs an access of ``X`` *before* an access of ``T`` in some object's
+  data order, and every transaction holding such an access has already
+  resolved and been paired.  Window size is therefore O(concurrent
+  transactions), not O(trace length) — the property that lets the
+  certifier run against production traffic instead of post-hoc test
+  runs.
+
+The certifier is thread-safe (one leaf lock; it never calls back into
+the engine) and is fed either live — wired to the engine's trace
+recorder via ``NestedTransactionDB(certify="streaming")`` — or from
+JSONL trace/event streams (``scripts/certify_stream.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.action_tree import ABORTED, ACTIVE, COMMITTED
+from ..core.naming import ActionName
+from ..engine.trace import (
+    ABORT,
+    COMMIT,
+    CREATE,
+    PERFORM,
+    TraceRecord,
+    _record_from_json,
+)
+from .history import OracleViolation
+from .window import ReorderBuffer, RetirementClock
+
+#: Violation kinds a streaming report may carry.
+VERSION = "version-incompatibility"
+CYCLE = "serialization-cycle"
+FAMILY_CYCLE = "family-cycle"
+PROTOCOL = "protocol"
+
+#: Internal fate marker for top-level transactions that never resolved
+#: (stream ended mid-flight); their accesses are dropped, as ``perm(T)``
+#: drops the subtrees of ACTIVE transactions.
+_UNRESOLVED = "unresolved"
+
+
+class StreamingViolation(OracleViolation):
+    """Raised by :meth:`StreamingCertifier.raise_on_violation` — a
+    subclass of :class:`OracleViolation` so callers treating the offline
+    and streaming certifiers uniformly catch one type."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One certification failure, with the offending names attached.
+
+    ``kind`` is one of :data:`VERSION`, :data:`CYCLE`,
+    :data:`FAMILY_CYCLE`, :data:`PROTOCOL`.  ``txns`` names the involved
+    transactions (for cycles: the cycle, in order); ``accesses`` the
+    witnessing conflicting accesses, when applicable.
+    """
+
+    kind: str
+    message: str
+    seq: Optional[int] = None
+    obj: Optional[str] = None
+    txns: Tuple[ActionName, ...] = ()
+    accesses: Tuple[ActionName, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "seq": self.seq,
+            "obj": self.obj,
+            "txns": [list(name.path) for name in self.txns],
+            "accesses": [list(name.path) for name in self.accesses],
+        }
+
+
+@dataclass
+class StreamingReport:
+    """Verdict plus window statistics for one certified stream."""
+
+    ok: bool
+    violations: Tuple[Violation, ...]
+    records: int
+    permanent_accesses: int
+    dropped_accesses: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "records": self.records,
+            "permanent_accesses": self.permanent_accesses,
+            "dropped_accesses": self.dropped_accesses,
+            "stats": dict(self.stats),
+        }
+
+
+class _Access:
+    """One perform record riding through the window."""
+
+    __slots__ = ("access", "top", "obj", "kind", "seen", "arg", "seq", "fate")
+
+    def __init__(self, access, top, obj, kind, seen, arg, seq):
+        self.access = access
+        self.top = top
+        self.obj = obj
+        self.kind = kind
+        self.seen = seen
+        self.arg = arg
+        self.seq = seq
+        self.fate: Optional[bool] = None  # None = unknown; True = permanent
+
+
+class _TopTxn:
+    """Window state of one top-level transaction."""
+
+    __slots__ = ("name", "begin_seq", "status", "resolve_seq", "nested",
+                 "accesses", "objects")
+
+    def __init__(self, name: ActionName, begin_seq: int) -> None:
+        self.name = name
+        self.begin_seq = begin_seq
+        self.status = ACTIVE
+        self.resolve_seq: Optional[int] = None
+        #: Statuses of this top's nested (depth >= 2) transactions.
+        self.nested: Dict[ActionName, str] = {}
+        self.accesses: List[_Access] = []
+        self.objects: Set[str] = set()
+
+
+class StreamingCertifier:
+    """Incremental Theorem-9 certifier over a seq-ordered trace stream.
+
+    ``initial`` is the a-priori value assignment replay starts from (for
+    a recovered engine: the recovered values, exactly as the offline
+    oracle uses ``db.initial_values``).  Feed it :class:`TraceRecord`
+    instances (:meth:`feed`) or their JSONL dict form (:meth:`feed_dict`);
+    read ``violations`` at any time, and call :meth:`finish` at end of
+    stream for the final report (unresolved transactions are then treated
+    as non-permanent, matching ``perm(T)``).
+    """
+
+    def __init__(self, initial: Mapping[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, Any] = dict(initial)
+        self._reorder: ReorderBuffer[TraceRecord] = ReorderBuffer()
+        self._clock = RetirementClock()
+        self._seq_clock = -1  # last ingested seq (arrival-ordered fallback)
+        self._tops: Dict[ActionName, _TopTxn] = {}
+        #: Per object: accesses whose fate is not yet known, data order.
+        self._pending: Dict[str, Deque[_Access]] = {}
+        #: Per object: permanent accesses of unretired transactions.
+        self._applied: Dict[str, List[_Access]] = {}
+        #: Rolling top-level conflict graph: a -> {b: edge witness}.
+        self._succ: Dict[ActionName, Dict[ActionName, Tuple]] = {}
+        self._pred: Dict[ActionName, Set[ActionName]] = {}
+        self._violations: List[Violation] = []
+        self._warned_objects: Set[str] = set()
+        self._finished = False
+        # Counters and high-water marks (the E11 memory measurements).
+        self.records = 0
+        self.permanent_accesses = 0
+        self.dropped_accesses = 0
+        self._pending_count = 0
+        self._applied_count = 0
+        self._edge_count = 0
+        self.max_live_tops = 0
+        self.max_pending_accesses = 0
+        self.max_applied_accesses = 0
+        self.max_graph_edges = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        with self._lock:
+            return tuple(self._violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self._violations
+
+    def feed(self, record: TraceRecord) -> None:
+        """Consume one trace record (any thread; possibly out of seq
+        order — a reorder window restores the published linearization)."""
+        with self._lock:
+            if self._finished:
+                raise RuntimeError("certifier already finished")
+            for rec in self._reorder.push(record.seq, record):
+                self._ingest(rec)
+
+    def feed_dict(self, data: Mapping[str, Any]) -> None:
+        """Consume one JSONL-decoded trace record (the ``dump`` format of
+        :class:`~repro.engine.trace.TraceRecorder`)."""
+        self.feed(_record_from_json(dict(data)))
+
+    def finish(self) -> StreamingReport:
+        """End of stream: flush the reorder window, drop every access of
+        still-unresolved transactions (they are not in ``perm(T)``), and
+        return the final report.  Idempotent."""
+        with self._lock:
+            if not self._finished:
+                for rec in self._reorder.drain():
+                    self._ingest(rec)
+                for name in [
+                    t.name for t in self._tops.values() if t.status == ACTIVE
+                ]:
+                    self._resolve_top(self._tops[name], _UNRESOLVED, None)
+                self._retire()
+                self._finished = True
+            return self._report_locked()
+
+    def report(self) -> StreamingReport:
+        """A snapshot report without finalizing the stream."""
+        with self._lock:
+            return self._report_locked()
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`StreamingViolation` when any violation has been
+        flagged so far."""
+        with self._lock:
+            if self._violations:
+                first = self._violations[0]
+                raise StreamingViolation(
+                    "%d streaming certification violation(s); first: [%s] %s"
+                    % (len(self._violations), first.kind, first.message)
+                )
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _report_locked(self) -> StreamingReport:
+        return StreamingReport(
+            ok=not self._violations,
+            violations=tuple(self._violations),
+            records=self.records,
+            permanent_accesses=self.permanent_accesses,
+            dropped_accesses=self.dropped_accesses,
+            stats={
+                "live_tops": len(self._tops),
+                "max_live_tops": self.max_live_tops,
+                "pending_accesses": self._pending_count,
+                "max_pending_accesses": self.max_pending_accesses,
+                "applied_accesses": self._applied_count,
+                "max_applied_accesses": self.max_applied_accesses,
+                "graph_edges": self._edge_count,
+                "max_graph_edges": self.max_graph_edges,
+                "retired_tops": self._clock.retired,
+                "reorder_high_water": self._reorder.buffered_high_water,
+            },
+        )
+
+    def _flag(self, violation: Violation) -> None:
+        self._violations.append(violation)
+
+    def _ingest(self, rec: TraceRecord) -> None:
+        self.records += 1
+        if rec.seq is not None and rec.seq > self._seq_clock:
+            self._seq_clock = rec.seq
+        else:
+            self._seq_clock += 1
+        now = self._seq_clock
+        if rec.op == CREATE:
+            self._ingest_create(rec, now)
+        elif rec.op == PERFORM:
+            self._ingest_perform(rec, now)
+        elif rec.op in (COMMIT, ABORT):
+            status = COMMITTED if rec.op == COMMIT else ABORTED
+            self._ingest_resolution(rec, status, now)
+        else:
+            self._flag(Violation(
+                PROTOCOL, "unknown trace op %r" % (rec.op,), seq=rec.seq,
+            ))
+        if len(self._tops) > self.max_live_tops:
+            self.max_live_tops = len(self._tops)
+
+    def _top_of(self, txn: ActionName) -> Optional[_TopTxn]:
+        if txn.depth < 1:
+            return None
+        return self._tops.get(txn.ancestor_at_depth(1))
+
+    def _ingest_create(self, rec: TraceRecord, now: int) -> None:
+        name = rec.txn
+        if name.depth == 0:
+            self._flag(Violation(PROTOCOL, "create of U", seq=rec.seq))
+            return
+        if name.depth == 1:
+            self._tops[name] = _TopTxn(name, now)
+            self._clock.begin(name, now)
+            return
+        top = self._top_of(name)
+        if top is None:
+            self._flag(Violation(
+                PROTOCOL,
+                "create of %r under unknown top-level transaction" % (name,),
+                seq=rec.seq, txns=(name,),
+            ))
+            return
+        top.nested[name] = ACTIVE
+
+    def _ingest_perform(self, rec: TraceRecord, now: int) -> None:
+        top = self._top_of(rec.txn)
+        if top is None or rec.access is None or rec.obj is None:
+            self._flag(Violation(
+                PROTOCOL,
+                "perform %r on %r outside any known top-level transaction"
+                % (rec.access, rec.obj),
+                seq=rec.seq, obj=rec.obj,
+                txns=(rec.txn,) if rec.txn is not None else (),
+            ))
+            return
+        acc = _Access(
+            rec.access, top.name, rec.obj, rec.kind, rec.seen, rec.arg, rec.seq
+        )
+        top.accesses.append(acc)
+        top.objects.add(rec.obj)
+        self._pending.setdefault(rec.obj, deque()).append(acc)
+        self._pending_count += 1
+        if self._pending_count > self.max_pending_accesses:
+            self.max_pending_accesses = self._pending_count
+
+    def _ingest_resolution(self, rec: TraceRecord, status: str, now: int) -> None:
+        name = rec.txn
+        if name.depth == 0:
+            self._flag(Violation(PROTOCOL, "%s of U" % status, seq=rec.seq))
+            return
+        if name.depth == 1:
+            top = self._tops.get(name)
+            if top is None:
+                self._flag(Violation(
+                    PROTOCOL,
+                    "%s of unknown top-level transaction %r" % (status, name),
+                    seq=rec.seq, txns=(name,),
+                ))
+                return
+            if top.status != ACTIVE:
+                self._flag(Violation(
+                    PROTOCOL,
+                    "%s of already-%s transaction %r" % (status, top.status, name),
+                    seq=rec.seq, txns=(name,),
+                ))
+                return
+            self._resolve_top(top, status, now)
+            self._retire()
+            return
+        top = self._top_of(name)
+        if top is None:
+            self._flag(Violation(
+                PROTOCOL,
+                "%s of %r under unknown top-level transaction" % (status, name),
+                seq=rec.seq, txns=(name,),
+            ))
+            return
+        top.nested[name] = status
+
+    # -- fate resolution and the per-object replay -------------------------
+
+    def _resolve_top(self, top: _TopTxn, status: str, now: Optional[int]) -> None:
+        top.status = status
+        if now is None:
+            self._seq_clock += 1
+            now = self._seq_clock
+        top.resolve_seq = now
+        committed = status == COMMITTED
+        for acc in top.accesses:
+            acc.fate = committed and self._is_permanent(top, acc)
+        if committed:
+            self._check_internal_families(top)
+        for obj in top.objects:
+            self._drain(obj)
+        self._clock.resolve(top.name, now)
+
+    @staticmethod
+    def _is_permanent(top: _TopTxn, acc: _Access) -> bool:
+        """Permanence relative to a committed top: every transaction on
+        the chain between the top (exclusive) and the access (exclusive)
+        committed — ``visible_T(U)`` restricted to this subtree."""
+        access = acc.access
+        for depth in range(2, access.depth):
+            if top.nested.get(access.ancestor_at_depth(depth)) != COMMITTED:
+                return False
+        return True
+
+    def _drain(self, obj: str) -> None:
+        """Pop the object's FIFO while the head's fate is known, replaying
+        survivors (version check) and pairing them into conflict edges."""
+        queue = self._pending.get(obj)
+        if not queue:
+            return
+        applied = self._applied.get(obj)
+        while queue and queue[0].fate is not None:
+            acc = queue.popleft()
+            self._pending_count -= 1
+            if not acc.fate:
+                self.dropped_accesses += 1
+                continue
+            self.permanent_accesses += 1
+            if obj not in self._values:
+                if obj not in self._warned_objects:
+                    self._warned_objects.add(obj)
+                    self._flag(Violation(
+                        PROTOCOL,
+                        "access to object %r absent from the initial values"
+                        % (obj,),
+                        seq=acc.seq, obj=obj, accesses=(acc.access,),
+                    ))
+            else:
+                expected = self._values[obj]
+                if acc.seen != expected:
+                    self._flag(Violation(
+                        VERSION,
+                        "data step %r on %r saw %r, replay of its visible "
+                        "history gives %r"
+                        % (acc.access, obj, acc.seen, expected),
+                        seq=acc.seq, obj=obj,
+                        txns=(acc.top,), accesses=(acc.access,),
+                    ))
+                if acc.kind == "write":
+                    self._values[obj] = acc.arg
+            acc_reads = acc.kind == "read"
+            if applied:
+                for prev in applied:
+                    if prev.top is acc.top or prev.top == acc.top:
+                        continue
+                    if acc_reads and prev.kind == "read":
+                        continue
+                    self._add_edge(prev, acc)
+            if applied is None:
+                applied = self._applied.setdefault(obj, [])
+            applied.append(acc)
+            self._applied_count += 1
+            if self._applied_count > self.max_applied_accesses:
+                self.max_applied_accesses = self._applied_count
+        if not queue:
+            self._pending.pop(obj, None)
+
+    # -- the rolling top-level conflict graph ------------------------------
+
+    def _add_edge(self, c: _Access, d: _Access) -> None:
+        """Precedence edge ``c.top -> d.top`` (both committed, both still
+        windowed), witnessed by the conflicting pair (c, d).  Flags a
+        violation the moment the edge closes a cycle."""
+        a, b = c.top, d.top
+        out = self._succ.setdefault(a, {})
+        if b in out:
+            return
+        out[b] = (c.access, d.access, c.obj)
+        self._pred.setdefault(b, set()).add(a)
+        self._edge_count += 1
+        if self._edge_count > self.max_graph_edges:
+            self.max_graph_edges = self._edge_count
+        path = self._find_path(b, a)
+        if path is not None:
+            cycle = [a] + path
+            witnesses: List[ActionName] = [c.access, d.access]
+            self._flag(Violation(
+                CYCLE,
+                "conflict sibling precedence has a cycle: %r"
+                % ([repr(n) for n in cycle],),
+                seq=d.seq, obj=c.obj,
+                txns=tuple(cycle), accesses=tuple(witnesses),
+            ))
+
+    def _find_path(self, source: ActionName, target: ActionName
+                   ) -> Optional[List[ActionName]]:
+        """A path source -> ... -> target in the top-level graph, or None.
+        Iterative DFS; the graph only holds unretired transactions."""
+        if source == target:
+            return [source]
+        stack: List[ActionName] = [source]
+        parent: Dict[ActionName, ActionName] = {}
+        seen: Set[ActionName] = {source}
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ.get(node, ()):
+                if nxt in seen:
+                    continue
+                parent[nxt] = node
+                if nxt == target:
+                    path = [nxt]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                seen.add(nxt)
+                stack.append(nxt)
+        return None
+
+    # -- intra-transaction (nested family) check ---------------------------
+
+    def _check_internal_families(self, top: _TopTxn) -> None:
+        """Conflict sibling edges *inside* one committed top-level
+        transaction, checked at its commit: group its permanent accesses
+        per object in data order, pair conflicting ones, and verify each
+        sibling family's precedence is acyclic.  (Cross-transaction pairs
+        always meet at U and go through the rolling graph instead.)"""
+        per_obj: Dict[str, List[_Access]] = {}
+        for acc in top.accesses:
+            if acc.fate:
+                per_obj.setdefault(acc.obj, []).append(acc)
+        families: Dict[ActionName, Dict[Tuple[ActionName, ActionName], Tuple]] = {}
+        for obj, seq in per_obj.items():
+            for i, c in enumerate(seq):
+                c_reads = c.kind == "read"
+                for d in seq[i + 1:]:
+                    if c_reads and d.kind == "read":
+                        continue
+                    lca = c.access.lca(d.access)
+                    a = lca.child_toward(c.access)
+                    b = lca.child_toward(d.access)
+                    if a == b:
+                        continue
+                    families.setdefault(lca, {}).setdefault(
+                        (a, b), (c.access, d.access, obj)
+                    )
+        for lca, edges in families.items():
+            cycle = _digraph_cycle(edges.keys())
+            if cycle is not None:
+                witnesses: List[ActionName] = []
+                for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                    witness = edges.get((a, b))
+                    if witness is not None:
+                        witnesses.extend(witness[:2])
+                self._flag(Violation(
+                    FAMILY_CYCLE,
+                    "sibling precedence inside %r has a cycle under %r: %r"
+                    % (top.name, lca, [repr(n) for n in cycle]),
+                    seq=top.resolve_seq,
+                    txns=tuple(cycle), accesses=tuple(witnesses),
+                ))
+
+    # -- retirement --------------------------------------------------------
+
+    def _retire(self) -> None:
+        for name in self._clock.retire_ready():
+            top = self._tops.pop(name, None)
+            if top is None:
+                continue
+            for obj in top.objects:
+                applied = self._applied.get(obj)
+                if not applied:
+                    continue
+                kept = [a for a in applied if a.top != name]
+                self._applied_count -= len(applied) - len(kept)
+                if kept:
+                    self._applied[obj] = kept
+                else:
+                    del self._applied[obj]
+            for b in self._succ.pop(name, {}):
+                preds = self._pred.get(b)
+                if preds is not None:
+                    preds.discard(name)
+                    if not preds:
+                        del self._pred[b]
+                self._edge_count -= 1
+            for a in self._pred.pop(name, ()):
+                out = self._succ.get(a)
+                if out is not None and out.pop(name, None) is not None:
+                    self._edge_count -= 1
+                    if not out:
+                        del self._succ[a]
+
+
+def _digraph_cycle(edges) -> Optional[List[ActionName]]:
+    """A cycle in a small digraph given as an iterable of (a, b) edges,
+    or None.  White/grey/black iterative DFS, as in the offline oracle."""
+    adjacency: Dict[ActionName, List[ActionName]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[ActionName, int] = {}
+    parent: Dict[ActionName, ActionName] = {}
+    for root in adjacency:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[ActionName, int]] = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            neighbors = adjacency.get(node, [])
+            if idx >= len(neighbors):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, idx + 1)
+            nxt = neighbors[idx]
+            state = color.get(nxt, WHITE)
+            if state == WHITE:
+                color[nxt] = GREY
+                parent[nxt] = node
+                stack.append((nxt, 0))
+            elif state == GREY:
+                cycle = [node]
+                walk = node
+                while walk != nxt:
+                    walk = parent[walk]
+                    cycle.append(walk)
+                cycle.reverse()
+                return cycle
+    return None
+
+
+def certify_records(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> StreamingReport:
+    """One-shot convenience: stream a finished trace through a fresh
+    certifier (differential tests compare this against the offline
+    :func:`~repro.checker.history.check_trace_serializable`)."""
+    certifier = StreamingCertifier(initial)
+    for record in records:
+        certifier.feed(record)
+    return certifier.finish()

@@ -1,0 +1,126 @@
+"""Windowing support for the streaming certifier.
+
+Two small, self-contained pieces:
+
+* :class:`ReorderBuffer` — the engine reserves trace sequence numbers
+  inside its latches but *publishes* the records off the critical path,
+  so a live subscriber can observe them slightly out of seq order.  The
+  buffer holds early arrivals and releases records in exact seq order,
+  the order every certification argument is stated in.
+
+* :class:`RetirementClock` — the watermark rule that gives the streaming
+  checker bounded memory.  A top-level transaction's window state (its
+  conflict-graph node, its applied accesses) may be discarded once every
+  transaction *concurrent* with it has resolved: after that point no new
+  edge can ever terminate at it, so it can no longer participate in a
+  forbidden cycle (see ``docs/streaming_certification.md`` for the
+  argument).
+
+Both classes are purely functional bookkeeping — no locks; the certifier
+serializes access with its own leaf lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class ReorderBuffer(Generic[T]):
+    """Release ``(seq, item)`` pairs in contiguous seq order.
+
+    ``push`` returns the items that became releasable (the pushed one
+    included, when its turn has come).  Items with ``seq=None`` — hand
+    built trace records — bypass ordering and are released immediately.
+    ``drain`` releases everything still buffered, in seq order, for
+    end-of-stream flushes where the missing seqs will never arrive.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._heap: List[Tuple[int, int, T]] = []
+        self._tiebreak = 0  # heap stability for equal (duplicate) seqs
+        self.buffered_high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, seq: Optional[int], item: T) -> List[T]:
+        if seq is None:
+            return [item]
+        if seq < self._next:
+            # Duplicate or stale seq (a re-fed stream): deliver in place
+            # rather than buffering forever behind an impossible gap.
+            return [item]
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (seq, self._tiebreak, item))
+        if len(self._heap) > self.buffered_high_water:
+            self.buffered_high_water = len(self._heap)
+        released: List[T] = []
+        while self._heap and self._heap[0][0] <= self._next:
+            head_seq, _, head = heapq.heappop(self._heap)
+            released.append(head)
+            if head_seq == self._next:
+                self._next = head_seq + 1
+        return released
+
+    def drain(self) -> List[T]:
+        """Everything still buffered, in seq order (gaps skipped)."""
+        released = [item for _, _, item in sorted(self._heap)]
+        if self._heap:
+            self._next = self._heap[-1][0] + 1
+        self._heap = []
+        return released
+
+
+class RetirementClock:
+    """Watermark-based retirement of top-level transactions.
+
+    Every top-level transaction is registered with its begin seq; on
+    resolution (commit or abort at top level) it moves to the pending
+    queue with its resolve seq.  The watermark is the smallest begin seq
+    over still-unresolved transactions; a resolved transaction retires —
+    its window state may be dropped — once the watermark passes its
+    resolve seq, i.e. once every transaction that began before it
+    resolved has itself resolved.
+    """
+
+    def __init__(self) -> None:
+        self._begin_seq: Dict[object, int] = {}  # unresolved tops
+        self._pending: List[Tuple[int, int, object]] = []  # resolved, unretired
+        self._tiebreak = 0
+        self.retired = 0
+
+    def begin(self, key: object, seq: int) -> None:
+        self._begin_seq[key] = seq
+
+    def resolve(self, key: object, seq: int) -> None:
+        self._begin_seq.pop(key, None)
+        self._tiebreak += 1
+        heapq.heappush(self._pending, (seq, self._tiebreak, key))
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Smallest begin seq among unresolved transactions (None when
+        every known transaction has resolved)."""
+        if not self._begin_seq:
+            return None
+        return min(self._begin_seq.values())
+
+    def retire_ready(self) -> Iterator[object]:
+        """Yield (and forget) every resolved transaction whose window can
+        be discarded under the watermark rule."""
+        watermark = self.watermark
+        while self._pending and (
+            watermark is None or self._pending[0][0] < watermark
+        ):
+            _, _, key = heapq.heappop(self._pending)
+            self.retired += 1
+            yield key
+
+    def live_count(self) -> int:
+        """Transactions whose window state is still held: unresolved plus
+        resolved-but-unretired."""
+        return len(self._begin_seq) + len(self._pending)

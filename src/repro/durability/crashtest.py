@@ -36,6 +36,7 @@ Used by ``tests/test_durability_crash.py`` and the CI smoke script
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import subprocess
@@ -205,6 +206,9 @@ class CrashReport:
     torn_tail: bool = False
     oracle_ok: bool = False
     post_workload_commits: int = 0
+    #: Verdict of the live streaming certifier over the post-recovery
+    #: trace (None when the scenario ran with ``certify=None``).
+    streaming_ok: Optional[bool] = None
     latch: str = "global"
     sync: str = "commit"
 
@@ -236,12 +240,21 @@ def run_crash_recovery_scenario(
     min_acks: int = 30,
     timeout: float = 60.0,
     post_workload: bool = True,
+    certify: Optional[str] = None,
+    trace_dump: Optional[str] = None,
 ) -> CrashReport:
     """The full scenario: spawn, SIGKILL mid-workload, recover, verify.
 
     Raises ``RuntimeError`` when the worker dies by itself or never
     reaches ``min_acks`` (harness problems, not durability verdicts);
     durability-contract violations land in ``CrashReport.failures``.
+
+    ``certify="streaming"`` additionally subscribes the incremental
+    certifier to the post-recovery engine's trace — its verdict lands in
+    ``CrashReport.streaming_ok``.  ``trace_dump`` (a path) archives the
+    post-recovery trace as JSONL, with the recovered initial values in a
+    sibling ``<path>.initial.json`` — the pair ``scripts/certify_stream``
+    re-certifies offline in CI.
     """
     from ..checker import check_engine
     from ..engine import NestedTransactionDB
@@ -305,6 +318,7 @@ def run_crash_recovery_scenario(
         latch_mode=latch,
         durability=DurabilityManager(directory, sync_policy=sync),
         record_trace=True,
+        certify=certify,
     )
     recovery = db.durability.last_recovery
     report.commits_replayed = recovery.commits_replayed
@@ -374,5 +388,17 @@ def run_crash_recovery_scenario(
             db.assert_quiescent()
         except AssertionError as error:
             report.fail("post-recovery run not quiescent: %s" % error)
+    if db.certifier is not None:
+        streaming = db.certifier.finish()
+        report.streaming_ok = bool(streaming.ok)
+        if not streaming.ok:
+            report.fail(
+                "streaming certifier flagged post-recovery trace: %s"
+                % streaming.violations[0].message
+            )
+    if trace_dump is not None:
+        db.trace.dump(trace_dump)
+        with open(trace_dump + ".initial.json", "w", encoding="utf-8") as fh:
+            json.dump(db.initial_values, fh, sort_keys=True)
     db.close()
     return report

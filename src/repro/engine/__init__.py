@@ -30,7 +30,7 @@ from .recovery import (
 )
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore, VersionStack
-from .trace import TraceRecord, TraceRecorder
+from .trace import TraceBusBridge, TraceRecord, TraceRecorder
 from .transaction import Outcome, Transaction
 
 __all__ = [
@@ -57,6 +57,7 @@ __all__ = [
     "STATS_KEYS",
     "StripedEngineStats",
     "StripedLockTable",
+    "TraceBusBridge",
     "TraceRecord",
     "TraceRecorder",
     "Transaction",

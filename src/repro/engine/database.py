@@ -142,6 +142,7 @@ class NestedTransactionDB:
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
         durability: Optional[Any] = None,
+        certify: Optional[str] = None,
     ) -> None:
         if latch_mode not in (GLOBAL, STRIPED):
             raise ValueError(
@@ -225,6 +226,26 @@ class NestedTransactionDB:
             TraceRecorder() if record_trace else None
         )
         self._object_waits: Dict[str, int] = {obj: 0 for obj in initial}
+        # Online certification: "streaming" subscribes an incremental
+        # Theorem-9 certifier to the trace stream; violations accumulate
+        # in ``db.certifier.violations`` (see ``assert_certified``) the
+        # moment they are determined, instead of waiting for a post-hoc
+        # oracle run.  Works identically in both latch modes because all
+        # paths publish through the one trace recorder.
+        self.certifier: Optional[Any] = None
+        if certify is not None:
+            if certify != "streaming":
+                raise ValueError(
+                    'certify must be None or "streaming", got %r' % (certify,)
+                )
+            if self.trace is None:
+                raise ValueError(
+                    'certify="streaming" requires record_trace=True'
+                )
+            from ..checker.streaming import StreamingCertifier
+
+            self.certifier = StreamingCertifier(self.initial_values)
+            self.trace.add_listener(self.certifier.feed)
 
     @property
     def stripe_count(self) -> int:
@@ -374,6 +395,17 @@ class NestedTransactionDB:
             return
         with self._cond:
             self._assert_quiescent_locked()
+
+    def assert_certified(self) -> None:
+        """Raise when the streaming certifier has flagged any violation
+        so far.  Requires ``certify="streaming"``; at quiescence (every
+        top-level transaction resolved) a clean pass is equivalent to the
+        offline oracle's serializability verdict on the trace."""
+        if self.certifier is None:
+            raise ValueError(
+                'assert_certified() requires certify="streaming"'
+            )
+        self.certifier.raise_on_violation()
 
     def _assert_quiescent_locked(self) -> None:
         active = [

@@ -91,6 +91,41 @@ class TraceRecorder:
         self._seq = itertools.count()
         self._last_seq = -1
         self._unsorted = False
+        self._listeners: Tuple[Any, ...] = ()
+        self.listener_errors = 0
+        self.last_listener_error: Optional[BaseException] = None
+
+    # -- listeners (live trace subscribers) --------------------------------
+
+    def add_listener(self, listener: Any) -> Any:
+        """Subscribe a callable to every published record.
+
+        Listeners run on the publishing thread, *outside* the recorder's
+        leaf lock but possibly inside an engine latch (abort records are
+        published eagerly), so they must be leaf consumers: take only
+        their own locks, never call back into the engine.  A raising
+        listener is contained (counted, never propagated) — the same
+        contract as event sinks.  The streaming certifier subscribes
+        here when the engine is built with ``certify="streaming"``.
+        """
+        with self._lock:
+            self._listeners = self._listeners + (listener,)
+        return listener
+
+    def remove_listener(self, listener: Any) -> None:
+        with self._lock:
+            self._listeners = tuple(
+                l for l in self._listeners if l is not listener
+            )
+
+    def _notify(self, record: TraceRecord) -> None:
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception as error:  # noqa: BLE001 - listeners must not hurt the engine
+                with self._lock:
+                    self.listener_errors += 1
+                    self.last_listener_error = error
 
     # -- hot-path API: reserve inside the latch, publish outside -----------
 
@@ -111,6 +146,8 @@ class TraceRecorder:
             else:
                 self._last_seq = seq
             self._records.append(record)
+        if self._listeners:
+            self._notify(record)
 
     # -- convenience API: reserve + publish in one step --------------------
 
@@ -251,3 +288,26 @@ def _record_from_json(data: dict) -> TraceRecord:
         arg=data.get("arg"),
         seq=data.get("seq"),
     )
+
+
+class TraceBusBridge:
+    """Trace listener that republishes every record on an event bus as a
+    ``trace_record`` event (:class:`repro.obs.TraceRecorded`).
+
+    Attach with ``db.trace.add_listener(TraceBusBridge(db.events))`` and
+    any JSONL event sink then carries the full seq-ordered trace stream
+    interleaved with the engine's lifecycle events — the stream
+    ``scripts/certify_stream.py`` certifies.  The bridge is a leaf
+    consumer: it only calls ``bus.emit`` (which takes leaf locks).
+    """
+
+    def __init__(self, bus: Any) -> None:
+        from ..obs import TraceRecorded
+
+        self._bus = bus
+        self._event_type = TraceRecorded
+        self.forwarded = 0
+
+    def __call__(self, record: TraceRecord) -> None:
+        self._bus.emit(self._event_type(_record_to_json(record)))
+        self.forwarded += 1

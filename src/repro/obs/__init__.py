@@ -17,6 +17,7 @@ from .events import (
     LockWaited,
     OrphanReaped,
     RecoveryCompleted,
+    TraceRecorded,
     TxnAborted,
     TxnBegun,
     TxnCommitted,
@@ -56,6 +57,7 @@ __all__ = [
     "RingBufferSink",
     "STATS_KEYS",
     "StderrPrettySink",
+    "TraceRecorded",
     "TxnAborted",
     "TxnBegun",
     "TxnCommitted",

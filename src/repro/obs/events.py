@@ -199,6 +199,19 @@ class RecoveryCompleted(Event):
         self.kind = "recovery_completed"
 
 
+@dataclass
+class TraceRecorded(Event):
+    """One engine trace record, republished on the bus (see
+    ``repro.engine.trace.TraceBusBridge``).  ``record`` is the record's
+    JSON form — the same shape ``TraceRecorder.dump`` writes — so a JSONL
+    event stream doubles as a certifiable trace stream."""
+
+    record: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        self.kind = "trace_record"
+
+
 class EventBus:
     """Fan-out of engine events to attached sinks.
 
@@ -273,4 +286,5 @@ EVENT_KINDS: List[str] = [
     "wal_synced",
     "checkpoint_taken",
     "recovery_completed",
+    "trace_record",
 ]

@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core import Level2Algebra, Scenario, U, Universe, add, random_run, random_scenario, read
+
+# Example budgets for property tests that don't pin their own: "ci" keeps
+# the tier-1 wall clock sane, "nightly" digs deeper (the scheduled
+# workflow exports HYPOTHESIS_PROFILE=nightly).  Tests that set an
+# explicit ``max_examples`` are unaffected.
+hypothesis_settings.register_profile("ci", deadline=None, max_examples=60)
+hypothesis_settings.register_profile(
+    "nightly", deadline=None, max_examples=400
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -201,7 +201,8 @@ class TestEventBusAndSinks:
         assert "txn_committed" in line and "objects=2" in line
 
     def test_event_taxonomy_is_complete(self):
-        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 13
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 14
+        assert "trace_record" in EVENT_KINDS
 
 
 class TestStatsParity:
