@@ -49,7 +49,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.naming import ActionName, U
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.engine.locks import WRITE, ObjectLocks
 from repro.workload import initial_values
 
@@ -234,11 +234,7 @@ def bench_single_thread(
         for trace_on in (True, False):
             cell: Dict[str, Any] = {}
             for shape in ("flat", "nested"):
-                db = NestedTransactionDB(
-                    initial_values(objects),
-                    latch_mode=latch_mode,
-                    record_trace=trace_on,
-                )
+                db = NestedTransactionDB(initial_values(objects), config=EngineConfig(latch_mode=latch_mode, record_trace=trace_on))
                 # Warm up interpreter/caches, then measure.
                 _run_txns(db, max(txns // 10, 5), ops, seed=99, nested=shape == "nested")
                 latencies = _run_txns(
@@ -268,9 +264,7 @@ def bench_single_thread(
 def bench_threads8(txns: int, ops: int, objects: int) -> Dict[str, Any]:
     out: Dict[str, Any] = {}
     for latch_mode in ("striped", "global"):
-        db = NestedTransactionDB(
-            initial_values(objects), latch_mode=latch_mode, record_trace=False
-        )
+        db = NestedTransactionDB(initial_values(objects), config=EngineConfig(latch_mode=latch_mode, record_trace=False))
         committed = [0] * 8
         per_thread = max(txns // 8, 10)
 

@@ -29,7 +29,7 @@ import time
 
 from repro.bench import Table, emit, scale
 from repro.checker import check_trace_serializable
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 OBJECTS = 32
@@ -51,12 +51,7 @@ def _config(programs: int) -> WorkloadConfig:
 
 
 def _run(latch_mode: str, certify: bool, programs: int = PROGRAMS):
-    db = NestedTransactionDB(
-        initial_values(OBJECTS),
-        latch_mode=latch_mode,
-        record_trace=True,
-        certify="streaming" if certify else None,
-    )
+    db = NestedTransactionDB(initial_values(OBJECTS), config=EngineConfig(latch_mode=latch_mode, record_trace=True, certify="streaming" if certify else None))
     report = execute(
         db,
         WorkloadGenerator(_config(programs)).programs(),

@@ -24,7 +24,7 @@ import os
 import shutil
 import tempfile
 
-from repro.bench import Table, certify_if_enabled, certify_kwargs, emit, enable_metrics, scale
+from repro.bench import Table, certify_config, certify_if_enabled, emit, enable_metrics, scale
 from repro.bench.reporting import RESULTS_DIR
 from repro.durability import DurabilityManager, RecoveryManager
 from repro.engine import NestedTransactionDB
@@ -86,7 +86,7 @@ def _run_variants():
             )
             db = NestedTransactionDB(
                 initial_values(OBJECTS),
-                **certify_kwargs(
+                config=certify_config(
                     latch_mode="striped",
                     record_trace=False,
                     durability=durability,

@@ -33,9 +33,7 @@ TRANSFERS_PER_TELLER = 40
 INITIAL_BALANCE = 1000
 
 #: Deadlock victims retry with linear backoff plus a little jitter so
-#: competing tellers decorrelate (the post-1.1 way to configure retries —
-#: the old ``run_transaction(max_retries=, backoff=)`` kwargs are
-#: deprecated).
+#: competing tellers decorrelate.
 TELLER_RETRIES = RetryPolicy(max_retries=30, backoff=0.0005, jitter=0.0005)
 
 

@@ -38,12 +38,10 @@ def run_workload(
     nested: bool,
     seed: int = 42,
 ) -> None:
-    from repro.engine import NestedTransactionDB
+    from repro.engine import EngineConfig, NestedTransactionDB
 
     initial = {"x%d" % i: 0 for i in range(objects)}
-    db = NestedTransactionDB(
-        initial, latch_mode=latch_mode, record_trace=trace
-    )
+    db = NestedTransactionDB(initial, config=EngineConfig(latch_mode=latch_mode, record_trace=trace))
     rng = random.Random(seed)
     names = list(initial)
     for _ in range(txns):

@@ -23,7 +23,7 @@ import os
 import sys
 
 from repro.checker import OracleViolation, check_engine
-from repro.engine import NestedTransactionDB, TraceBusBridge
+from repro.engine import EngineConfig, NestedTransactionDB, TraceBusBridge
 from repro.obs import JsonlFileSink
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
@@ -38,12 +38,7 @@ def run_mode(
     metrics_jsonl=None,
     certify: bool = False,
 ) -> dict:
-    db = NestedTransactionDB(
-        initial_values(OBJECTS),
-        latch_mode=latch_mode,
-        record_trace=True,
-        certify="streaming" if certify else None,
-    )
+    db = NestedTransactionDB(initial_values(OBJECTS), config=EngineConfig(latch_mode=latch_mode, record_trace=True, certify="streaming" if certify else None))
     if metrics_jsonl is not None:
         db.metrics.enable()
         db.events.attach(JsonlFileSink(metrics_jsonl))

@@ -4,7 +4,7 @@ from .harness import (
     SYSTEMS,
     Cell,
     certify_if_enabled,
-    certify_kwargs,
+    certify_config,
     certify_mode,
     enable_metrics,
     make_striped_system,
@@ -20,7 +20,7 @@ __all__ = [
     "SYSTEMS",
     "Table",
     "certify_if_enabled",
-    "certify_kwargs",
+    "certify_config",
     "certify_mode",
     "emit",
     "enable_metrics",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..baselines import FlatLockingDB, GlobalLockDB, MVTODatabase
-from ..engine import NestedTransactionDB
+from ..engine import EngineConfig, NestedTransactionDB
 from ..workload import (
     ExecutionReport,
     WorkloadConfig,
@@ -30,16 +30,20 @@ def certify_mode() -> Optional[str]:
     return mode or None
 
 
-def certify_kwargs(**defaults: Any) -> Dict[str, Any]:
-    """Engine constructor kwargs with the environment's certification
+def certify_config(config: Optional[EngineConfig] = None, **defaults: Any) -> EngineConfig:
+    """An :class:`EngineConfig` with the environment's certification
     request merged in: under ``REPRO_BENCH_CERTIFY`` the trace recorder
     is forced on (the certifier subscribes to it) and ``certify=`` is
-    passed through."""
+    passed through.  Field overrides may be given either as a base
+    ``config`` or as keyword defaults."""
+    if config is None:
+        config = EngineConfig(**defaults)
+    elif defaults:
+        config = config.replace(**defaults)
     mode = certify_mode()
     if mode is not None:
-        defaults["record_trace"] = True
-        defaults["certify"] = mode
-    return defaults
+        config = config.replace(record_trace=True, certify=mode)
+    return config
 
 
 def certify_if_enabled(db: Any) -> bool:
@@ -62,7 +66,7 @@ def scale(value: int, floor: int = 1) -> int:
 
 
 def _nested(init: Dict[str, Any], **kwargs: Any) -> NestedTransactionDB:
-    return NestedTransactionDB(init, **certify_kwargs(**kwargs))
+    return NestedTransactionDB(init, config=certify_config(**kwargs))
 
 
 #: The systems compared throughout E1-E7, by short name.

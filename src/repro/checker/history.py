@@ -16,7 +16,18 @@ Two independent certifications:
   execution order as the version order, and require (1) every permanent
   data step's label to equal the replay of its visible predecessors, and
   (2) acyclicity of the sibling precedence induced by *conflicting* pairs
-  only (read-read pairs impose no order, since identity updates commute).
+  only (read-read pairs impose no order, since identity updates commute;
+  increment-increment pairs likewise — their ``add`` updates commute, and
+  being blind they also carry no label for (1) to check).
+
+Snapshot (read-only) transactions never acquire locks, so their records
+are *not* a locked execution and are partitioned out before either check
+(:func:`partition_snapshot_trace`).  They are certified separately by
+:func:`check_snapshot_reads`: replay the committed state in commit-stamp
+order (top-level ``commit`` records carry their stamp) and require every
+committed snapshot transaction's permanent reads to equal the committed
+value at its horizon — i.e. each snapshot transaction serializes exactly
+at its horizon stamp.
 """
 
 from __future__ import annotations
@@ -30,7 +41,12 @@ from ..core.characterization import conflict_sibling_edges as _core_conflict_edg
 from ..core.events import Create, Event, Perform
 from ..core.level2 import Level2Algebra
 from ..core.naming import ActionName
-from ..core.universe import Universe, read as read_update, write as write_update
+from ..core.universe import (
+    Universe,
+    add as add_update,
+    read as read_update,
+    write as write_update,
+)
 from ..engine.trace import ABORT, COMMIT, CREATE, PERFORM, TraceRecord
 
 
@@ -48,11 +64,171 @@ def trace_to_universe(
         universe.define_object(obj, init=value)
     for record in records:
         if record.op == PERFORM:
-            update = (
-                read_update() if record.kind == "read" else write_update(record.arg)
-            )
+            if record.kind == "read":
+                update = read_update()
+            elif record.kind == "increment":
+                update = add_update(record.arg)
+            else:
+                update = write_update(record.arg)
             universe.declare_access(record.access, record.obj, update)
     return universe
+
+
+def partition_snapshot_trace(
+    records: Sequence[TraceRecord],
+) -> Tuple[List[TraceRecord], Dict[ActionName, int], List[TraceRecord]]:
+    """Split a trace into its locked part and its snapshot transactions.
+
+    Returns ``(locked_records, snapshot_horizons, snapshot_records)``:
+    snapshot top-levels are identified by their ``create`` record carrying
+    ``kind="snapshot"`` (its ``arg`` is the horizon stamp), and every
+    record of their subtrees moves to the snapshot partition.  Snapshot
+    transactions acquire no locks, so only the locked part is a run of
+    the locking algebras.
+    """
+    horizons: Dict[ActionName, int] = {}
+    for record in records:
+        if (
+            record.op == CREATE
+            and record.txn.depth == 1
+            and record.kind == "snapshot"
+        ):
+            horizons[record.txn] = (
+                record.arg if isinstance(record.arg, int) else 0
+            )
+    if not horizons:
+        return list(records), horizons, []
+    locked: List[TraceRecord] = []
+    snapshot: List[TraceRecord] = []
+    for record in records:
+        top = (
+            record.txn.ancestor_at_depth(1) if record.txn.depth >= 1 else None
+        )
+        (snapshot if top in horizons else locked).append(record)
+    return locked, horizons, snapshot
+
+
+def _is_permanent_under_top(
+    access: ActionName, status: Mapping[ActionName, str]
+) -> bool:
+    """Every transaction strictly between the access and its top-level
+    ancestor committed (the top's own fate is the caller's concern)."""
+    for depth in range(2, access.depth):
+        if status.get(access.ancestor_at_depth(depth)) != COMMITTED:
+            return False
+    return True
+
+
+def committed_state_history(
+    records: Sequence[TraceRecord], initial: Mapping[str, Any]
+) -> Dict[str, List[Tuple[Any, Any]]]:
+    """Per object, the committed ``(stamp, value)`` versions a (locked)
+    trace produces: replay each committed top-level transaction's
+    permanent writes and increments in commit-stamp order.  Stamps come
+    from top-level commit records' ``arg``; traces predating stamps are
+    auto-stamped in commit-record order (equal to stamp order — both are
+    assigned under the latch serializing top-level commits)."""
+    status: Dict[ActionName, str] = {}
+    per_top: Dict[ActionName, List[TraceRecord]] = {}
+    commits: List[Tuple[int, ActionName]] = []
+    auto = 0
+    for record in records:
+        if record.op == CREATE:
+            status[record.txn] = ACTIVE
+        elif record.op == ABORT:
+            status[record.txn] = ABORTED
+        elif record.op == COMMIT:
+            status[record.txn] = COMMITTED
+            if record.txn.depth == 1:
+                stamp = record.arg if isinstance(record.arg, int) else auto + 1
+                auto = max(auto, stamp)
+                commits.append((stamp, record.txn))
+        elif record.op == PERFORM:
+            per_top.setdefault(record.txn.ancestor_at_depth(1), []).append(
+                record
+            )
+    commits.sort(key=lambda pair: pair[0])
+    values = dict(initial)
+    history: Dict[str, List[Tuple[Any, Any]]] = {
+        obj: [(0, value)] for obj, value in initial.items()
+    }
+    for stamp, top in commits:
+        for record in per_top.get(top, ()):
+            if record.obj not in values:
+                continue
+            if not _is_permanent_under_top(record.access, status):
+                continue
+            if record.kind == "write":
+                values[record.obj] = record.arg
+            elif record.kind == "increment":
+                values[record.obj] = values[record.obj] + record.arg
+            else:
+                continue
+            history[record.obj].append((stamp, values[record.obj]))
+    return history
+
+
+def check_snapshot_reads(
+    records: Sequence[TraceRecord],
+    initial: Mapping[str, Any],
+    strict: bool = True,
+) -> List[str]:
+    """Certify every committed snapshot transaction's permanent reads
+    against the stamp-ordered committed-state replay at its horizon.
+    Returns the failure messages (empty when clean); with ``strict``
+    raises on the first."""
+    locked, horizons, snapshot = partition_snapshot_trace(records)
+    failures: List[str] = []
+    if horizons:
+        history = committed_state_history(locked, initial)
+        status: Dict[ActionName, str] = {}
+        per_top: Dict[ActionName, List[TraceRecord]] = {}
+        for record in snapshot:
+            if record.op == CREATE:
+                status[record.txn] = ACTIVE
+            elif record.op == COMMIT:
+                status[record.txn] = COMMITTED
+            elif record.op == ABORT:
+                status[record.txn] = ABORTED
+            elif record.op == PERFORM:
+                per_top.setdefault(
+                    record.txn.ancestor_at_depth(1), []
+                ).append(record)
+        for top, horizon in horizons.items():
+            if status.get(top) != COMMITTED:
+                continue  # aborted/unresolved: not in perm(T)
+            for record in per_top.get(top, ()):
+                if record.kind != "read":
+                    failures.append(
+                        "non-read access %r (%s) in snapshot transaction %r"
+                        % (record.access, record.kind, top)
+                    )
+                    continue
+                if not _is_permanent_under_top(record.access, status):
+                    continue
+                hist = history.get(record.obj)
+                if hist is None:
+                    failures.append(
+                        "snapshot read %r of object %r absent from the "
+                        "initial values" % (record.access, record.obj)
+                    )
+                    continue
+                expected = hist[0][1]
+                for stamp, value in hist:
+                    if stamp <= horizon:
+                        expected = value
+                    else:
+                        break
+                if record.seen != expected:
+                    failures.append(
+                        "snapshot read %r on %r saw %r, committed value at "
+                        "horizon %d is %r"
+                        % (record.access, record.obj, record.seen, horizon,
+                           expected)
+                    )
+    if strict and failures:
+        raise OracleViolation(failures[0])
+    return failures
 
 
 def trace_to_level2_events(
@@ -94,9 +270,12 @@ def check_trace_level2(
 ) -> AugmentedActionTree:
     """Replay a (single-mode) trace through the level-2 algebra.
 
-    Raises :class:`OracleViolation` at the first non-enabled event;
-    returns the final AAT on success.
+    Snapshot transactions acquire no locks and are partitioned out first
+    (certify them with :func:`check_snapshot_reads`).  Raises
+    :class:`OracleViolation` at the first non-enabled event; returns the
+    final AAT on success.
     """
+    records, _horizons, _snapshot = partition_snapshot_trace(records)
     universe = trace_to_universe(records, initial)
     algebra = Level2Algebra(universe)
     events = trace_to_level2_events(records, universe)
@@ -108,9 +287,12 @@ def check_trace_level2rw(
 ) -> AugmentedActionTree:
     """Replay a read/write-mode trace through the mode-aware level-2
     algebra (𝒜'-RW): the conformance oracle for Moss's complete
-    algorithm (paper §10)."""
+    algorithm (paper §10).  Snapshot transactions acquire no locks and
+    are partitioned out first (certify them with
+    :func:`check_snapshot_reads`)."""
     from ..core.rw import Level2RWAlgebra
 
+    records, _horizons, _snapshot = partition_snapshot_trace(records)
     universe = trace_to_universe(records, initial)
     algebra = Level2RWAlgebra(universe)
     events = trace_to_level2_events(records, universe)
@@ -167,15 +349,22 @@ def check_trace_serializable(
 ) -> OracleReport:
     """Mode-aware serializability oracle over the permanent subtree.
 
-    Checks label/replay agreement for every permanent data step and
-    acyclicity of the conflict-aware sibling precedence.  With ``strict``
-    raises on failure; otherwise reports it.
+    Checks label/replay agreement for every permanent *observing* data
+    step (blind increments carry no label; their updates still drive the
+    replay), acyclicity of the conflict-aware sibling precedence, and —
+    when the trace contains snapshot transactions — that every committed
+    snapshot transaction serializes at its horizon
+    (:func:`check_snapshot_reads`).  With ``strict`` raises on failure;
+    otherwise reports it.
     """
-    aat = trace_to_aat(records, initial)
+    locked, horizons, _snapshot = partition_snapshot_trace(records)
+    aat = trace_to_aat(locked, initial)
     perm = aat.perm()
     universe = perm.universe
     failure: Optional[str] = None
     for step in perm.tree.datasteps():
+        if universe.update_of(step).kind == "add":
+            continue  # blind increment: no observed label to check
         obj = universe.object_of(step)
         expected = universe.result(obj, perm.v_data(step))
         actual = perm.tree.label(step)
@@ -191,6 +380,10 @@ def check_trace_serializable(
         cycle = _find_cycle(edges)
         if cycle is not None:
             failure = "conflict sibling precedence has a cycle: %r" % (cycle,)
+    if failure is None and horizons:
+        snapshot_failures = check_snapshot_reads(records, initial, strict=False)
+        if snapshot_failures:
+            failure = snapshot_failures[0]
     report = OracleReport(
         datasteps=sum(1 for _ in aat.tree.datasteps()),
         permanent_datasteps=sum(1 for _ in perm.tree.datasteps()),

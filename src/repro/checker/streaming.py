@@ -43,6 +43,26 @@ holding only a rolling window:
   certifier run against production traffic instead of post-hoc test
   runs.
 
+Two access shapes beyond plain read/write ride the same machinery:
+
+* **Blind increments** (``kind="increment"``) carry no observed value —
+  there is no label to check; the replay *applies* the delta instead,
+  and increment/increment pairs induce no precedence edge (the update
+  functions commute, exactly the (d13) relaxation in the level-2
+  read/write algebra).
+
+* **Snapshot transactions** (a ``create`` record with
+  ``kind="snapshot"`` carrying the horizon stamp) never enter the
+  per-object FIFOs: their reads are validated eagerly against a
+  *stamped committed-state replay* — committed values keyed by the
+  commit stamps that top-level ``commit`` records carry — at the
+  transaction's horizon, with failures buffered and emitted only if the
+  snapshot transaction commits (its permanent reads serialize at the
+  horizon, before every later-stamped writer).  Routing them through
+  the FIFO would deadlock the head behind unresolved writers and
+  manufacture false conflicts; the separate replay is what makes
+  snapshot reads certifiable online.
+
 The certifier is thread-safe (one leaf lock; it never calls back into
 the engine) and is fed either live — wired to the engine's trace
 recorder via ``NestedTransactionDB(certify="streaming")`` — or from
@@ -157,7 +177,8 @@ class _TopTxn:
     """Window state of one top-level transaction."""
 
     __slots__ = ("name", "begin_seq", "status", "resolve_seq", "nested",
-                 "accesses", "objects")
+                 "accesses", "objects", "snapshot_horizon",
+                 "snapshot_failures")
 
     def __init__(self, name: ActionName, begin_seq: int) -> None:
         self.name = name
@@ -168,6 +189,11 @@ class _TopTxn:
         self.nested: Dict[ActionName, str] = {}
         self.accesses: List[_Access] = []
         self.objects: Set[str] = set()
+        #: Horizon stamp of a snapshot (read-only) transaction, else None.
+        self.snapshot_horizon: Optional[int] = None
+        #: Eagerly-detected snapshot misreads as (access, expected) —
+        #: flagged at commit (permanent accesses only), dropped at abort.
+        self.snapshot_failures: List[Tuple[_Access, Any]] = []
 
 
 class StreamingCertifier:
@@ -185,6 +211,17 @@ class StreamingCertifier:
     def __init__(self, initial: Mapping[str, Any]) -> None:
         self._lock = threading.Lock()
         self._values: Dict[str, Any] = dict(initial)
+        #: Stamped committed-state replay for snapshot validation: the
+        #: committed value of each object, advanced when a top-level
+        #: ``commit`` record (carrying its stamp) ingests, plus a pruned
+        #: per-object ``(stamp, value)`` history mirroring the engine's.
+        self._committed: Dict[str, Any] = dict(initial)
+        self._history: Dict[str, List[Tuple[int, Any]]] = {
+            obj: [(0, value)] for obj, value in initial.items()
+        }
+        self._committed_stamp = 0
+        #: Horizons of still-active snapshot transactions (prune floor).
+        self._active_horizons: Dict[ActionName, int] = {}
         self._reorder: ReorderBuffer[TraceRecord] = ReorderBuffer()
         self._clock = RetirementClock()
         self._seq_clock = -1  # last ingested seq (arrival-ordered fallback)
@@ -326,7 +363,16 @@ class StreamingCertifier:
             self._flag(Violation(PROTOCOL, "create of U", seq=rec.seq))
             return
         if name.depth == 1:
-            self._tops[name] = _TopTxn(name, now)
+            top = _TopTxn(name, now)
+            if rec.kind == "snapshot":
+                horizon = (
+                    rec.arg
+                    if isinstance(rec.arg, int)
+                    else self._committed_stamp
+                )
+                top.snapshot_horizon = horizon
+                self._active_horizons[name] = horizon
+            self._tops[name] = top
             self._clock.begin(name, now)
             return
         top = self._top_of(name)
@@ -353,12 +399,58 @@ class StreamingCertifier:
         acc = _Access(
             rec.access, top.name, rec.obj, rec.kind, rec.seen, rec.arg, rec.seq
         )
+        if top.snapshot_horizon is not None:
+            self._ingest_snapshot_perform(top, acc, rec)
+            return
         top.accesses.append(acc)
         top.objects.add(rec.obj)
         self._pending.setdefault(rec.obj, deque()).append(acc)
         self._pending_count += 1
         if self._pending_count > self.max_pending_accesses:
             self.max_pending_accesses = self._pending_count
+
+    def _ingest_snapshot_perform(
+        self, top: _TopTxn, acc: _Access, rec: TraceRecord
+    ) -> None:
+        """A snapshot transaction's access: validated eagerly against the
+        stamped committed-state replay at the transaction's horizon —
+        never routed through the per-object FIFO (unresolved writers
+        ahead of it would stall the head and manufacture conflicts).
+        Every commit stamped <= the horizon has already ingested (its
+        commit seq precedes the snapshot's begin seq), so the history
+        lookup is complete."""
+        top.accesses.append(acc)
+        if acc.kind != "read":
+            self._flag(Violation(
+                PROTOCOL,
+                "non-read access %r (%s) in snapshot transaction %r"
+                % (acc.access, acc.kind, top.name),
+                seq=acc.seq, obj=acc.obj,
+                txns=(top.name,), accesses=(acc.access,),
+            ))
+            return
+        if acc.obj not in self._committed:
+            if acc.obj not in self._warned_objects:
+                self._warned_objects.add(acc.obj)
+                self._flag(Violation(
+                    PROTOCOL,
+                    "access to object %r absent from the initial values"
+                    % (acc.obj,),
+                    seq=acc.seq, obj=acc.obj, accesses=(acc.access,),
+                ))
+            return
+        expected = self._value_at(acc.obj, top.snapshot_horizon)
+        if acc.seen != expected:
+            top.snapshot_failures.append((acc, expected))
+
+    def _value_at(self, obj: str, horizon: int) -> Any:
+        """The committed value of ``obj`` as of ``horizon`` (newest
+        history entry stamped <= it)."""
+        history = self._history[obj]
+        for stamp, value in reversed(history):
+            if stamp <= horizon:
+                return value
+        return history[0][1]
 
     def _ingest_resolution(self, rec: TraceRecord, status: str, now: int) -> None:
         name = rec.txn
@@ -381,7 +473,10 @@ class StreamingCertifier:
                     seq=rec.seq, txns=(name,),
                 ))
                 return
-            self._resolve_top(top, status, now)
+            self._resolve_top(
+                top, status, now,
+                stamp=rec.arg if status == COMMITTED else None,
+            )
             self._retire()
             return
         top = self._top_of(name)
@@ -396,7 +491,13 @@ class StreamingCertifier:
 
     # -- fate resolution and the per-object replay -------------------------
 
-    def _resolve_top(self, top: _TopTxn, status: str, now: Optional[int]) -> None:
+    def _resolve_top(
+        self,
+        top: _TopTxn,
+        status: str,
+        now: Optional[int],
+        stamp: Optional[int] = None,
+    ) -> None:
         top.status = status
         if now is None:
             self._seq_clock += 1
@@ -405,11 +506,74 @@ class StreamingCertifier:
         committed = status == COMMITTED
         for acc in top.accesses:
             acc.fate = committed and self._is_permanent(top, acc)
-        if committed:
-            self._check_internal_families(top)
-        for obj in top.objects:
-            self._drain(obj)
+        if top.snapshot_horizon is not None:
+            self._resolve_snapshot_top(top, committed)
+        else:
+            if committed:
+                self._check_internal_families(top)
+                self._apply_committed(top, stamp)
+            for obj in top.objects:
+                self._drain(obj)
         self._clock.resolve(top.name, now)
+
+    def _resolve_snapshot_top(self, top: _TopTxn, committed: bool) -> None:
+        """A snapshot transaction resolved: emit its buffered misreads if
+        it committed (permanent accesses only — reads under aborted
+        subtransactions are not in ``perm(T)``), then release its horizon
+        so the committed history can prune past it."""
+        self._active_horizons.pop(top.name, None)
+        for acc in top.accesses:
+            if acc.fate:
+                self.permanent_accesses += 1
+            else:
+                self.dropped_accesses += 1
+        if committed:
+            for acc, expected in top.snapshot_failures:
+                if acc.fate:
+                    self._flag(Violation(
+                        VERSION,
+                        "snapshot read %r on %r saw %r, committed value "
+                        "at horizon %d is %r"
+                        % (acc.access, acc.obj, acc.seen,
+                           top.snapshot_horizon, expected),
+                        seq=acc.seq, obj=acc.obj,
+                        txns=(top.name,), accesses=(acc.access,),
+                    ))
+
+    def _apply_committed(self, top: _TopTxn, stamp: Optional[int]) -> None:
+        """Advance the stamped committed-state replay with a committed
+        top-level's permanent effects (writes set, increments add — in
+        data order, so materialized writes override earlier deltas exactly
+        as the engine's version stacks did).  ``stamp`` comes from the
+        commit record; traces predating stamped commits auto-stamp in
+        ingestion order, which equals stamp order (both are assigned
+        under the latch that serializes top-level commits)."""
+        if stamp is None:
+            stamp = self._committed_stamp + 1
+        if stamp > self._committed_stamp:
+            self._committed_stamp = stamp
+        changed: Set[str] = set()
+        committed = self._committed
+        for acc in top.accesses:
+            if not acc.fate or acc.obj not in committed:
+                continue
+            if acc.kind == "write":
+                committed[acc.obj] = acc.arg
+                changed.add(acc.obj)
+            elif acc.kind == "increment":
+                committed[acc.obj] = committed[acc.obj] + acc.arg
+                changed.add(acc.obj)
+        if changed:
+            floor = (
+                min(self._active_horizons.values())
+                if self._active_horizons
+                else stamp
+            )
+            for obj in changed:
+                history = self._history[obj]
+                history.append((stamp, committed[obj]))
+                while len(history) >= 2 and history[1][0] <= floor:
+                    del history[0]
 
     @staticmethod
     def _is_permanent(top: _TopTxn, acc: _Access) -> bool:
@@ -445,6 +609,10 @@ class StreamingCertifier:
                         % (obj,),
                         seq=acc.seq, obj=obj, accesses=(acc.access,),
                     ))
+            elif acc.kind == "increment":
+                # Blind access: no label to check — the replay applies
+                # the delta (the paper's update function a la (d13)).
+                self._values[obj] = self._values[obj] + acc.arg
             else:
                 expected = self._values[obj]
                 if acc.seen != expected:
@@ -458,13 +626,16 @@ class StreamingCertifier:
                     ))
                 if acc.kind == "write":
                     self._values[obj] = acc.arg
-            acc_reads = acc.kind == "read"
+            acc_kind = acc.kind
+            acc_reads = acc_kind == "read"
             if applied:
                 for prev in applied:
                     if prev.top is acc.top or prev.top == acc.top:
                         continue
                     if acc_reads and prev.kind == "read":
                         continue
+                    if acc_kind == "increment" and prev.kind == "increment":
+                        continue  # commuting adds induce no precedence
                     self._add_edge(prev, acc)
             if applied is None:
                 applied = self._applied.setdefault(obj, [])
@@ -543,9 +714,12 @@ class StreamingCertifier:
         for obj, seq in per_obj.items():
             for i, c in enumerate(seq):
                 c_reads = c.kind == "read"
+                c_increments = c.kind == "increment"
                 for d in seq[i + 1:]:
                     if c_reads and d.kind == "read":
                         continue
+                    if c_increments and d.kind == "increment":
+                        continue  # commuting adds induce no precedence
                     lca = c.access.lca(d.access)
                     a = lca.child_toward(c.access)
                     b = lca.child_toward(d.access)

@@ -32,9 +32,20 @@ def is_version_compatible(aat: AugmentedActionTree) -> bool:
 def first_version_incompatibility(
     aat: AugmentedActionTree,
 ) -> Optional[Tuple[ActionName, object, object]]:
-    """The first (access, expected, actual) label mismatch, or None."""
+    """The first (access, expected, actual) label mismatch, or None.
+
+    *Blind* increments — kind ``"add"`` performed without observing a
+    value, so labelled ``None`` (engine traces record increments this
+    way) — carry no label to check; their update functions still
+    participate in every other access's replay via ``result``.  An add
+    step *with* a label is checked like any other access."""
     universe = aat.universe
     for step in aat.tree.datasteps():
+        if (
+            universe.update_of(step).kind == "add"
+            and aat.tree.label(step) is None
+        ):
+            continue
         obj = universe.object_of(step)
         expected = universe.result(obj, aat.v_data(step))
         actual = aat.tree.label(step)
@@ -101,19 +112,32 @@ def is_data_serializable(aat: AugmentedActionTree) -> bool:
 def conflict_sibling_edges(
     aat: AugmentedActionTree,
 ) -> Set[Tuple[ActionName, ActionName]]:
-    """sibling-data edges induced by *conflicting* access pairs only
-    (at least one non-read) — the read/write refinement of Theorem 9(b).
+    """sibling-data edges induced by *conflicting* access pairs only —
+    the read/write (and increment) refinement of Theorem 9(b).
 
     Identity updates commute, so two reads impose no order between their
-    sibling groups; every other pair does.
+    sibling groups.  A pair of *blind* increments (kind ``"add"``, both
+    labelled ``None`` — neither observed a value) likewise imposes none:
+    the updates commute and there are no labels for an order to violate.
+    Labelled add steps observed an order-sensitive intermediate value, so
+    they conflict like writes.  Every other pair conflicts and does.
     """
     universe = aat.universe
     edges: Set[Tuple[ActionName, ActionName]] = set()
     for obj, seq in aat.data.items():
         for i, c in enumerate(seq):
-            c_reads = universe.update_of(c).is_read
+            c_kind = universe.update_of(c).kind
+            c_reads = c_kind == "read"
+            c_blind = c_kind == "add" and aat.tree.label(c) is None
             for d in seq[i + 1 :]:
-                if c_reads and universe.update_of(d).is_read:
+                d_kind = universe.update_of(d).kind
+                if c_reads and d_kind == "read":
+                    continue
+                if (
+                    c_blind
+                    and d_kind == "add"
+                    and aat.tree.label(d) is None
+                ):
                     continue
                 lca = c.lca(d)
                 if lca == c or lca == d:

@@ -8,8 +8,11 @@ module carries out that extension at two of the levels, in the same style:
 
 * :class:`Level2RWAlgebra` — the abstract effect of *mode-aware* locking.
   Clause (d12) weakens to quantify over live **conflicting** data steps
-  only (two reads never conflict: identity updates commute); (d13) is
-  unchanged.  The analogue of Theorem 14 — computability here implies
+  only (two reads never conflict: identity updates commute; likewise a
+  pair of *blind* increments — kind ``"add"`` performed without observing
+  a value — commute with each other); (d13) is unchanged for observing
+  accesses and vacuous for blind increments, which carry no label.  The
+  analogue of Theorem 14 — computability here implies
   perm(T) serializable — holds with the conflict-aware characterization
   :func:`repro.core.characterization.is_rw_serializable`, and is
   machine-checked by the tests and the F1-RW bench.
@@ -59,7 +62,11 @@ class Level2RWAlgebra(EventStateAlgebra[AugmentedActionTree]):
         return AugmentedActionTree.initial(self.universe)
 
     def _conflicts(self, a: ActionName, b: ActionName) -> bool:
-        """Two accesses to the same object conflict unless both are reads."""
+        """Two accesses to the same object conflict unless both are reads:
+        identity updates commute *label-wise* — neither's observed value
+        depends on their relative order.  (Blind increment pairs also
+        commute, but blindness is a property of the performed label, not
+        the declared update; the precondition handles them inline.)"""
         return not (
             self.universe.update_of(a).is_read
             and self.universe.update_of(b).is_read
@@ -89,21 +96,38 @@ class Level2RWAlgebra(EventStateAlgebra[AugmentedActionTree]):
                 return failure
             action = event.action
             obj = self.universe.object_of(action)
-            try:
-                self.universe.check_label(action, event.value)
-            except ValueError as exc:
-                return "label: %s" % exc
+            blind = (
+                self.universe.update_of(action).kind == "add"
+                and event.value is None
+            )
+            if not blind:
+                try:
+                    self.universe.check_label(action, event.value)
+                except ValueError as exc:
+                    return "label: %s" % exc
             for step in tree.datasteps_for(obj):
                 if not tree.is_live(step):
                     continue
                 if not self._conflicts(step, action):
                     continue  # read-read: no wait needed
+                if (
+                    blind
+                    and self.universe.update_of(step).kind == "add"
+                    and tree.label(step) is None
+                ):
+                    # A pair of blind increments commutes: neither side
+                    # observed a value, so no order (hence no wait) is
+                    # required between them.
+                    continue
                 if step not in tree.visible_datasteps(action, obj):
                     return (
                         "(d12-rw) live conflicting data step %r on %s is "
                         "not visible to %r" % (step, obj, action)
                     )
-            if tree.is_live(action):
+            if tree.is_live(action) and not blind:
+                # (d13) is vacuous for a blind increment: it observes no
+                # value, so there is no label to constrain — its update
+                # function still shapes later accesses' expected values.
                 expected = self.expected_value(state, action)
                 if event.value != expected:
                     return "(d13) live access must see %r, not %r" % (

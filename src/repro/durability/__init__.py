@@ -9,15 +9,19 @@ externally visible, so only they are ever on disk.  See
 ``docs/durability.md`` for the log format, the checkpoint protocol, the
 recovery algorithm, and every knob.
 
-Enable it on an engine with the ``durability=`` constructor flag::
+Enable it on an engine with the ``durability`` field of its config::
 
     from repro.durability import DurabilityManager
-    from repro.engine import NestedTransactionDB
+    from repro.engine import EngineConfig, NestedTransactionDB
 
-    db = NestedTransactionDB({"x": 0}, durability="./dbdir")   # or:
+    db = NestedTransactionDB(
+        {"x": 0}, config=EngineConfig(durability="./dbdir")
+    )   # or:
     db = NestedTransactionDB(
         {"x": 0},
-        durability=DurabilityManager("./dbdir", sync_policy="group"),
+        config=EngineConfig(
+            durability=DurabilityManager("./dbdir", sync_policy="group")
+        ),
     )
 
 (The crash-restart harness lives in :mod:`repro.durability.crashtest`;

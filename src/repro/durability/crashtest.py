@@ -65,7 +65,7 @@ def _object_names(count: int) -> List[str]:
 
 def worker_main(argv: Optional[List[str]] = None) -> None:
     """Entry point of the crash-target process.  Runs until killed."""
-    from ..engine import NestedTransactionDB, TransactionAborted
+    from ..engine import EngineConfig, NestedTransactionDB, TransactionAborted
     from ..engine.errors import LockTimeout
     from .manager import DurabilityManager
 
@@ -87,13 +87,7 @@ def worker_main(argv: Optional[List[str]] = None) -> None:
         group_window=0.001,
         checkpoint_interval=args.checkpoint_interval,
     )
-    db = NestedTransactionDB(
-        {name: 0 for name in names},
-        latch_mode=args.latch,
-        durability=manager,
-        record_trace=False,
-        lock_timeout=5.0,
-    )
+    db = NestedTransactionDB({name: 0 for name in names}, config=EngineConfig(latch_mode=args.latch, durability=manager, record_trace=False, lock_timeout=5.0))
     ack_lock = threading.Lock()
     ack_fh = open(os.path.join(args.dir, ACK_FILE), "a", encoding="utf-8")
 
@@ -257,7 +251,7 @@ def run_crash_recovery_scenario(
     re-certifies offline in CI.
     """
     from ..checker import check_engine
-    from ..engine import NestedTransactionDB
+    from ..engine import EngineConfig, NestedTransactionDB
     from .manager import DurabilityManager
     from .recovery import RecoveryManager
 
@@ -313,13 +307,7 @@ def run_crash_recovery_scenario(
     if first.values != second.values:
         report.fail("recovery is not deterministic across replays")
 
-    db = NestedTransactionDB(
-        initial,
-        latch_mode=latch,
-        durability=DurabilityManager(directory, sync_policy=sync),
-        record_trace=True,
-        certify=certify,
-    )
+    db = NestedTransactionDB(initial, config=EngineConfig(latch_mode=latch, durability=DurabilityManager(directory, sync_policy=sync), record_trace=True, certify=certify))
     recovery = db.durability.last_recovery
     report.commits_replayed = recovery.commits_replayed
     report.records_discarded = recovery.records_discarded

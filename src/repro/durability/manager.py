@@ -145,20 +145,27 @@ class DurabilityManager:
 
     # -- commit path ---------------------------------------------------------
 
-    def log_commit(self, txn: ActionName, writes: Mapping[str, Any]) -> int:
-        """Append one top-level commit's redo batch; returns its LSN.
-        Safe inside engine latches (buffered write, leaf locks only)."""
+    def log_commit(
+        self,
+        txn: ActionName,
+        writes: Mapping[str, Any],
+        deltas: Optional[Mapping[str, Any]] = None,
+    ) -> int:
+        """Append one top-level commit's redo batch (absolute writes plus
+        blind-increment deltas); returns its LSN.  Safe inside engine
+        latches (buffered write, leaf locks only)."""
         wal = self._require_wal()
         started = time.monotonic() if self._metrics.enabled else None
         before = wal.appended_bytes
-        lsn = wal.append_commit(txn, writes)
+        lsn = wal.append_commit(txn, writes, deltas)
+        count = len(writes) + (len(deltas) if deltas else 0)
         if started is not None:
             self._h_append.observe(time.monotonic() - started)
             self._c_commits.inc()
-            self._c_records.inc(len(writes) + 1)
+            self._c_records.inc(count + 1)
             self._c_bytes.inc(wal.appended_bytes - before)
         if self._events.enabled:
-            self._events.emit(WalCommitLogged(txn, lsn, len(writes)))
+            self._events.emit(WalCommitLogged(txn, lsn, count))
         return lsn
 
     def sync(self, lsn: int) -> None:
@@ -192,12 +199,18 @@ class DurabilityManager:
     # -- checkpointing -------------------------------------------------------
 
     def checkpoint(
-        self, snapshot_fn: Callable[[], Dict[str, Any]]
+        self, snapshot_fn: Callable[[], Any]
     ) -> Optional[CheckpointData]:
         """Fuzzy checkpoint: capture the WAL horizon, snapshot via
         ``snapshot_fn`` (which latches the engine itself), write the
         checkpoint durably, then rotate and truncate the log.  Returns
         ``None`` when another thread's checkpoint is already in flight.
+
+        ``snapshot_fn`` may return either a plain values dict (the horizon
+        is then read just before calling it) or an ``(lsn, values)`` pair
+        captured atomically under the engine latch — required once
+        increment deltas are in play, since a commit racing between the
+        two captures would be double-applied by replay.
         """
         if not self._cp_lock.acquire(blocking=False):
             return None
@@ -205,7 +218,11 @@ class DurabilityManager:
             wal = self._require_wal()
             started = time.monotonic() if self._metrics.enabled else None
             lsn = wal.last_lsn
-            values = snapshot_fn()
+            snap = snapshot_fn()
+            if isinstance(snap, tuple):
+                lsn, values = snap
+            else:
+                values = snap
             data = self.checkpointer.write(lsn, values)
             wal.rotate()
             truncated = wal.truncate_through(lsn)

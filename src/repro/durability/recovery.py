@@ -80,6 +80,12 @@ class RecoveryManager:
         commits, stats = replay_commits(self.directory, after_lsn=after_lsn)
         for commit in commits:
             values.update(commit.writes)
+            # Increment deltas redo by addition — the committing txn never
+            # observed the base value, so replay must not overwrite it.
+            # An object never appears in both maps of one batch (a write
+            # after an increment folds the delta into the version).
+            for obj, delta in commit.deltas.items():
+                values[obj] = values.get(obj, 0) + delta
         result.commits_replayed = stats.commits
         result.records_discarded = stats.discarded_records
         result.last_lsn = max(stats.last_lsn, after_lsn)

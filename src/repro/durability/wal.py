@@ -8,10 +8,13 @@ log.  The WAL is therefore redo-only and no-steal: no uncommitted value
 ever touches disk, and recovery never needs to undo anything.
 
 One top-level commit appends a *batch* of frames — one ``write`` record
-per object the transaction owns a version of, then one ``commit`` record
-— under the log's lock, so log order equals commit order on conflicting
+per object the transaction owns a version of, one ``increment`` record
+per blind delta it folds into the base, then one ``commit`` record —
+under the log's lock, so log order equals commit order on conflicting
 objects (the append happens inside the engine's commit critical section;
-see ``engine/database.py``).  Durability is decided by ``sync_policy``:
+see ``engine/database.py``).  Increment records are redo-by-addition:
+replay applies ``value += delta`` rather than overwriting, which is what
+lets two increment-only commits serialize in either order.  Durability is decided by ``sync_policy``:
 
 * ``"commit"`` — fsync before the commit call returns (group-batched
   opportunistically: whichever committer becomes the sync leader flushes
@@ -62,6 +65,7 @@ SYNC_POLICIES = (SYNC_COMMIT, SYNC_GROUP, SYNC_NONE)
 
 #: Record types inside frames.
 WRITE = "w"
+INCREMENT = "i"
 COMMIT = "c"
 
 _FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
@@ -173,11 +177,13 @@ def _scan_file(path: str) -> Tuple[List[Dict[str, Any]], int, bool, int]:
 
 @dataclass
 class CommitRecord:
-    """One replayable top-level commit: the values it merged into U."""
+    """One replayable top-level commit: the absolute values it merged
+    into U plus the blind-increment deltas it folded into the base."""
 
     lsn: int
     txn: ActionName
     writes: Dict[str, Any]
+    deltas: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -201,16 +207,17 @@ def replay_commits(
 ) -> Tuple[List[CommitRecord], ReplayStats]:
     """Read every segment in order and yield the committed redo batches.
 
-    Write records accumulate per top-level transaction and are applied
-    only when that transaction's commit record appears with a matching
-    count; leftovers (crash mid-batch, or a torn tail) are discarded —
-    *no uncommitted write survives*.  Records with ``lsn <= after_lsn``
-    are skipped (they are covered by a checkpoint).  A corrupt frame ends
-    the scan: nothing after it is trusted.
+    Write and increment records accumulate per top-level transaction and
+    are applied only when that transaction's commit record appears with a
+    matching count; leftovers (crash mid-batch, or a torn tail) are
+    discarded — *no uncommitted write or delta survives*.  Records with
+    ``lsn <= after_lsn`` are skipped (they are covered by a checkpoint).
+    A corrupt frame ends the scan: nothing after it is trusted.
     """
     stats = ReplayStats()
     commits: List[CommitRecord] = []
     pending: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    pending_deltas: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
     pending_counts: Dict[Tuple[Any, ...], int] = {}
     for _seq, path in list_segments(directory):
         stats.segments += 1
@@ -227,8 +234,12 @@ def replay_commits(
             if kind == WRITE:
                 pending.setdefault(key, {})[record["o"]] = record["v"]
                 pending_counts[key] = pending_counts.get(key, 0) + 1
+            elif kind == INCREMENT:
+                pending_deltas.setdefault(key, {})[record["o"]] = record["v"]
+                pending_counts[key] = pending_counts.get(key, 0) + 1
             elif kind == COMMIT:
                 writes = pending.pop(key, {})
+                deltas = pending_deltas.pop(key, {})
                 count = pending_counts.pop(key, 0)
                 if count != record.get("n", count):
                     # Half a batch from a previous incarnation: the frames
@@ -239,7 +250,9 @@ def replay_commits(
                 if lsn <= after_lsn:
                     continue
                 stats.commits += 1
-                commits.append(CommitRecord(lsn, ActionName(key), writes))
+                commits.append(
+                    CommitRecord(lsn, ActionName(key), writes, deltas)
+                )
         if not clean:
             break  # nothing after a corrupt frame is trustworthy
     for key, count in pending_counts.items():
@@ -365,12 +378,17 @@ class WriteAheadLog:
             ]
 
     def append_commit(
-        self, txn: ActionName, writes: Mapping[str, Any]
+        self,
+        txn: ActionName,
+        writes: Mapping[str, Any],
+        deltas: Optional[Mapping[str, Any]] = None,
     ) -> int:
-        """Append one top-level commit batch; returns the commit record's
-        LSN.  Buffered write to the OS — call :meth:`sync` to make it
-        durable per the policy.  Safe to call inside engine latches."""
+        """Append one top-level commit batch — absolute write values plus
+        blind-increment ``deltas`` — and return the commit record's LSN.
+        Buffered write to the OS — call :meth:`sync` to make it durable
+        per the policy.  Safe to call inside engine latches."""
         path = list(txn.path)
+        deltas = deltas or {}
         with self._lock:
             if self._fh is None:
                 raise ValueError("write-ahead log is closed")
@@ -383,11 +401,30 @@ class WriteAheadLog:
                         {"t": WRITE, "l": lsn, "x": path, "o": obj, "v": writes[obj]}
                     )
                 )
+            for obj in sorted(deltas):
+                lsn = self._next_lsn
+                self._next_lsn += 1
+                chunks.append(
+                    _encode_frame(
+                        {
+                            "t": INCREMENT,
+                            "l": lsn,
+                            "x": path,
+                            "o": obj,
+                            "v": deltas[obj],
+                        }
+                    )
+                )
             commit_lsn = self._next_lsn
             self._next_lsn += 1
             chunks.append(
                 _encode_frame(
-                    {"t": COMMIT, "l": commit_lsn, "x": path, "n": len(writes)}
+                    {
+                        "t": COMMIT,
+                        "l": commit_lsn,
+                        "x": path,
+                        "n": len(writes) + len(deltas),
+                    }
                 )
             )
             blob = b"".join(chunks)

@@ -1,22 +1,31 @@
 """The nested-transaction engine: Moss locking, versioned storage,
 deadlock handling, failure injection, observability (see ``repro.obs``),
-and oracle-ready trace recording."""
+and oracle-ready trace recording.
+
+The canonical construction surface is ``NestedTransactionDB(initial,
+config=EngineConfig(...))``; the historical loose keyword arguments still
+work behind a :class:`DeprecationWarning` shim (``docs/api_migration.md``
+has the mapping)."""
 
 from ..obs import STATS_KEYS, EventBus, MetricsRegistry, ObservableStats
-from .database import EngineStats, NestedTransactionDB, StripedEngineStats
+from .config import GLOBAL, STRIPED, EngineConfig
+from .database import NestedTransactionDB
 from .deadlock import BLOCKER, REQUESTER, YOUNGEST, WaitsForGraph, choose_victim
 from .errors import (
     DeadlockAbort,
     EngineError,
     InvalidTransactionState,
     LockTimeout,
+    ReadOnlyViolation,
     TransactionAborted,
     UnknownObject,
 )
 from .locks import (
     DEFAULT_STRIPES,
+    INCREMENT,
     READ,
     WRITE,
+    LockMode,
     LockStripe,
     ObjectLocks,
     StripedLockTable,
@@ -38,12 +47,15 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "DEFAULT_STRIPES",
     "DeadlockAbort",
+    "EngineConfig",
     "EngineError",
-    "EngineStats",
     "EventBus",
     "FailureInjector",
+    "GLOBAL",
+    "INCREMENT",
     "InjectedFailure",
     "InvalidTransactionState",
+    "LockMode",
     "LockStripe",
     "LockTimeout",
     "MetricsRegistry",
@@ -53,9 +65,10 @@ __all__ = [
     "Outcome",
     "READ",
     "REQUESTER",
+    "ReadOnlyViolation",
     "RetryPolicy",
     "STATS_KEYS",
-    "StripedEngineStats",
+    "STRIPED",
     "StripedLockTable",
     "TraceBusBridge",
     "TraceRecord",

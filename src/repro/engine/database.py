@@ -71,50 +71,22 @@ from ..obs import (
     TxnCommitted,
     VictimChosen,
 )
-from .deadlock import BLOCKER, WaitsForGraph, choose_victim
+from .config import GLOBAL, STRIPED, LEGACY_CONFIG_KWARGS, EngineConfig
+from .deadlock import WaitsForGraph, choose_victim
 from .errors import (
     DeadlockAbort,
     InvalidTransactionState,
     LockTimeout,
+    ReadOnlyViolation,
     TransactionAborted,
     UnknownObject,
 )
 from ..durability import DurabilityManager
-from .locks import DEFAULT_STRIPES, READ, WRITE, ObjectLocks, StripedLockTable
+from .locks import INCREMENT, READ, WRITE, ObjectLocks, StripedLockTable
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .storage import VersionedStore
 from .trace import COMMIT, CREATE, PERFORM, TraceRecord, TraceRecorder
 from .transaction import Transaction
-
-GLOBAL = "global"
-STRIPED = "striped"
-
-
-class EngineStats(ObservableStats):
-    """Deprecated alias of :class:`repro.obs.ObservableStats` (the old
-    global-latch stats shape).  Will be removed one release after 1.1.0."""
-
-    def __init__(self) -> None:
-        warnings.warn(
-            "EngineStats is deprecated; use repro.obs.ObservableStats",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__()
-
-
-class StripedEngineStats(ObservableStats):
-    """Deprecated alias of :class:`repro.obs.ObservableStats` constructed
-    over a striped lock table.  Will be removed one release after 1.1.0."""
-
-    def __init__(self, table: StripedLockTable) -> None:
-        warnings.warn(
-            "StripedEngineStats is deprecated; use "
-            "repro.obs.ObservableStats(table=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(table=table)
 
 
 class NestedTransactionDB:
@@ -131,24 +103,44 @@ class NestedTransactionDB:
     def __init__(
         self,
         initial: Mapping[str, Any],
-        single_mode: bool = False,
-        deadlock_policy: str = BLOCKER,
-        detect_deadlocks: bool = True,
-        lock_timeout: float = 10.0,
-        lazy_lock_cleanup: bool = False,
-        record_trace: bool = True,
-        latch_mode: str = GLOBAL,
-        stripes: int = DEFAULT_STRIPES,
-        metrics: Optional[MetricsRegistry] = None,
-        events: Optional[EventBus] = None,
-        durability: Optional[Any] = None,
-        certify: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
+        **legacy_kwargs: Any,
     ) -> None:
-        if latch_mode not in (GLOBAL, STRIPED):
-            raise ValueError(
-                "latch_mode must be %r or %r, got %r"
-                % (GLOBAL, STRIPED, latch_mode)
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - set(LEGACY_CONFIG_KWARGS)
+            if unknown:
+                raise TypeError(
+                    "unexpected keyword argument(s) for NestedTransactionDB: %s"
+                    % ", ".join(sorted(unknown))
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or the deprecated "
+                    "loose keyword arguments, not both"
+                )
+            warnings.warn(
+                "loose NestedTransactionDB keyword arguments are deprecated; "
+                "pass config=EngineConfig(%s)"
+                % ", ".join(sorted(legacy_kwargs)),
+                DeprecationWarning,
+                stacklevel=2,
             )
+            config = EngineConfig(**legacy_kwargs)
+        elif config is None:
+            config = EngineConfig()
+        self.config = config
+        single_mode = config.single_mode
+        deadlock_policy = config.deadlock_policy
+        detect_deadlocks = config.detect_deadlocks
+        lock_timeout = config.lock_timeout
+        lazy_lock_cleanup = config.lazy_lock_cleanup
+        record_trace = config.record_trace
+        latch_mode = config.latch_mode
+        stripes = config.stripes
+        metrics = config.metrics
+        events = config.events
+        durability = config.durability
+        certify = config.certify
         self.latch_mode = latch_mode
         self._striped = latch_mode == STRIPED
         self._latch = threading.Lock()
@@ -217,6 +209,13 @@ class NestedTransactionDB:
         self._waits.bind(self.metrics)
         self._txns: Dict[ActionName, Transaction] = {}
         self._top_counter = itertools.count()
+        # Multiversion commit clock: every non-read-only top-level commit
+        # takes the next stamp; snapshot (read-only) transactions pin the
+        # clock value at begin as their horizon.  Both the clock and the
+        # active-horizon registry are guarded by the metadata latch
+        # (striped) / the global latch.
+        self._commit_stamp = 0
+        self._snapshot_horizons: Dict[ActionName, int] = {}
         self.single_mode = single_mode
         self.deadlock_policy = deadlock_policy
         self.detect_deadlocks = detect_deadlocks
@@ -254,31 +253,39 @@ class NestedTransactionDB:
 
     # -- public API ------------------------------------------------------------
 
-    def begin_transaction(self) -> Transaction:
-        """Begin a new top-level transaction."""
+    def begin_transaction(self, read_only: bool = False) -> Transaction:
+        """Begin a new top-level transaction.
+
+        ``read_only=True`` begins a *snapshot* transaction: its horizon is
+        pinned to the current commit stamp, every read resolves the
+        committed value as of that horizon from the version history, and
+        no locks are ever acquired — snapshot readers neither block nor
+        abort writers.  Writes, increments, and write-intent reads raise
+        :class:`~repro.engine.errors.ReadOnlyViolation`.
+        """
         if self._striped:
             with self._meta:
                 name = U.child(next(self._top_counter))
-                txn, seq = self._begin_locked(name, parent=None)
+                txn, seq = self._begin_locked(name, parent=None, read_only=read_only)
         else:
             with self._cond:
                 name = U.child(next(self._top_counter))
-                txn, seq = self._begin_locked(name, parent=None)
+                txn, seq = self._begin_locked(name, parent=None, read_only=read_only)
         self._publish_begin(txn, seq)
         return txn
 
     @contextmanager
-    def transaction(self) -> Iterator[Transaction]:
+    def transaction(self, read_only: bool = False) -> Iterator[Transaction]:
         """``with db.transaction() as t``: commit on exit, abort on error.
 
         A :class:`TransactionAborted` (deadlock victim, explicit abort) is
         re-raised so callers can retry; see :meth:`run_transaction`.
         """
-        txn = self.begin_transaction()
+        txn = self.begin_transaction(read_only=read_only)
         try:
             yield txn
-        except BaseException:
-            txn.abort()
+        except BaseException as error:
+            self._abort_quietly(txn, error)
             raise
         else:
             txn.commit()
@@ -286,56 +293,37 @@ class NestedTransactionDB:
     def run_transaction(
         self,
         fn: Callable[[Transaction], Any],
-        max_retries: Optional[int] = None,
-        backoff: Optional[float] = None,
         *,
         policy: Optional[RetryPolicy] = None,
+        read_only: bool = False,
         sleep_fn: Callable[[float], None] = time.sleep,
     ) -> Any:
         """Run ``fn`` in a top-level transaction, retrying per ``policy``
         (by default: retry :class:`TransactionAborted` — deadlock victims
         included — with a small linear backoff).
 
+        ``read_only=True`` runs ``fn`` in a snapshot transaction (see
+        :meth:`begin_transaction`); snapshot transactions cannot deadlock,
+        so they normally commit on the first attempt.
+
         ``sleep_fn`` is the backoff clock — inject a no-op (or a fake
         clock) so resilience tests run deterministically with no
         wall-clock delay.
-
-        ``max_retries``/``backoff`` are deprecated; pass
-        ``policy=RetryPolicy(max_retries=…, backoff=…)`` instead.
         """
-        if max_retries is not None or backoff is not None:
-            if policy is not None:
-                raise TypeError(
-                    "pass either policy= or the deprecated "
-                    "max_retries/backoff kwargs, not both"
-                )
-            warnings.warn(
-                "run_transaction(max_retries=, backoff=) is deprecated; "
-                "pass policy=RetryPolicy(max_retries=, backoff=)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            policy = RetryPolicy(
-                max_retries=(
-                    max_retries
-                    if max_retries is not None
-                    else DEFAULT_RETRY_POLICY.max_retries
-                ),
-                backoff=(
-                    backoff if backoff is not None else DEFAULT_RETRY_POLICY.backoff
-                ),
-            )
-        elif policy is None:
+        if policy is None:
             policy = DEFAULT_RETRY_POLICY
         attempt = 0
         while True:
-            txn = self.begin_transaction()
+            txn = self.begin_transaction(read_only=read_only)
             try:
                 value = fn(txn)
                 txn.commit()
                 return value
             except BaseException as error:
-                txn.abort()  # application bugs must not leak transactions
+                # Roll back without masking the application failure: an
+                # exception out of abort() is chained onto the original
+                # error instead of replacing it.
+                self._abort_quietly(txn, error)
                 if not policy.is_retryable(error):
                     raise
                 attempt += 1
@@ -344,6 +332,17 @@ class NestedTransactionDB:
                 delay = policy.delay(attempt)
                 if delay:
                     sleep_fn(delay)
+
+    @staticmethod
+    def _abort_quietly(txn: Transaction, cause: BaseException) -> None:
+        """Abort ``txn`` on behalf of ``cause`` without letting an abort
+        failure shadow it: the original exception always propagates, with
+        any abort-time exception attached as its ``__context__``."""
+        try:
+            txn.abort()
+        except BaseException as abort_error:  # noqa: BLE001 - must not mask
+            if abort_error is not cause:
+                cause.__context__ = abort_error
 
     def snapshot(self) -> Dict[str, Any]:
         """Permanently committed values of all objects."""
@@ -426,6 +425,11 @@ class NestedTransactionDB:
                         "version stack not collapsed for %s: %r"
                         % (obj, stack)
                     )
+                if stack.deltas:
+                    raise AssertionError(
+                        "pending increment deltas leaked on %s: %r"
+                        % (obj, stack.deltas)
+                    )
         if len(self._waits):
             raise AssertionError("waits-for graph not empty")
 
@@ -482,12 +486,21 @@ class NestedTransactionDB:
             )
 
     def _begin_locked(
-        self, name: ActionName, parent: Optional[Transaction]
+        self,
+        name: ActionName,
+        parent: Optional[Transaction],
+        read_only: bool = False,
     ) -> Tuple[Transaction, Optional[int]]:
         """Register a new transaction (latch held).  Only the trace seq
         is reserved here; the record and the event fan-out happen in
         :meth:`_publish_begin`, after the latch is released."""
-        txn = Transaction(self, name, parent)
+        txn = Transaction(self, name, parent, read_only=read_only)
+        if read_only and parent is None:
+            # Pin the snapshot horizon under the latch: every commit
+            # stamped <= horizon has fully merged into the base versions
+            # by the time any of its object latches can be taken.
+            txn.snapshot_horizon = self._commit_stamp
+            self._snapshot_horizons[name] = self._commit_stamp
         self._txns[name] = txn
         if parent is not None:
             parent.children.append(txn)
@@ -501,7 +514,19 @@ class NestedTransactionDB:
         """Off-critical-path half of begin: trace publication and event
         emission (both touch only leaf locks)."""
         if seq is not None:
-            self.trace.publish(TraceRecord(CREATE, txn.name, seq=seq))
+            if txn.read_only and txn.parent is None:
+                # Snapshot top-levels carry their horizon so certifiers
+                # can serialize them at the right commit stamp.
+                record = TraceRecord(
+                    CREATE,
+                    txn.name,
+                    kind="snapshot",
+                    arg=txn.snapshot_horizon,
+                    seq=seq,
+                )
+            else:
+                record = TraceRecord(CREATE, txn.name, seq=seq)
+            self.trace.publish(record)
         if self.events.enabled:
             parent = txn.parent
             self.events.emit(
@@ -529,21 +554,36 @@ class NestedTransactionDB:
             commit_seq = (
                 self.trace.reserve_seq() if self.trace is not None else None
             )
+            stamp = prune_below = None
+            if txn.parent is None:
+                if txn.read_only:
+                    self._snapshot_horizons.pop(txn.name, None)
+                else:
+                    self._commit_stamp += 1
+                    stamp = self._commit_stamp
+                    horizons = self._snapshot_horizons
+                    prune_below = (
+                        min(horizons.values()) if horizons else stamp
+                    )
             inherited = tuple(txn.held_objects)
-            wal_writes = self._collect_perm_writes(txn)
-            self._inherit_locks(txn)
+            wal_batch = self._collect_perm_writes(txn)
+            self._inherit_locks(txn, stamp, prune_below)
             self._waits.remove_transaction(txn.name)
             self.stats.committed += 1
             # Append inside the latch so WAL order equals commit order;
             # the fsync happens after release (see below).
             wal_lsn = (
-                self.durability.log_commit(txn.name, wal_writes)
-                if wal_writes
+                self.durability.log_commit(txn.name, *wal_batch)
+                if wal_batch
                 else None
             )
             self._cond.notify_all()
         if commit_seq is not None:
-            self.trace.publish(TraceRecord(COMMIT, txn.name, seq=commit_seq))
+            # Top-level commits carry their commit stamp so certifiers can
+            # reconstruct the committed state at any snapshot horizon.
+            self.trace.publish(
+                TraceRecord(COMMIT, txn.name, arg=stamp, seq=commit_seq)
+            )
         if wal_lsn is not None:
             self._finish_durable_commit(wal_lsn)
         if started is not None:
@@ -562,23 +602,32 @@ class NestedTransactionDB:
 
     def _collect_perm_writes(
         self, txn: Transaction, held: Optional[Any] = None
-    ) -> Optional[Dict[str, Any]]:
-        """The values a committing **top-level** transaction is about to
-        merge into U — the WAL redo batch.  Must run under the latches
-        covering ``txn.held_objects``, *before* the version-stack merge
-        (the merge consumes the entries).  Returns None when durability is
-        off, the committer is a subtransaction (its merge is in-memory
-        only, per Moss), or it holds only read locks (nothing to redo).
+    ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """The ``(writes, deltas)`` a committing **top-level** transaction
+        is about to merge into U — the WAL redo batch: absolute values
+        from its version entries plus blind-increment deltas.  Must run
+        under the latches covering ``txn.held_objects``, *before* the
+        version-stack merge (the merge consumes the entries).  Returns
+        None when durability is off, the committer is a subtransaction
+        (its merge is in-memory only, per Moss), or it holds only read
+        locks (nothing to redo).
         """
         if self.durability is None or txn.parent is not None:
             return None
         objects = held if held is not None else txn.held_objects
         writes: Dict[str, Any] = {}
+        deltas: Dict[str, Any] = {}
         for obj in objects:
-            entry = self._store.stack(obj).version_of(txn.name)
+            stack = self._store.stack(obj)
+            entry = stack.version_of(txn.name)
             if entry is not None:
                 writes[obj] = entry[1]
-        return writes or None
+            delta = stack.delta_of(txn.name)
+            if delta is not None:
+                deltas[obj] = delta
+        if not writes and not deltas:
+            return None
+        return writes, deltas
 
     def _finish_durable_commit(self, wal_lsn: int) -> None:
         """Post-latch half of a durable commit: fsync per the sync policy,
@@ -595,8 +644,26 @@ class NestedTransactionDB:
         WAL.  Requires durability; concurrent calls coalesce (the loser
         returns None)."""
         if self.durability is None:
-            raise ValueError("checkpoint() requires durability= to be enabled")
-        return self.durability.checkpoint(self.snapshot)
+            raise ValueError(
+                "checkpoint() requires EngineConfig(durability=...)"
+            )
+        return self.durability.checkpoint(self._checkpoint_snapshot)
+
+    def _checkpoint_snapshot(self) -> Tuple[int, Dict[str, Any]]:
+        """Atomically capture ``(WAL horizon, committed values)`` under
+        the full latch.  The horizon must not be read outside the latch:
+        a commit landing between the two captures would be included in
+        the snapshot *and* replayed over it — harmless for writes
+        (overwrite is idempotent) but double-applying increment deltas.
+        """
+        durability = self.durability
+        assert durability is not None and durability.wal is not None
+        wal = durability.wal
+        if self._striped:
+            with self._table.locked_all():
+                return wal.last_lsn, self._store.snapshot()
+        with self._cond:
+            return wal.last_lsn, self._store.snapshot()
 
     def close(self) -> None:
         """Flush and close the durability layer (if any) and any event
@@ -606,7 +673,12 @@ class NestedTransactionDB:
             self.durability.close()
         self.events.close()
 
-    def _inherit_locks(self, txn: Transaction) -> None:
+    def _inherit_locks(
+        self,
+        txn: Transaction,
+        stamp: Optional[int] = None,
+        prune_below: Optional[int] = None,
+    ) -> None:
         started = time.monotonic() if self.metrics.enabled else None
         parent = txn.parent
         name = txn.name
@@ -617,7 +689,9 @@ class NestedTransactionDB:
                 locks.discard(name)  # inherited by U: retained forever, blocks no one
             else:
                 locks.inherit(name, parent_name)
-            self._store.stack(obj).commit_to_parent(name, parent_name)
+            self._store.stack(obj).commit_to_parent(
+                name, parent_name, stamp, prune_below
+            )
         if parent is not None:
             parent.held_objects |= txn.held_objects
         txn.held_objects = set()
@@ -640,6 +714,8 @@ class NestedTransactionDB:
         for child in txn.children:
             self._abort_subtree_locked(child, reason)
         txn.status = ABORTED
+        if txn.parent is None:
+            self._snapshot_horizons.pop(txn.name, None)
         if self.trace is not None:
             self.trace.record_abort(txn.name)
         if not self.lazy_lock_cleanup:
@@ -683,6 +759,10 @@ class NestedTransactionDB:
     # -- data operation internals ------------------------------------------------------
 
     def _read(self, txn: Transaction, obj: str, for_update: bool = False) -> Any:
+        if txn.read_only:
+            if for_update:
+                raise ReadOnlyViolation(txn.name, "read_for_update")
+            return self._read_snapshot(txn, obj)
         mode = WRITE if (self.single_mode or for_update) else READ
         if self._striped:
             return self._perform_striped(txn, obj, mode, "read", None)
@@ -690,7 +770,10 @@ class NestedTransactionDB:
         seq = None
         with self._cond:
             self._acquire_locked(txn, obj, mode)
-            value = self._store.stack(obj).current
+            stack = self._store.stack(obj)
+            value = (
+                stack.effective_current() if stack.deltas else stack.current
+            )
             # Direct bump of the local counter: the property pair exists
             # for the striped aggregation; under the global latch every
             # increment is serialized right here.
@@ -715,6 +798,8 @@ class NestedTransactionDB:
         return value
 
     def _write(self, txn: Transaction, obj: str, value: Any) -> None:
+        if txn.read_only:
+            raise ReadOnlyViolation(txn.name, "write")
         if self._striped:
             self._perform_striped(txn, obj, WRITE, "write", value)
             return
@@ -744,6 +829,88 @@ class NestedTransactionDB:
                 )
             )
 
+    def _increment(self, txn: Transaction, obj: str, delta: Any) -> None:
+        """A blind increment under an ``INCREMENT`` lock (commutes with
+        other increments).  In single mode — where every access conflicts
+        anyway — it degenerates to a read-modify-write under the write
+        lock, keeping single-mode traces level-2 conformant."""
+        if txn.read_only:
+            raise ReadOnlyViolation(txn.name, "increment")
+        if self.single_mode:
+            value = self._read(txn, obj, for_update=True) + delta
+            self._write(txn, obj, value)
+            return
+        if self._striped:
+            self._perform_striped(txn, obj, INCREMENT, "increment", delta)
+            return
+        trace = self.trace
+        seq = None
+        name = txn.name
+        with self._cond:
+            self._acquire_locked(txn, obj, INCREMENT)
+            self._store.stack(obj).add_delta(name, delta)
+            self.stats._increments += 1
+            if trace is not None:
+                seq = trace.reserve_seq()
+        if seq is not None:
+            # Blind access: there is no observed value (seen=None); the
+            # certifiers replay the delta instead of checking a label.
+            trace.publish(
+                TraceRecord(
+                    PERFORM,
+                    name,
+                    txn.next_access_name("increment"),
+                    obj,
+                    "increment",
+                    None,
+                    delta,
+                    seq,
+                )
+            )
+
+    def _read_snapshot(self, txn: Transaction, obj: str) -> Any:
+        """A lock-free snapshot read: resolve the committed value as of
+        the transaction's horizon from the version history.  Only the
+        object's latch is taken briefly — no lock is acquired, so the
+        read neither blocks nor aborts writers."""
+        horizon = txn.snapshot_horizon
+        trace = self.trace
+        seq = None
+        if self._striped:
+            table = self._table
+            if table is None or obj not in table:
+                raise UnknownObject(obj)
+            self._check_live_striped(txn)
+            with table.stripe_of(obj).mutex:
+                stripe = table.stripe_of(obj)
+                value = self._store.stack(obj).value_at(horizon)
+                stripe.snapshot_reads += 1
+                if trace is not None:
+                    seq = trace.reserve_seq()
+        else:
+            with self._cond:
+                if obj not in self._store:
+                    raise UnknownObject(obj)
+                self._check_live_locked(txn)
+                value = self._store.stack(obj).value_at(horizon)
+                self.stats._snapshot_reads += 1
+                if trace is not None:
+                    seq = trace.reserve_seq()
+        if seq is not None:
+            trace.publish(
+                TraceRecord(
+                    PERFORM,
+                    txn.name,
+                    txn.next_access_name("read"),
+                    obj,
+                    "read",
+                    value,
+                    None,
+                    seq,
+                )
+            )
+        return value
+
     def _acquire_locked(self, txn: Transaction, obj: str, mode: str) -> None:
         locks = self._locks.get(obj)
         if locks is None:
@@ -763,7 +930,12 @@ class NestedTransactionDB:
                 locks.grant(name, mode)
                 txn.held_objects.add(obj)
                 if mode == WRITE:
-                    self._store.stack(obj).ensure_version(name)
+                    # Outstanding increment deltas belong to ancestors of
+                    # the grantee (anything else would have conflicted);
+                    # fold them into real versions before pushing ours.
+                    stack = self._store.stack(obj)
+                    stack.materialize_deltas()
+                    stack.ensure_version(name)
                 if blocked:
                     # Only a request that actually registered waits-for
                     # edges needs to clear them — sparing granted-first-
@@ -909,6 +1081,12 @@ class NestedTransactionDB:
                     had_version = stack.owns_version(name)
                     locks.grant(name, mode)
                     if mode == WRITE:
+                        # Any pending deltas belong to the grantee or its
+                        # ancestors (others would conflict); fold them into
+                        # real versions before pushing ours.  Safe even if
+                        # the grant is undone below: the fold is exactly
+                        # what a later lock release would have applied.
+                        stack.materialize_deltas()
                         stack.ensure_version(name)
                     with self._meta:
                         granted = self._live_status_locked(txn)
@@ -932,8 +1110,15 @@ class NestedTransactionDB:
                     # this stripe's reads/writes runs under this stripe's
                     # mutex; ObservableStats sums stripes at read time.
                     if kind == "read":
-                        value = stack.current
+                        value = (
+                            stack.effective_current()
+                            if stack.deltas
+                            else stack.current
+                        )
                         stripe.reads += 1
+                    elif kind == "increment":
+                        stack.add_delta(name, arg)
+                        stripe.increments += 1
                     else:
                         seen = stack.current
                         stack.set_value(name, arg)
@@ -1011,6 +1196,19 @@ class NestedTransactionDB:
                             None,
                             seq,
                         )
+                    elif kind == "increment":
+                        # Blind access: no observed value; certifiers
+                        # replay the delta rather than checking a label.
+                        record = TraceRecord(
+                            PERFORM,
+                            name,
+                            txn.next_access_name("increment"),
+                            obj,
+                            "increment",
+                            None,
+                            arg,
+                            seq,
+                        )
                     else:
                         record = TraceRecord(
                             PERFORM,
@@ -1086,6 +1284,8 @@ class NestedTransactionDB:
                 held = frozenset(txn.held_objects)
             orphan = False
             commit_seq: Optional[int] = None
+            stamp: Optional[int] = None
+            prune_below: Optional[int] = None
             latched_at = time.monotonic() if started is not None else None
             with self._table.locked(held):
                 with self._meta:
@@ -1112,6 +1312,24 @@ class NestedTransactionDB:
                             # flip); the record publishes after the
                             # stripe mutexes are released.
                             commit_seq = self.trace.reserve_seq()
+                        if parent is None:
+                            if txn.read_only:
+                                self._snapshot_horizons.pop(name, None)
+                            else:
+                                # Stamp under the metadata latch (where
+                                # snapshot horizons pin); the committed
+                                # versions land while this commit still
+                                # holds every involved stripe, so a
+                                # reader at horizon >= stamp can never
+                                # reach a stale stack.
+                                self._commit_stamp += 1
+                                stamp = self._commit_stamp
+                                horizons = self._snapshot_horizons
+                                prune_below = (
+                                    min(horizons.values())
+                                    if horizons
+                                    else stamp
+                                )
                         if parent is not None:
                             parent.held_objects |= held
                         txn.held_objects = set()
@@ -1125,21 +1343,23 @@ class NestedTransactionDB:
                     # each lock and wake exactly the waiters parked on the
                     # objects whose locks changed.
                     inherit_at = time.monotonic() if started is not None else None
-                    wal_writes = self._collect_perm_writes(txn, held)
+                    wal_batch = self._collect_perm_writes(txn, held)
                     for obj in held:
                         locks = self._table.locks_of(obj)
                         if parent is None:
                             locks.discard(name)  # inherited by U
                         else:
                             locks.inherit(name, parent_name)
-                        self._store.stack(obj).commit_to_parent(name, parent_name)
+                        self._store.stack(obj).commit_to_parent(
+                            name, parent_name, stamp, prune_below
+                        )
                         self._table.stripe_of(obj).notify_object(obj)
                     # Append inside the stripe mutexes so WAL order agrees
                     # with commit order on conflicting objects; the fsync
                     # waits until every latch is released.
-                    if wal_writes:
+                    if wal_batch:
                         wal_lsn = self.durability.log_commit(
-                            txn.name, wal_writes
+                            txn.name, *wal_batch
                         )
                     if inherit_at is not None:
                         self._h_inherit.observe(time.monotonic() - inherit_at)
@@ -1148,8 +1368,12 @@ class NestedTransactionDB:
             if orphan:
                 self._die_as_orphan(txn)
             if commit_seq is not None:
-                # Off the critical path: every latch is released.
-                self.trace.publish(TraceRecord(COMMIT, name, seq=commit_seq))
+                # Off the critical path: every latch is released.  A
+                # top-level's record carries its commit stamp so the
+                # certifiers can replay committed state in stamp order.
+                self.trace.publish(
+                    TraceRecord(COMMIT, name, arg=stamp, seq=commit_seq)
+                )
             if wal_lsn is not None:
                 self._finish_durable_commit(wal_lsn)
             if started is not None:
@@ -1227,6 +1451,8 @@ class NestedTransactionDB:
                         continue
                     for txn in doomed:
                         txn.status = ABORTED
+                        if txn.parent is None:
+                            self._snapshot_horizons.pop(txn.name, None)
                         if self.trace is not None:
                             self.trace.record_abort(txn.name)
                         held = txn.held_objects

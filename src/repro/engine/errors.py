@@ -45,6 +45,18 @@ class InvalidTransactionState(EngineError):
     committing a transaction with active children)."""
 
 
+class ReadOnlyViolation(InvalidTransactionState):
+    """A write, increment, or write-intent read was attempted inside a
+    read-only (snapshot) transaction."""
+
+    def __init__(self, txn_name, op: str) -> None:
+        super().__init__(
+            "%s not allowed in read-only transaction %r" % (op, txn_name)
+        )
+        self.txn_name = txn_name
+        self.op = op
+
+
 class UnknownObject(EngineError):
     """The database has no object with the requested key."""
 

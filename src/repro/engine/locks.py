@@ -1,16 +1,22 @@
 """Moss lock table state (per-object holders and modes).
 
 This implements the *full* Moss rules, with a read/write distinction (the
-extension the paper's Section 10 leaves as future work):
+extension the paper's Section 10 leaves as future work) plus a
+commutative ``INCREMENT`` mode:
 
 * T may acquire a **write** lock on x when every holder of x (any mode)
   is T itself or a proper ancestor of T;
-* T may acquire a **read** lock on x when every *write*-holder of x is T
-  itself or a proper ancestor of T;
-* on commit, T's locks are inherited by parent(T) (modes merged upward);
+* T may acquire a **read** lock on x when every *non-read*-holder of x is
+  T itself or a proper ancestor of T;
+* T may acquire an **increment** lock on x when every *non-increment*
+  holder of x is T itself or a proper ancestor of T — increments commute
+  with each other, so concurrent incrementers never conflict, but they
+  conflict with both reads and writes;
+* on commit, T's locks are inherited by parent(T) (modes merged upward:
+  two different modes merge to write, the top of the mode lattice);
 * on abort, T's locks are discarded.
 
-Setting ``single_mode=True`` on the manager collapses both modes into
+Setting ``single_mode=True`` on the manager collapses all modes into
 write, which is exactly the paper's simplified variant (every access
 conflicts) — used when engine traces are replayed through the level-2
 algebra for conformance checking.
@@ -21,6 +27,7 @@ from __future__ import annotations
 import threading
 import zlib
 from contextlib import contextmanager
+from enum import Enum
 from typing import (
     AbstractSet,
     Dict,
@@ -35,6 +42,26 @@ from ..core.naming import ActionName
 
 READ = "read"
 WRITE = "write"
+INCREMENT = "increment"
+
+
+class LockMode(str, Enum):
+    """The public lock-mode surface (the internals pass the equal string
+    constants on the hot path).  Two holders are compatible exactly when
+    they hold the *same self-commuting* mode: read/read and
+    increment/increment never conflict; every other pair does."""
+
+    READ = READ
+    WRITE = WRITE
+    INCREMENT = INCREMENT
+
+    def __str__(self) -> str:  # keep "%s" formatting on the raw value
+        return self.value
+
+    @property
+    def self_commutes(self) -> bool:
+        """Whether two holders in this mode are compatible."""
+        return self is not LockMode.WRITE
 
 #: Default stripe count for :class:`StripedLockTable` (a power of two so
 #: the modulo spreads crc32 output evenly).
@@ -96,8 +123,8 @@ class ObjectLocks:
             return _NO_CONFLICTS
         conflicts: Optional[List[ActionName]] = None
         for holder, held_mode in holders.items():
-            if held_mode != WRITE and mode != WRITE:
-                continue  # read/read never conflicts
+            if held_mode == mode and mode != WRITE:
+                continue  # read/read and increment/increment never conflict
             if holder is txn or holder == txn:
                 continue
             if ancestors is not None:
@@ -113,23 +140,31 @@ class ObjectLocks:
 
     def grant(self, txn: ActionName, mode: str) -> None:
         current = self.holders.get(txn)
-        if current is None or (current == READ and mode == WRITE):
+        if current is None:
             self.holders[txn] = mode
+        elif current != mode and current != WRITE:
+            # Mode lattice: any two *different* modes merge to write —
+            # a holder of both read and increment excludes everyone, which
+            # is exactly the write conflict profile.
+            self.holders[txn] = WRITE
 
     def inherit(
         self, txn: ActionName, parent: Optional[ActionName] = None
     ) -> None:
         """Commit of txn: its lock (if any) passes to its parent, merging
-        modes (write wins).  Callers that already know the parent name
-        (the engine's commit path does) pass it to skip the derivation."""
+        modes upward on the lattice (write wins; read+increment merge to
+        write).  Callers that already know the parent name (the engine's
+        commit path does) pass it to skip the derivation."""
         mode = self.holders.pop(txn, None)
         if mode is None:
             return
         if parent is None:
             parent = txn.parent()
         existing = self.holders.get(parent)
-        if existing is None or (existing == READ and mode == WRITE):
+        if existing is None:
             self.holders[parent] = mode
+        elif existing != mode and existing != WRITE:
+            self.holders[parent] = WRITE
 
     def discard(self, txn: ActionName) -> None:
         """Abort of txn: its lock (if any) evaporates."""
@@ -160,6 +195,8 @@ class LockStripe:
         "object_waits",
         "reads",
         "writes",
+        "increments",
+        "snapshot_reads",
         "lock_waits",
         "lazy_lock_reaps",
         "_conditions",
@@ -173,6 +210,8 @@ class LockStripe:
         self.object_waits: Dict[str, int] = {}
         self.reads = 0
         self.writes = 0
+        self.increments = 0
+        self.snapshot_reads = 0
         self.lock_waits = 0
         self.lazy_lock_reaps = 0
 

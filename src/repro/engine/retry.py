@@ -7,8 +7,9 @@ retry loop (:meth:`NestedTransactionDB.run_transaction`) and the
 subtransaction retry combinator
 (:func:`repro.engine.recovery.retry_subtransaction`).
 
-The old loose kwargs still work but emit :class:`DeprecationWarning`;
-they are removed one release after 1.1.0.
+The pre-1.1 loose ``max_retries=``/``backoff=`` kwargs completed their
+deprecation cycle and are gone; ``policy=RetryPolicy(...)`` is the only
+spelling.
 """
 
 from __future__ import annotations

@@ -61,6 +61,7 @@ class Transaction:
         db: "NestedTransactionDB",
         name: ActionName,
         parent: Optional["Transaction"],
+        read_only: bool = False,
     ) -> None:
         self._db = db
         self.name = name
@@ -70,6 +71,13 @@ class Transaction:
         self._child_counter = 0
         self._access_counter = 0
         self.held_objects: Set[str] = set()
+        # Snapshot (read-only) transactions: the flag is sticky down the
+        # tree, and the whole tree reads at the top-level's horizon stamp
+        # (assigned by the engine at begin, under its latch).
+        self.read_only: bool = read_only if parent is None else parent.read_only
+        self.snapshot_horizon: Optional[int] = (
+            None if parent is None else parent.snapshot_horizon
+        )
         # Ancestry is frozen at begin (a transaction never reparents), so
         # the engine's conflict checks and liveness walks use these
         # caches instead of re-deriving chains from names on every
@@ -126,6 +134,17 @@ class Transaction:
         self.write(obj, new_value)
         return new_value
 
+    def increment(self, obj: str, delta: Any = 1) -> None:
+        """Blindly add ``delta`` to an object under an ``INCREMENT`` lock.
+
+        Increment locks commute with each other — concurrent transactions
+        incrementing the same counter never block — while conflicting
+        with reads and writes.  The delta is private until commit: a
+        subtransaction's commit merges it into the parent (Moss
+        inheritance), a top-level commit folds it into the committed base
+        value, and an abort discards it."""
+        self._db._increment(self, obj, delta)
+
     # -- lifecycle --------------------------------------------------------------
 
     def begin_subtransaction(self) -> "Transaction":
@@ -144,8 +163,10 @@ class Transaction:
             yield child
         except TransactionAborted:
             child.abort()
-        except BaseException:
-            child.abort()
+        except BaseException as error:
+            # Abort without letting an abort-time failure shadow the
+            # original exception (it is attached as __context__ instead).
+            self._db._abort_quietly(child, error)
             raise
         else:
             child.commit()

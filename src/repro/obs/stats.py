@@ -16,9 +16,6 @@ test.  :meth:`ObservableStats.bind` mirrors every counter into a
 :class:`~repro.obs.metrics.MetricsRegistry` as callback gauges, so the
 Prometheus export includes engine totals without double-counting on the
 hot path.
-
-The old class names remain importable from ``repro.engine`` as deprecated
-aliases for one release.
 """
 
 from __future__ import annotations
@@ -33,6 +30,8 @@ STATS_KEYS: Tuple[str, ...] = (
     "aborted",
     "reads",
     "writes",
+    "increments",
+    "snapshot_reads",
     "lock_waits",
     "deadlocks",
     "lazy_lock_reaps",
@@ -58,6 +57,8 @@ class ObservableStats:
         self.deadlocks = 0
         self._reads = 0
         self._writes = 0
+        self._increments = 0
+        self._snapshot_reads = 0
         self._lock_waits = 0
         self._lazy_lock_reaps = 0
 
@@ -84,6 +85,28 @@ class ObservableStats:
     def writes(self, value: int) -> None:
         self._require_local("writes")
         self._writes = value
+
+    @property
+    def increments(self) -> int:
+        if self._table is not None:
+            return sum(stripe.increments for stripe in self._table.stripes)
+        return self._increments
+
+    @increments.setter
+    def increments(self, value: int) -> None:
+        self._require_local("increments")
+        self._increments = value
+
+    @property
+    def snapshot_reads(self) -> int:
+        if self._table is not None:
+            return sum(stripe.snapshot_reads for stripe in self._table.stripes)
+        return self._snapshot_reads
+
+    @snapshot_reads.setter
+    def snapshot_reads(self, value: int) -> None:
+        self._require_local("snapshot_reads")
+        self._snapshot_reads = value
 
     @property
     def lock_waits(self) -> int:

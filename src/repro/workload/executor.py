@@ -132,7 +132,10 @@ def _do_op(txn, op: Op, counters: _Counters) -> None:
         txn.read(op.obj)
     elif op.kind == "write":
         txn.write(op.obj, op.value)
-    else:  # rmw — write-intent read avoids upgrade deadlocks
+    elif op.kind == "increment" and hasattr(txn, "increment"):
+        txn.increment(op.obj, op.value)
+    else:  # rmw (also the increment fallback) — write-intent read
+        # avoids upgrade deadlocks
         reader = getattr(txn, "read_for_update", txn.read)
         txn.write(op.obj, reader(op.obj) + op.value)
     if counters.op_delay:
@@ -140,6 +143,18 @@ def _do_op(txn, op: Op, counters: _Counters) -> None:
         # time.sleep releases the GIL, so disjoint transactions overlap —
         # this is what makes lock granularity visible on one machine.
         time.sleep(counters.op_delay)
+
+
+def _begin(db, program: Program):
+    """Begin the right kind of top-level transaction for ``program``:
+    read-only programs run as lock-free snapshot readers on engines that
+    support them, ordinary locked transactions everywhere else."""
+    if getattr(program, "read_only", False):
+        try:
+            return db.begin_transaction(read_only=True)
+        except TypeError:
+            pass  # system under test predates snapshot reads
+    return db.begin_transaction()
 
 
 def _run_block(txn, block: Block, firing: _Firing, counters: _Counters) -> int:
@@ -262,7 +277,7 @@ def execute(
             attempts = 0
             program_start = time.perf_counter()
             while True:
-                txn = db.begin_transaction()
+                txn = _begin(db, program)
                 try:
                     done = _run_block(txn, program.root, firing, counters)
                     txn.commit()

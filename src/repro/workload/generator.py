@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .shapes import Op, Program, bushy, chain, flat, nested_uniform
+from .shapes import Block, Op, Program, bushy, chain, flat, nested_uniform
 
 
 class ZipfSampler:
@@ -52,13 +52,22 @@ class WorkloadConfig:
     theta: float = 0.0  # access skew
     read_ratio: float = 0.5
     ops_per_transaction: int = 8
-    shape: str = "bushy"  # flat | chain | bushy | uniform
+    shape: str = "bushy"  # flat | chain | bushy | uniform | counter
     groups: int = 4  # subtransactions per bushy program
     depth: int = 3  # chain / uniform depth
     fanout: int = 2  # uniform fanout
     parallel_blocks: bool = False
     programs: int = 100
     seed: int = 0
+    #: How the ``counter`` shape expresses its increments: ``"increment"``
+    #: (blind delta under the commutative lock mode) or ``"rmw"`` (the
+    #: read-for-update + write baseline).  Both consume identical RNG
+    #: rolls, so the two variants touch the same objects with the same
+    #: deltas — the E12 comparison is apples-to-apples.
+    counter_kind: str = "rmw"
+    #: Fraction of programs emitted as all-read *read-only* transactions
+    #: (snapshot readers on engines that support them).
+    read_only_ratio: float = 0.0
 
 
 def object_names(count: int) -> List[str]:
@@ -93,6 +102,12 @@ class WorkloadGenerator:
     def one_program(self, index: int) -> Program:
         cfg = self.config
         label = "%s#%d" % (cfg.shape, index)
+        if cfg.read_only_ratio and self._rng.random() < cfg.read_only_ratio:
+            ops = [
+                Op("read", self._objects[self._sampler.sample()])
+                for _ in range(cfg.ops_per_transaction)
+            ]
+            return Program(Block(ops), "ro#%d" % index, read_only=True)
         if cfg.shape == "mixed":
             # A workload mixing all shapes, weighted toward the nested ones
             # (a stand-in for a real application's variety).
@@ -106,6 +121,20 @@ class WorkloadGenerator:
 
     def _shaped_program(self, shape: str, index: int, label: str) -> Program:
         cfg = self.config
+        if shape == "counter":
+            # Counter-heavy: skewed increments plus a read fraction.  The
+            # delta roll is consumed even for reads so "rmw" and
+            # "increment" variants generate byte-identical access plans.
+            ops: List[Op] = []
+            for _ in range(cfg.ops_per_transaction):
+                obj = self._objects[self._sampler.sample()]
+                roll = self._rng.random()
+                delta = self._rng.randint(1, 5)
+                if roll < cfg.read_ratio:
+                    ops.append(Op("read", obj))
+                else:
+                    ops.append(Op(cfg.counter_kind, obj, delta))
+            return flat(ops, label)
         if shape == "flat":
             return flat(self._random_ops(cfg.ops_per_transaction), label)
         if shape == "chain":

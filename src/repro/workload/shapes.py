@@ -18,9 +18,12 @@ from typing import List, Sequence, Union
 class Op:
     """A leaf operation on one object."""
 
-    kind: str  # "read", "write" or "rmw" (read-modify-write increment)
+    #: "read", "write", "rmw" (read-modify-write under a write-intent
+    #: lock) or "increment" (blind delta under the commutative INCREMENT
+    #: lock mode; systems without one fall back to rmw).
+    kind: str
     obj: str
-    value: int = 0  # written value (write) or delta (rmw)
+    value: int = 0  # written value (write) or delta (rmw / increment)
 
 
 @dataclass
@@ -66,6 +69,10 @@ class Program:
 
     root: Block
     label: str = "program"
+    #: Read-only programs run as snapshot transactions on engines that
+    #: support ``begin_transaction(read_only=True)`` — no locks, reading
+    #: the committed state at their begin horizon.
+    read_only: bool = False
 
     @property
     def op_count(self) -> int:

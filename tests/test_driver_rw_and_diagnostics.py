@@ -18,7 +18,7 @@ from repro.core import (
     project_run,
 )
 from repro.distributed import DistributedMossSystem, random_distributed_scenario
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 
@@ -86,7 +86,7 @@ class TestMixedWorkload:
 
 class TestContentionProfile:
     def test_hot_object_shows_up(self):
-        db = NestedTransactionDB({"hot": 0, "cold": 0}, lock_timeout=5.0)
+        db = NestedTransactionDB({"hot": 0, "cold": 0}, config=EngineConfig(lock_timeout=5.0))
         t1 = db.begin_transaction()
         t1.write("hot", 1)
         waited = threading.Event()

@@ -9,7 +9,7 @@ import pytest
 
 from repro.durability import DurabilityManager
 from repro.durability.wal import replay_commits
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.engine.errors import TransactionAborted
 from repro.engine.recovery import InjectedFailure, retry_subtransaction
 from repro.engine.retry import RetryPolicy
@@ -21,9 +21,7 @@ LATCHES = ["global", "striped"]
 
 def make_db(tmp_path, latch="global", **kwargs):
     manager = DurabilityManager(str(tmp_path / "wal"), **kwargs)
-    return NestedTransactionDB(
-        {"x": 0, "y": 0}, latch_mode=latch, durability=manager
-    )
+    return NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(latch_mode=latch, durability=manager))
 
 
 def increment(t, obj="x"):
@@ -115,11 +113,11 @@ def test_read_only_transactions_log_nothing(tmp_path):
 
 
 def test_durability_accepts_a_plain_path(tmp_path):
-    db = NestedTransactionDB({"x": 0}, durability=str(tmp_path / "wal"))
+    db = NestedTransactionDB({"x": 0}, config=EngineConfig(durability=str(tmp_path / "wal")))
     assert isinstance(db.durability, DurabilityManager)
     db.run_transaction(increment)
     db.close()
-    db = NestedTransactionDB({"x": 0}, durability=str(tmp_path / "wal"))
+    db = NestedTransactionDB({"x": 0}, config=EngineConfig(durability=str(tmp_path / "wal")))
     assert db.snapshot() == {"x": 1}
     db.close()
 
@@ -196,9 +194,7 @@ def test_wal_metrics_and_events(tmp_path):
     events = EventBus()
     events.attach(sink)
     manager = DurabilityManager(str(tmp_path / "wal"), checkpoint_interval=2)
-    db = NestedTransactionDB(
-        {"x": 0}, durability=manager, metrics=metrics, events=events
-    )
+    db = NestedTransactionDB({"x": 0}, config=EngineConfig(durability=manager, metrics=metrics, events=events))
     for _ in range(3):
         db.run_transaction(increment)
     db.close()
@@ -227,7 +223,7 @@ def test_recovery_event_reports_replay(tmp_path):
     events = EventBus()
     events.attach(sink)
     manager = DurabilityManager(str(tmp_path / "wal"))
-    db = NestedTransactionDB({"x": 0}, durability=manager, events=events)
+    db = NestedTransactionDB({"x": 0}, config=EngineConfig(durability=manager, events=events))
     db.close()
     (event,) = sink.of_kind("recovery_completed")
     assert event.commits_replayed == 1

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import (
+    EngineConfig,
     InvalidTransactionState,
     NestedTransactionDB,
     TransactionAborted,
@@ -215,7 +216,7 @@ class TestTraceRecording:
         assert perform[1].arg == 1
 
     def test_trace_can_be_disabled(self):
-        db = NestedTransactionDB({"a": 0}, record_trace=False)
+        db = NestedTransactionDB({"a": 0}, config=EngineConfig(record_trace=False))
         with db.transaction() as t:
             t.read("a")
         assert db.trace is None

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.naming import U
 from repro.engine import (
+    EngineConfig,
     DeadlockAbort,
     LockTimeout,
     NestedTransactionDB,
@@ -115,23 +116,19 @@ def force_two_party_deadlock(db):
 
 class TestLiveDeadlocks:
     def test_detection_breaks_deadlock(self):
-        db = NestedTransactionDB({"x": 0, "y": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(lock_timeout=WAIT))
         outcome = force_two_party_deadlock(db)
         assert sorted(outcome.values()) == ["aborted", "committed"]
         assert db.stats.deadlocks >= 1
 
     def test_youngest_policy_also_resolves(self):
-        db = NestedTransactionDB(
-            {"x": 0, "y": 0}, deadlock_policy=YOUNGEST, lock_timeout=WAIT
-        )
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(deadlock_policy=YOUNGEST, lock_timeout=WAIT))
         outcome = force_two_party_deadlock(db)
         assert "aborted" in outcome.values()
         assert "committed" in outcome.values()
 
     def test_timeout_fallback_without_detection(self):
-        db = NestedTransactionDB(
-            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.3
-        )
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(detect_deadlocks=False, lock_timeout=0.3))
         first_locks = threading.Barrier(2, timeout=WAIT)
         outcome = {}
 
@@ -165,7 +162,7 @@ class TestLiveDeadlocks:
         parent), then a second child requests the other object: the cycle
         runs through the *parents*, which only the nested-aware detector
         sees."""
-        db = NestedTransactionDB({"x": 0, "y": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(lock_timeout=WAIT))
         holding = threading.Barrier(2, timeout=WAIT)
         outcome = {}
 
@@ -198,9 +195,7 @@ class TestLiveDeadlocks:
     def test_deadlock_abort_carries_cycle(self):
         # Requester policy so the victim is the thread that detected the
         # cycle — the one positioned to observe DeadlockAbort directly.
-        db = NestedTransactionDB(
-            {"x": 0, "y": 0}, deadlock_policy=REQUESTER, lock_timeout=WAIT
-        )
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(deadlock_policy=REQUESTER, lock_timeout=WAIT))
         first_locks = threading.Barrier(2, timeout=WAIT)
         cycles = []
 

@@ -8,6 +8,7 @@ import threading
 import pytest
 
 from repro.engine import (
+    EngineConfig,
     LockTimeout,
     NestedTransactionDB,
     RetryPolicy,
@@ -45,16 +46,16 @@ class TestRunTransactionRetries:
         assert db.run_transaction(flaky, policy=RetryPolicy(backoff=0)) == "done"
         assert db.snapshot()["a"] == 3
 
-    def test_loose_retry_kwargs_deprecated_but_equivalent(self):
+    def test_loose_retry_kwargs_removed(self):
+        """The deprecated ``max_retries=``/``backoff=`` kwargs finished
+        their cycle: ``policy=RetryPolicy(...)`` is the only spelling."""
         db = NestedTransactionDB({"a": 0})
 
         def always_doomed(txn):
             raise TransactionAborted(txn.name, "synthetic")
 
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TransactionAborted):
-                db.run_transaction(always_doomed, max_retries=2, backoff=0)
-        assert db.stats.begun == 3  # 1 initial + 2 retries
+        with pytest.raises(TypeError):
+            db.run_transaction(always_doomed, max_retries=2, backoff=0)
         with pytest.raises(TypeError):
             db.run_transaction(always_doomed, max_retries=1, policy=RetryPolicy())
 
@@ -89,9 +90,7 @@ class TestRunTransactionRetries:
 
 class TestLockTimeouts:
     def test_timeout_leaves_transaction_usable(self):
-        db = NestedTransactionDB(
-            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.15
-        )
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(detect_deadlocks=False, lock_timeout=0.15))
         holder = db.begin_transaction()
         holder.write("x", 1)
         waiter = db.begin_transaction()
@@ -105,9 +104,7 @@ class TestLockTimeouts:
         db.assert_quiescent()
 
     def test_timeout_while_holding_then_abort(self):
-        db = NestedTransactionDB(
-            {"x": 0, "y": 0}, detect_deadlocks=False, lock_timeout=0.15
-        )
+        db = NestedTransactionDB({"x": 0, "y": 0}, config=EngineConfig(detect_deadlocks=False, lock_timeout=0.15))
         holder = db.begin_transaction()
         holder.write("x", 1)
         waiter = db.begin_transaction()
@@ -124,7 +121,7 @@ class TestMiscSurface:
     def test_repr(self):
         db = NestedTransactionDB({"a": 0})
         assert "read/write" in repr(db)
-        single = NestedTransactionDB({"a": 0}, single_mode=True)
+        single = NestedTransactionDB({"a": 0}, config=EngineConfig(single_mode=True))
         assert "single-mode" in repr(single)
         txn = db.begin_transaction()
         assert "active" in repr(txn)
@@ -157,7 +154,7 @@ class TestMiscSurface:
         assert db.snapshot()["a"] == 42
 
     def test_read_for_update_blocks_other_readers(self):
-        db = NestedTransactionDB({"a": 0}, lock_timeout=5.0)
+        db = NestedTransactionDB({"a": 0}, config=EngineConfig(lock_timeout=5.0))
         t1 = db.begin_transaction()
         t1.read_for_update("a")  # write lock, no actual write
         progressed = threading.Event()

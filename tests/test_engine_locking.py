@@ -11,7 +11,7 @@ import threading
 import time
 
 
-from repro.engine import NestedTransactionDB, READ, WRITE, ObjectLocks
+from repro.engine import EngineConfig, NestedTransactionDB, READ, WRITE, ObjectLocks
 from repro.core.naming import U
 
 WAIT = 5.0
@@ -73,7 +73,7 @@ class TestObjectLocks:
 
 class TestBlockingBehaviour:
     def test_writer_blocks_sibling_writer_until_commit(self):
-        db = NestedTransactionDB({"x": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lock_timeout=WAIT))
         t1 = db.begin_transaction()
         t1.write("x", 1)
         got_lock = threading.Event()
@@ -93,7 +93,7 @@ class TestBlockingBehaviour:
         assert result["value"] == 1  # committed value visible after inherit to U
 
     def test_abort_releases_and_unblocks(self):
-        db = NestedTransactionDB({"x": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lock_timeout=WAIT))
         t1 = db.begin_transaction()
         t1.write("x", 1)
         got = threading.Event()
@@ -111,7 +111,7 @@ class TestBlockingBehaviour:
         assert result["value"] == 0  # abort restored the old value
 
     def test_concurrent_readers_do_not_block(self):
-        db = NestedTransactionDB({"x": 7}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 7}, config=EngineConfig(lock_timeout=WAIT))
         t1 = db.begin_transaction()
         assert t1.read("x") == 7
         done = threading.Event()
@@ -128,7 +128,7 @@ class TestBlockingBehaviour:
         t1.commit()
 
     def test_single_mode_makes_reads_exclusive(self):
-        db = NestedTransactionDB({"x": 7}, single_mode=True, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 7}, config=EngineConfig(single_mode=True, lock_timeout=WAIT))
         t1 = db.begin_transaction()
         t1.read("x")
         progressed = threading.Event()
@@ -147,7 +147,7 @@ class TestBlockingBehaviour:
 
     def test_parent_lock_admits_children(self):
         """A parent's write lock never blocks its own descendants."""
-        db = NestedTransactionDB({"x": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lock_timeout=WAIT))
         with db.transaction() as t:
             t.write("x", 1)
             with t.subtransaction() as s:
@@ -159,7 +159,7 @@ class TestBlockingBehaviour:
     def test_sibling_children_conflict(self):
         """Two children of the same parent conflict on writes like any
         other non-ancestor pair."""
-        db = NestedTransactionDB({"x": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lock_timeout=WAIT))
         parent = db.begin_transaction()
         c1 = parent.begin_subtransaction()
         c1.write("x", 1)
@@ -180,7 +180,7 @@ class TestBlockingBehaviour:
         assert db.snapshot()["x"] == 2
 
     def test_lock_wait_statistics(self):
-        db = NestedTransactionDB({"x": 0}, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lock_timeout=WAIT))
         t1 = db.begin_transaction()
         t1.write("x", 1)
 
@@ -196,7 +196,7 @@ class TestBlockingBehaviour:
 
 class TestLazyLockCleanup:
     def test_dead_holders_reaped_on_demand(self):
-        db = NestedTransactionDB({"x": 0}, lazy_lock_cleanup=True, lock_timeout=WAIT)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(lazy_lock_cleanup=True, lock_timeout=WAIT))
         t1 = db.begin_transaction()
         t1.write("x", 5)
         t1.abort()

@@ -18,7 +18,7 @@ from repro.checker import (
     trace_to_aat,
 )
 from repro.core import U, is_data_serializable
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.engine.trace import TraceRecord, TraceRecorder
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
@@ -48,7 +48,7 @@ class TestOracleOnRealRuns:
 
     @pytest.mark.parametrize("seed", [4, 5])
     def test_single_mode_conforms_to_level2(self, seed):
-        db = NestedTransactionDB(initial_values(12), single_mode=True)
+        db = NestedTransactionDB(initial_values(12), config=EngineConfig(single_mode=True))
         run_concurrent_workload(db, seed)
         report = check_engine(db)  # includes the level-2 replay
         assert report.ok
@@ -78,7 +78,7 @@ class TestOracleOnRealRuns:
         assert check_engine(db).ok
 
     def test_lazy_cleanup_still_serializable(self):
-        db = NestedTransactionDB(initial_values(12), lazy_lock_cleanup=True)
+        db = NestedTransactionDB(initial_values(12), config=EngineConfig(lazy_lock_cleanup=True))
         run_concurrent_workload(db, 11)
         assert check_engine(db).ok
 
@@ -163,7 +163,7 @@ class TestOracleDetectsCorruption:
         assert len(aat.data_sequence("x")) == 1
 
     def test_trace_required(self):
-        db = NestedTransactionDB({"x": 0}, record_trace=False)
+        db = NestedTransactionDB({"x": 0}, config=EngineConfig(record_trace=False))
         with pytest.raises(ValueError):
             check_engine(db)
 
@@ -174,7 +174,7 @@ def test_oracle_property_over_random_workloads(seed):
     """Property: any seeded concurrent workload leaves a serializable
     permanent trace, in either lock mode."""
     single = seed % 2 == 0
-    db = NestedTransactionDB(initial_values(10), single_mode=single)
+    db = NestedTransactionDB(initial_values(10), config=EngineConfig(single_mode=single))
     cfg = WorkloadConfig(
         objects=10,
         theta=0.9,

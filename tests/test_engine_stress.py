@@ -8,21 +8,21 @@ import threading
 import pytest
 
 from repro.checker import check_engine
-from repro.engine import NestedTransactionDB, TransactionAborted
+from repro.engine import EngineConfig, NestedTransactionDB, TransactionAborted
 from repro.workload import WorkloadConfig, WorkloadGenerator, execute, initial_values
 
 CONFIGS = [
-    pytest.param(dict(), id="rw-default"),
-    pytest.param(dict(single_mode=True), id="single-mode"),
-    pytest.param(dict(lazy_lock_cleanup=True), id="lazy-cleanup"),
-    pytest.param(dict(deadlock_policy="requester"), id="requester-victim"),
-    pytest.param(dict(deadlock_policy="youngest"), id="youngest-victim"),
+    pytest.param(EngineConfig(), id="rw-default"),
+    pytest.param(EngineConfig(single_mode=True), id="single-mode"),
+    pytest.param(EngineConfig(lazy_lock_cleanup=True), id="lazy-cleanup"),
+    pytest.param(EngineConfig(deadlock_policy="requester"), id="requester-victim"),
+    pytest.param(EngineConfig(deadlock_policy="youngest"), id="youngest-victim"),
 ]
 
 
-@pytest.mark.parametrize("db_kwargs", CONFIGS)
-def test_stress_workload_certifies_and_quiesces(db_kwargs):
-    db = NestedTransactionDB(initial_values(16), **db_kwargs)
+@pytest.mark.parametrize("db_config", CONFIGS)
+def test_stress_workload_certifies_and_quiesces(db_config):
+    db = NestedTransactionDB(initial_values(16), config=db_config)
     cfg = WorkloadConfig(
         objects=16,
         theta=0.9,

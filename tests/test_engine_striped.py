@@ -19,6 +19,7 @@ import pytest
 
 from repro.checker import check_engine
 from repro.engine import (
+    EngineConfig,
     DEFAULT_STRIPES,
     DeadlockAbort,
     LockTimeout,
@@ -52,6 +53,8 @@ SNAPSHOT_KEYS = {
     "lock_waits",
     "deadlocks",
     "lazy_lock_reaps",
+    "increments",
+    "snapshot_reads",
 }
 
 
@@ -84,7 +87,9 @@ def test_striped_stress_matches_global_verdicts(db_kwargs):
 
     snapshots = {}
     for mode, kwargs in (("global", global_kwargs), ("striped", striped_kwargs)):
-        db = NestedTransactionDB(initial_values(16), latch_mode=mode, **kwargs)
+        db = NestedTransactionDB(
+            initial_values(16), config=EngineConfig(latch_mode=mode, **kwargs)
+        )
         report = _run_workload(db)
         assert report.committed_programs == 60, mode
         assert check_engine(db).ok, mode
@@ -123,7 +128,7 @@ def test_deterministic_script_snapshots_identical():
     initial = {"a": 0, "b": 0, "c": 0}
     state_global, stats_global = script(NestedTransactionDB(dict(initial)))
     state_striped, stats_striped = script(
-        NestedTransactionDB(dict(initial), latch_mode="striped")
+        NestedTransactionDB(dict(initial), config=EngineConfig(latch_mode="striped"))
     )
     assert state_global == state_striped == {"a": 1, "b": 2, "c": 0}
     assert stats_global == stats_striped
@@ -131,19 +136,19 @@ def test_deterministic_script_snapshots_identical():
 
 def test_latch_mode_validation():
     with pytest.raises(ValueError, match="latch_mode"):
-        NestedTransactionDB({"a": 0}, latch_mode="sharded")
+        NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="sharded"))
     with pytest.raises(ValueError, match="n_stripes"):
-        NestedTransactionDB({"a": 0}, latch_mode="striped", stripes=0)
+        NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped", stripes=0))
 
 
 def test_stripe_count_property():
     assert NestedTransactionDB({"a": 0}).stripe_count == 1
     assert (
-        NestedTransactionDB({"a": 0}, latch_mode="striped").stripe_count
+        NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped")).stripe_count
         == DEFAULT_STRIPES
     )
     assert (
-        NestedTransactionDB({"a": 0}, latch_mode="striped", stripes=4).stripe_count
+        NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped", stripes=4)).stripe_count
         == 4
     )
 
@@ -167,7 +172,7 @@ def test_striped_table_covers_every_object():
 
 
 def test_striped_unknown_object():
-    db = NestedTransactionDB({"a": 0}, latch_mode="striped")
+    db = NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped"))
     txn = db.begin_transaction()
     with pytest.raises(UnknownObject):
         txn.read("nope")
@@ -177,7 +182,7 @@ def test_striped_unknown_object():
 
 
 def test_striped_read_committed_ignores_uncommitted_writes():
-    db = NestedTransactionDB({"a": 10}, latch_mode="striped")
+    db = NestedTransactionDB({"a": 10}, config=EngineConfig(latch_mode="striped"))
     txn = db.begin_transaction()
     txn.write("a", 77)
     assert db.read_committed("a") == 10
@@ -186,7 +191,7 @@ def test_striped_read_committed_ignores_uncommitted_writes():
 
 
 def test_striped_hot_objects_alias():
-    db = NestedTransactionDB({"a": 0, "b": 0}, latch_mode="striped")
+    db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode="striped"))
     holder = db.begin_transaction()
     holder.write("a", 1)
 
@@ -211,7 +216,7 @@ def test_striped_hot_objects_alias():
 def test_striped_targeted_wakeup_is_prompt():
     """A commit must wake the waiter parked on the released object well
     before the lock timeout — the targeted-wakeup path, not a timeout."""
-    db = NestedTransactionDB({"a": 0}, latch_mode="striped", lock_timeout=30.0)
+    db = NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped", lock_timeout=30.0))
     holder = db.begin_transaction()
     holder.write("a", 1)
     elapsed = {}
@@ -237,7 +242,7 @@ def test_striped_targeted_wakeup_is_prompt():
 def test_striped_abort_wakes_doomed_waiter():
     """Aborting a subtree must wake its own parked descendants promptly
     (the case notify_all handled for free under the global latch)."""
-    db = NestedTransactionDB({"a": 0, "b": 0}, latch_mode="striped", lock_timeout=30.0)
+    db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode="striped", lock_timeout=30.0))
     blocker = db.begin_transaction()
     blocker.write("a", 5)
     parent = db.begin_transaction()
@@ -269,9 +274,7 @@ def test_striped_abort_wakes_doomed_waiter():
 def test_striped_deadlock_detection_across_stripes():
     """Classic two-object deadlock with the objects (almost surely) on
     different stripes: the cross-stripe waits-for graph must catch it."""
-    db = NestedTransactionDB(
-        {"a": 0, "b": 0}, latch_mode="striped", deadlock_policy="requester"
-    )
+    db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode="striped", deadlock_policy="requester"))
     t1 = db.begin_transaction()
     t2 = db.begin_transaction()
     t1.write("a", 1)
@@ -305,12 +308,7 @@ def test_striped_deadlock_detection_across_stripes():
 
 
 def test_striped_lock_timeout_without_detection():
-    db = NestedTransactionDB(
-        {"a": 0},
-        latch_mode="striped",
-        detect_deadlocks=False,
-        lock_timeout=0.2,
-    )
+    db = NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped", detect_deadlocks=False, lock_timeout=0.2))
     holder = db.begin_transaction()
     holder.write("a", 1)
     other = db.begin_transaction()
@@ -324,9 +322,7 @@ def test_striped_lock_timeout_without_detection():
 def test_striped_lazy_cleanup_reaps_dead_locks():
     """With lazy cleanup, an aborted holder's locks stay in the table
     until a conflicting requester reaps them."""
-    db = NestedTransactionDB(
-        {"a": 0}, latch_mode="striped", lazy_lock_cleanup=True
-    )
+    db = NestedTransactionDB({"a": 0}, config=EngineConfig(latch_mode="striped", lazy_lock_cleanup=True))
     holder = db.begin_transaction()
     holder.write("a", 1)
     holder.abort()

@@ -11,11 +11,10 @@ import threading
 import pytest
 
 from repro.engine import (
-    EngineStats,
+    EngineConfig,
     FailureInjector,
     NestedTransactionDB,
     STATS_KEYS,
-    StripedEngineStats,
     TransactionAborted,
 )
 from repro.engine.locks import StripedLockTable
@@ -209,7 +208,7 @@ class TestStatsParity:
     @pytest.mark.parametrize("latch_mode", ["global", "striped"])
     def test_snapshot_schema_matches_stats_keys(self, latch_mode):
         """Satellite 2: both latch modes expose the exact same key set."""
-        db = NestedTransactionDB({"a": 0, "b": 0}, latch_mode=latch_mode)
+        db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode=latch_mode))
         with db.transaction() as t:
             t.write("a", t.read("b") + 1)
         snap = db.stats.snapshot()
@@ -219,7 +218,7 @@ class TestStatsParity:
 
     def test_parity_across_modes_on_identical_workload(self):
         def run(latch_mode):
-            db = NestedTransactionDB({"x": 0}, latch_mode=latch_mode)
+            db = NestedTransactionDB({"x": 0}, config=EngineConfig(latch_mode=latch_mode))
             for i in range(5):
                 db.run_transaction(lambda t: t.write("x", t.read("x") + 1))
             return db.stats.snapshot()
@@ -248,19 +247,16 @@ class TestStatsParity:
         assert "engine_stats_committed 7" in registry.render_text()
 
 
-class TestDeprecatedAliases:
-    def test_engine_stats_warns_but_works(self):
-        with pytest.warns(DeprecationWarning):
-            stats = EngineStats()
-        stats.reads = 2
-        assert isinstance(stats, ObservableStats)
-        assert stats.snapshot()["reads"] == 2
+class TestRemovedAliases:
+    def test_deprecated_stats_aliases_are_gone(self):
+        """The PR-1 compatibility aliases completed their deprecation
+        cycle; ObservableStats is the only stats surface."""
+        import repro.engine as engine
+        import repro.obs as obs
 
-    def test_striped_engine_stats_warns_but_works(self):
-        table = StripedLockTable(["a"], n_stripes=1)
-        with pytest.warns(DeprecationWarning):
-            stats = StripedEngineStats(table)
-        assert tuple(stats.snapshot()) == STATS_KEYS
+        for module in (engine, obs):
+            assert not hasattr(module, "EngineStats")
+            assert not hasattr(module, "StripedEngineStats")
 
 
 class TestRetryPolicy:
@@ -286,9 +282,7 @@ class TestRetryPolicy:
 class TestEngineWiring:
     @pytest.mark.parametrize("latch_mode", ["global", "striped"])
     def test_commit_and_wait_metrics_populate(self, latch_mode):
-        db = NestedTransactionDB(
-            {"a": 0, "b": 0}, latch_mode=latch_mode, lock_timeout=5.0
-        )
+        db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode=latch_mode, lock_timeout=5.0))
         db.metrics.enable()
         ring = db.events.attach(RingBufferSink(capacity=4096))
         db.run_transaction(lambda t: t.write("a", 1))

@@ -14,7 +14,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.naming import U
-from repro.engine import NestedTransactionDB
+from repro.engine import EngineConfig, NestedTransactionDB
 from repro.engine.locks import READ, WRITE, ObjectLocks
 from repro.engine.retry import RetryPolicy
 from repro.engine.trace import COMMIT, CREATE, PERFORM, TraceRecord, TraceRecorder
@@ -155,11 +155,7 @@ def _exercise(db, threads=4, txns=12, ops=6):
 
 class TestStripedCountersExact:
     def test_lifecycle_counters_balance_threaded(self):
-        db = NestedTransactionDB(
-            {"x%d" % i: 0 for i in range(8)},
-            latch_mode="striped",
-            lock_timeout=5.0,
-        )
+        db = NestedTransactionDB({"x%d" % i: 0 for i in range(8)}, config=EngineConfig(latch_mode="striped", lock_timeout=5.0))
         errors = _exercise(db)
         assert not errors
         stats = db.stats
@@ -173,9 +169,7 @@ class TestStripedCountersExact:
         assert report["begun"] == stats.begun
 
     def test_data_counters_exact_single_thread(self):
-        db = NestedTransactionDB(
-            {"a": 0, "b": 0}, latch_mode="striped", record_trace=True
-        )
+        db = NestedTransactionDB({"a": 0, "b": 0}, config=EngineConfig(latch_mode="striped", record_trace=True))
         txn = db.begin_transaction()
         for _ in range(3):
             txn.read("a")
@@ -186,12 +180,7 @@ class TestStripedCountersExact:
         assert db.stats.committed == 1
 
     def test_striped_trace_still_certifies(self):
-        db = NestedTransactionDB(
-            {"x%d" % i: 0 for i in range(6)},
-            latch_mode="striped",
-            record_trace=True,
-            lock_timeout=5.0,
-        )
+        db = NestedTransactionDB({"x%d" % i: 0 for i in range(6)}, config=EngineConfig(latch_mode="striped", record_trace=True, lock_timeout=5.0))
         errors = _exercise(db, threads=3, txns=8, ops=4)
         assert not errors
         check_engine(db)
@@ -227,12 +216,7 @@ class TestAncestryCaches:
 
 class TestGlobalModeUnchanged:
     def test_global_trace_certifies_and_sorted(self):
-        db = NestedTransactionDB(
-            {"x%d" % i: 0 for i in range(6)},
-            latch_mode="global",
-            record_trace=True,
-            lock_timeout=5.0,
-        )
+        db = NestedTransactionDB({"x%d" % i: 0 for i in range(6)}, config=EngineConfig(latch_mode="global", record_trace=True, lock_timeout=5.0))
         errors = _exercise(db, threads=3, txns=8, ops=4)
         assert not errors
         check_engine(db)

@@ -38,7 +38,7 @@ from repro.checker import (
     check_trace_serializable,
 )
 from repro.core import U
-from repro.engine import NestedTransactionDB, TraceBusBridge
+from repro.engine import EngineConfig, NestedTransactionDB, TraceBusBridge
 from repro.engine.trace import (
     ABORT,
     COMMIT,
@@ -383,9 +383,7 @@ class TestLiveEngineWiring:
     @pytest.mark.parametrize("latch_mode", ["global", "striped"])
     @pytest.mark.parametrize("seed", [11, 12])
     def test_live_certifier_agrees_with_oracle(self, latch_mode, seed):
-        db = NestedTransactionDB(
-            initial_values(16), latch_mode=latch_mode, certify="streaming"
-        )
+        db = NestedTransactionDB(initial_values(16), config=EngineConfig(latch_mode=latch_mode, certify="streaming"))
         run_workload(db, seed=seed)
         db.assert_certified()  # no violations while live
         streaming = db.certifier.finish()
@@ -399,7 +397,7 @@ class TestLiveEngineWiring:
         assert streaming.stats["pending_accesses"] == 0
 
     def test_finish_is_idempotent(self):
-        db = NestedTransactionDB(initial_values(16), certify="streaming")
+        db = NestedTransactionDB(initial_values(16), config=EngineConfig(certify="streaming"))
         run_workload(db, programs=10, failure_prob=0.0)
         first = db.certifier.finish()
         second = db.certifier.finish()
@@ -408,13 +406,11 @@ class TestLiveEngineWiring:
 
     def test_certify_requires_trace(self):
         with pytest.raises(ValueError, match="record_trace"):
-            NestedTransactionDB(
-                initial_values(4), record_trace=False, certify="streaming"
-            )
+            NestedTransactionDB(initial_values(4), config=EngineConfig(record_trace=False, certify="streaming"))
 
     def test_unknown_certify_mode_rejected(self):
         with pytest.raises(ValueError, match="streaming"):
-            NestedTransactionDB(initial_values(4), certify="offline")
+            NestedTransactionDB(initial_values(4), config=EngineConfig(certify="offline"))
 
     def test_assert_certified_requires_certify(self):
         db = NestedTransactionDB(initial_values(4))
@@ -422,7 +418,7 @@ class TestLiveEngineWiring:
             db.assert_certified()
 
     def test_assert_certified_raises_on_violation(self):
-        db = NestedTransactionDB(initial_values(4), certify="streaming")
+        db = NestedTransactionDB(initial_values(4), config=EngineConfig(certify="streaming"))
         # Inject a corrupt record directly into the trace stream: the
         # listener sees it immediately and the violation is queryable
         # without any finish() call.
@@ -438,9 +434,7 @@ class TestLiveEngineWiring:
         """The JSONL event stream produced by TraceBusBridge + a file
         sink replays through feed_dict to the same verdict — the CI
         streaming gate's exact path."""
-        db = NestedTransactionDB(
-            initial_values(16), latch_mode="striped", certify="streaming"
-        )
+        db = NestedTransactionDB(initial_values(16), config=EngineConfig(latch_mode="striped", certify="streaming"))
         stream = io.StringIO()
         db.events.attach(JsonlFileSink(stream))
         bridge = db.trace.add_listener(TraceBusBridge(db.events))
