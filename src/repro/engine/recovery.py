@@ -75,9 +75,14 @@ def recovery_block(
     """Run alternates in fresh subtransactions until one commits.
 
     The classic recovery-block: each alternate runs in its own child; a
-    failure (any exception) aborts that child — leaving the parent's state
-    exactly as before — and the next alternate is tried.  Raises the last
-    error if every alternate fails.
+    failure (any :class:`Exception`) aborts that child — leaving the
+    parent's state exactly as before — and the next alternate is tried.
+    Raises the last error if every alternate fails.
+
+    Containment is for *failures*, not control flow: a non-``Exception``
+    error (``KeyboardInterrupt``, ``SystemExit``) still aborts the child,
+    but then propagates immediately — the next alternate must not run on
+    a Ctrl-C.
     """
     last_error: Optional[BaseException] = None
     for alternate in alternates:
@@ -88,6 +93,8 @@ def recovery_block(
             return value
         except BaseException as error:  # noqa: BLE001 - contained by design
             child.abort()
+            if not isinstance(error, Exception):
+                raise
             last_error = error
     if last_error is not None:
         raise last_error
@@ -131,6 +138,10 @@ def retry_subtransaction(
             return value
         except BaseException as error:  # noqa: BLE001 - contained by design
             child.abort()
+            if not isinstance(error, Exception):
+                # KeyboardInterrupt/SystemExit: never retried, even under
+                # a policy whose ``retryable`` is overly broad.
+                raise
             if not (
                 policy.is_retryable(error) or isinstance(error, InjectedFailure)
             ):

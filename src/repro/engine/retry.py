@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Tuple, Type
+from typing import Optional, Tuple, Type
 
 from .errors import TransactionAborted
 
@@ -37,7 +37,13 @@ class RetryPolicy:
     * ``retryable`` — exception classes that trigger a retry; anything
       else propagates immediately.  The default retries
       :class:`TransactionAborted` (which covers deadlock victims via
-      :class:`DeadlockAbort`).
+      :class:`DeadlockAbort`);
+    * ``seed`` / ``rng`` — the jitter source.  Each policy owns its own
+      ``random.Random`` (never the module-global ``random``), so a seeded
+      policy produces the same delay sequence on every run and drawing
+      jitter never perturbs anyone else's use of ``random.seed()``.
+      Pass ``seed=`` for a reproducible stream or ``rng=`` to inject a
+      pre-built (possibly shared) instance outright.
     """
 
     max_retries: int = DEFAULT_MAX_RETRIES
@@ -45,6 +51,10 @@ class RetryPolicy:
     jitter: float = 0.0
     retryable: Tuple[Type[BaseException], ...] = field(
         default=(TransactionAborted,)
+    )
+    seed: Optional[int] = None
+    rng: Optional[random.Random] = field(
+        default=None, compare=False, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -54,6 +64,9 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 0")
         if self.jitter < 0:
             raise ValueError("jitter must be >= 0")
+        if self.rng is None:
+            # The frozen-dataclass spelling of ``self.rng = ...``.
+            object.__setattr__(self, "rng", random.Random(self.seed))
 
     def is_retryable(self, error: BaseException) -> bool:
         return isinstance(error, self.retryable)
@@ -62,7 +75,7 @@ class RetryPolicy:
         """Seconds to sleep before retry number ``attempt`` (1-based)."""
         delay = self.backoff * attempt
         if self.jitter:
-            delay += random.random() * self.jitter
+            delay += self.rng.random() * self.jitter
         return delay
 
 

@@ -1,7 +1,7 @@
 """Workload generation and execution: program shapes, Zipf-skewed access
 patterns, and a threaded executor that runs on any of the databases."""
 
-from .executor import ExecutionReport, all_failure_points, execute
+from .executor import ExecutionReport, Firing, all_failure_points, execute
 from .generator import (
     WorkloadConfig,
     WorkloadGenerator,
@@ -14,6 +14,7 @@ from .shapes import Block, Op, Program, bushy, chain, flat, nested_uniform
 __all__ = [
     "Block",
     "ExecutionReport",
+    "Firing",
     "Op",
     "Program",
     "WorkloadConfig",

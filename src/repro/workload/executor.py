@@ -16,7 +16,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..engine.errors import LockTimeout, TransactionAborted
 from ..engine.recovery import InjectedFailure
@@ -109,9 +109,14 @@ def all_failure_points(program: Program) -> List[Block]:
     return found
 
 
-class _Firing:
+class Firing:
     """The failure points of one program attempt that will fire (identity
-    based, consumed on first firing so retries make progress)."""
+    based, consumed on first firing so retries make progress).
+
+    The chaos layer (:mod:`repro.scenarios.chaos`) builds these from
+    declarative schedules and hands them to :func:`execute` through the
+    ``firing_factory`` hook.
+    """
 
     def __init__(self, blocks: Set[int]) -> None:
         self._lock = threading.Lock()
@@ -123,6 +128,10 @@ class _Firing:
                 self._blocks.discard(id(block))
                 return True
             return False
+
+
+#: Backwards-compatible private alias (pre-chaos name).
+_Firing = Firing
 
 
 def _do_op(txn, op: Op, counters: _Counters) -> None:
@@ -157,7 +166,7 @@ def _begin(db, program: Program):
     return db.begin_transaction()
 
 
-def _run_block(txn, block: Block, firing: _Firing, counters: _Counters) -> int:
+def _run_block(txn, block: Block, firing: Firing, counters: _Counters) -> int:
     """Interpret a block's children inside transaction scope ``txn``;
     returns ops completed.  Raises InjectedFailure when this block's
     failure point fires (after its body, so there is work to lose)."""
@@ -197,7 +206,7 @@ def _run_block(txn, block: Block, firing: _Firing, counters: _Counters) -> int:
 
 
 def _run_child_block(
-    txn, child: Block, firing: _Firing, counters: _Counters, retries: int = 2
+    txn, child: Block, firing: Firing, counters: _Counters, retries: int = 2
 ) -> int:
     """Run a child block in a subtransaction scope.
 
@@ -239,6 +248,7 @@ def execute(
     seed: int = 0,
     max_retries: int = 50,
     op_delay: float = 0.0,
+    firing_factory: Optional[Callable[[Program, int], Firing]] = None,
 ) -> ExecutionReport:
     """Run the programs on ``threads`` worker threads and report.
 
@@ -247,25 +257,86 @@ def execute(
     could not be contained.  Injected failures fire once per marked point
     per program, so retries always make progress.  ``op_delay`` adds
     simulated per-operation latency spent while holding locks.
+
+    ``firing_factory`` overrides the uniform ``failure_prob`` selection:
+    it receives each ``(program, index)`` and returns the
+    :class:`Firing` for that program — the chaos layer's entry point for
+    probability ramps, burst windows and hot-key storms.
+
+    An *unexpected* exception in a worker (anything other than the
+    containable failure/abort/timeout protocol) is not swallowed: the
+    open transaction is aborted (releasing its locks), the program is
+    counted failed, remaining work drains, and the first such error is
+    re-raised after all workers join.
     """
     counters = _Counters(op_delay)
     rng = random.Random(seed)
-    queue: List[Tuple[Program, _Firing]] = []
-    for program in programs:
-        ids = {
-            id(block)
-            for block in all_failure_points(program)
-            if rng.random() < failure_prob
-        }
-        queue.append((program, _Firing(ids)))
+    queue: List[Tuple[Program, Firing]] = []
+    for index, program in enumerate(programs):
+        if firing_factory is not None:
+            firing = firing_factory(program, index)
+        else:
+            ids = {
+                id(block)
+                for block in all_failure_points(program)
+                if rng.random() < failure_prob
+            }
+            firing = Firing(ids)
+        queue.append((program, firing))
     index_lock = threading.Lock()
     next_index = [0]
+    unexpected: List[BaseException] = []
     registry = getattr(db, "metrics", None)
     program_hist = (
         registry.histogram("workload_program_seconds")
         if registry is not None
         else None
     )
+
+    def run_one(program: Program, firing: Firing) -> None:
+        attempts = 0
+        program_start = time.perf_counter()
+        while True:
+            txn = _begin(db, program)
+            try:
+                done = _run_block(txn, program.root, firing, counters)
+                txn.commit()
+            except InjectedFailure:
+                # The root block itself failed: nothing contains it.
+                txn.abort()
+                with counters.lock:
+                    counters.failed_programs += 1
+                break
+            except (TransactionAborted, LockTimeout):
+                txn.abort()
+                attempts += 1
+                with counters.lock:
+                    counters.retries += 1
+                if attempts > max_retries:
+                    with counters.lock:
+                        counters.failed_programs += 1
+                    break
+                time.sleep(0.0002 * attempts)
+                continue
+            except BaseException:
+                # Unexpected: the transaction would otherwise leak open
+                # (its locks stalling every other worker) while this
+                # thread died silently and the report undercounted.
+                try:
+                    txn.abort()
+                except Exception:
+                    pass  # the original error is the one worth keeping
+                with counters.lock:
+                    counters.failed_programs += 1
+                raise
+            elapsed = time.perf_counter() - program_start
+            if program_hist is not None and registry.enabled:
+                program_hist.observe(elapsed)
+            with counters.lock:
+                counters.committed_programs += 1
+                counters.ops_committed += done
+                counters.latencies.append(elapsed)
+            break
 
     def worker() -> None:
         while True:
@@ -274,38 +345,12 @@ def execute(
                     return
                 program, firing = queue[next_index[0]]
                 next_index[0] += 1
-            attempts = 0
-            program_start = time.perf_counter()
-            while True:
-                txn = _begin(db, program)
-                try:
-                    done = _run_block(txn, program.root, firing, counters)
-                    txn.commit()
-                except InjectedFailure:
-                    # The root block itself failed: nothing contains it.
-                    txn.abort()
-                    with counters.lock:
-                        counters.failed_programs += 1
-                    break
-                except (TransactionAborted, LockTimeout):
-                    txn.abort()
-                    attempts += 1
-                    with counters.lock:
-                        counters.retries += 1
-                    if attempts > max_retries:
-                        with counters.lock:
-                            counters.failed_programs += 1
-                        break
-                    time.sleep(0.0002 * attempts)
-                    continue
-                elapsed = time.perf_counter() - program_start
-                if program_hist is not None and registry.enabled:
-                    program_hist.observe(elapsed)
+            try:
+                run_one(program, firing)
+            except BaseException as error:  # noqa: BLE001 - re-raised after join
                 with counters.lock:
-                    counters.committed_programs += 1
-                    counters.ops_committed += done
-                    counters.latencies.append(elapsed)
-                break
+                    unexpected.append(error)
+                return  # this worker stops; the others drain the queue
 
     pool = [threading.Thread(target=worker, daemon=True) for _ in range(threads)]
     start = time.perf_counter()
@@ -314,6 +359,8 @@ def execute(
     for thread in pool:
         thread.join()
     duration = time.perf_counter() - start
+    if unexpected:
+        raise unexpected[0]
 
     metrics_snapshot: Dict[str, object] = {}
     if registry is not None and getattr(registry, "enabled", False):

@@ -113,6 +113,85 @@ class TestRecoveryBlock:
         assert db.snapshot()["a"] == 3
 
 
+class TestControlFlowEscapesContainment:
+    """Regression: the combinators caught ``BaseException``, so a Ctrl-C
+    (KeyboardInterrupt) or SystemExit inside an alternate was swallowed
+    and the *next* alternate/retry ran instead of propagating.  Now the
+    child is aborted and the non-``Exception`` error re-raised at once."""
+
+    @pytest.mark.parametrize("error_type", [KeyboardInterrupt, SystemExit])
+    def test_recovery_block_reraises_immediately(self, db, error_type):
+        ran = []
+
+        def interrupted(s):
+            ran.append("primary")
+            s.write("a", 100)
+            raise error_type()
+
+        def backup(s):
+            ran.append("backup")
+            s.write("b", 7)
+
+        t = db.begin_transaction()
+        with pytest.raises(error_type):
+            recovery_block(t, [interrupted, backup])
+        assert ran == ["primary"]  # the backup alternate never ran
+        # The child was aborted (its write is gone), the parent survives.
+        assert t.is_live
+        t.commit()
+        assert db.snapshot() == {"a": 0, "b": 0, "c": 0}
+
+    @pytest.mark.parametrize("error_type", [KeyboardInterrupt, SystemExit])
+    def test_retry_subtransaction_reraises_immediately(self, db, error_type):
+        attempts = []
+
+        def interrupted(s):
+            attempts.append(1)
+            s.write("a", 100)
+            raise error_type()
+
+        t = db.begin_transaction()
+        with pytest.raises(error_type):
+            retry_subtransaction(t, interrupted, attempts=5)
+        assert attempts == [1]
+        assert t.is_live
+        t.commit()
+        assert db.snapshot()["a"] == 0
+
+    def test_policy_path_never_retries_interrupts(self, db):
+        """Even a policy whose ``retryable`` names BaseException cannot
+        resurrect a KeyboardInterrupt."""
+        from repro.engine import RetryPolicy
+
+        attempts = []
+
+        def interrupted(_s):
+            attempts.append(1)
+            raise KeyboardInterrupt()
+
+        policy = RetryPolicy(max_retries=5, backoff=0, retryable=(BaseException,))
+        t = db.begin_transaction()
+        with pytest.raises(KeyboardInterrupt):
+            retry_subtransaction(t, interrupted, policy=policy)
+        assert attempts == [1]
+        t.abort()
+
+    def test_ordinary_exceptions_still_contained(self, db):
+        """The fix must not narrow classic containment: ValueError (not in
+        ``retryable``) still falls through to the next alternate."""
+
+        def bad(_s):
+            raise ValueError("soft failure")
+
+        def good(s):
+            s.write("c", 3)
+            return "ok"
+
+        with db.transaction() as t:
+            assert recovery_block(t, [bad, good]) == "ok"
+        assert db.snapshot()["c"] == 3
+
+
 class TestFailureInjector:
     def test_deterministic(self):
         a = FailureInjector(0.5, seed=42)

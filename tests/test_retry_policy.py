@@ -1,0 +1,84 @@
+"""RetryPolicy jitter determinism.
+
+Regression suite for the unseedable-jitter bug: ``RetryPolicy.delay``
+used to draw from the module-global ``random``, so chaos and benchmark
+runs were irreproducible and any ``random.seed()`` elsewhere in the
+process was silently perturbed by retries.  Each policy now owns its own
+``random.Random`` (injectable), seeded from the ``seed`` field.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestSeededJitter:
+    def test_same_seed_same_delays(self):
+        """The headline regression: two policies built from the same seed
+        produce identical delay sequences, run after run."""
+        first = RetryPolicy(backoff=0.001, jitter=0.01, seed=42)
+        second = RetryPolicy(backoff=0.001, jitter=0.01, seed=42)
+        assert [first.delay(n) for n in range(1, 20)] == [
+            second.delay(n) for n in range(1, 20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(jitter=1.0, seed=1)
+        b = RetryPolicy(jitter=1.0, seed=2)
+        assert [a.delay(1) for _ in range(8)] != [b.delay(1) for _ in range(8)]
+
+    def test_policy_rng_is_not_the_module_global(self):
+        """Drawing jitter must not consume (or depend on) the module-global
+        random stream.  Before the fix, interleaving policy.delay() calls
+        shifted ``random.random()``'s sequence."""
+        random.seed(1234)
+        expected = [random.random() for _ in range(6)]
+        random.seed(1234)
+        policy = RetryPolicy(jitter=1.0, seed=7)
+        observed = []
+        for _ in range(6):
+            policy.delay(1)  # would advance the global stream pre-fix
+            observed.append(random.random())
+        assert observed == expected
+
+    def test_global_seed_does_not_steer_policy(self):
+        """Conversely, ``random.seed()`` elsewhere cannot re-aim a seeded
+        policy's jitter stream mid-flight."""
+        baseline = RetryPolicy(jitter=1.0, seed=9)
+        expected = [baseline.delay(1) for _ in range(6)]
+        steered = RetryPolicy(jitter=1.0, seed=9)
+        observed = []
+        for i in range(6):
+            random.seed(i)
+            observed.append(steered.delay(1))
+        assert observed == expected
+
+    def test_injected_rng_is_used(self):
+        class FixedRandom(random.Random):
+            def random(self):
+                return 0.5
+
+        policy = RetryPolicy(backoff=0.0, jitter=0.2, rng=FixedRandom())
+        assert policy.delay(1) == 0.1
+        assert policy.delay(3) == 0.1
+
+    def test_jitter_bounds_and_linearity_unchanged(self):
+        policy = RetryPolicy(backoff=0.01, jitter=0.005, seed=3)
+        for attempt in (1, 2, 5):
+            d = policy.delay(attempt)
+            assert 0.01 * attempt <= d <= 0.01 * attempt + 0.005
+
+    def test_zero_jitter_is_exact_and_rngless_paths_work(self):
+        policy = RetryPolicy(backoff=0.002, jitter=0.0, seed=11)
+        assert policy.delay(4) == 0.008
+
+    def test_default_policy_owns_an_rng(self):
+        assert DEFAULT_RETRY_POLICY.rng is not None
+        assert DEFAULT_RETRY_POLICY.rng is not random
+
+    def test_equality_ignores_the_rng_instance(self):
+        """Two same-parameter policies compare equal even though each owns
+        a distinct Random (the rng field is compare=False)."""
+        assert RetryPolicy(jitter=0.1, seed=5) == RetryPolicy(jitter=0.1, seed=5)

@@ -1,0 +1,175 @@
+"""Direct unit/property tests for the waits-for graph and victim choice.
+
+The deadlock detector was previously exercised only through end-to-end
+engine runs; these tests pin :class:`WaitsForGraph`'s semantics on their
+own terms — the nested-aware traversal (a holder is transitively blocked
+by waits anywhere in its *subtree*), edge cleanup on transaction exit,
+and the three victim policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.naming import U
+from repro.engine.deadlock import (
+    BLOCKER,
+    REQUESTER,
+    YOUNGEST,
+    WaitsForGraph,
+    choose_victim,
+)
+
+T1 = U.child("t1")
+T2 = U.child("t2")
+T3 = U.child("t3")
+T1A = T1.child("a")
+T2A = T2.child("a")
+
+
+class TestEdges:
+    def test_set_and_clear(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2, T3])
+        assert len(graph) == 1
+        graph.clear_waits(T1)
+        assert len(graph) == 0
+
+    def test_empty_blockers_removes_edge(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T1, [])
+        assert len(graph) == 0
+
+    def test_remove_transaction_clears_both_sides(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2, [T1])
+        assert graph.find_cycle_from(T1) is not None
+        graph.remove_transaction(T2)
+        # Waiter side gone and T2 discarded from T1's blocker set: the
+        # cycle is broken from both directions.
+        assert graph.find_cycle_from(T1) is None
+        graph.set_waits(T3, [T1])
+        assert graph.find_cycle_from(T3) is None
+
+
+class TestFindCycle:
+    def test_direct_two_party_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2, [T1])
+        cycle = graph.find_cycle_from(T1)
+        assert cycle is not None
+        assert cycle[0] == T1
+        assert T2 in cycle
+
+    def test_chain_is_not_a_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2, [T3])
+        assert graph.find_cycle_from(T1) is None
+
+    def test_cycle_through_blockers_subtree(self):
+        """Nested-aware traversal: T1 waits on holder T2, and it is T2's
+        *child* (not T2 itself) that waits on T1.  T2 cannot commit until
+        its child finishes, so this is a real deadlock."""
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2A, [T1])
+        cycle = graph.find_cycle_from(T1)
+        assert cycle is not None
+        assert cycle[0] == T1
+        assert T2 in cycle
+
+    def test_cycle_closing_on_an_ancestor(self):
+        """A chain reaching an *ancestor* of the start is a deadlock: the
+        ancestor cannot proceed until the start (its descendant) ends."""
+        graph = WaitsForGraph()
+        graph.set_waits(T1A, [T2])
+        graph.set_waits(T2, [T1])  # blocks the parent of the start
+        cycle = graph.find_cycle_from(T1A)
+        assert cycle is not None
+        assert cycle[0] == T1A
+        assert cycle[-1] == T1
+
+    def test_subtree_wait_without_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2A, [T3])  # T2's subtree waits, but on a free txn
+        assert graph.find_cycle_from(T1) is None
+
+    def test_three_party_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(T1, [T2])
+        graph.set_waits(T2, [T3])
+        graph.set_waits(T3, [T1])
+        cycle = graph.find_cycle_from(T1)
+        assert cycle is not None
+        assert set(cycle) == {T1, T2, T3}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda e: e[0] < e[1]
+            ),
+            max_size=30,
+        )
+    )
+    def test_forward_edges_never_deadlock(self, edges):
+        """Waits that only point 'forward' (waiter index < blocker index)
+        form a DAG over sibling top-level transactions: no start node may
+        report a cycle."""
+        graph = WaitsForGraph()
+        names = [U.child(i) for i in range(10)]
+        by_waiter = {}
+        for waiter, blocker in edges:
+            by_waiter.setdefault(waiter, set()).add(blocker)
+        for waiter, blockers in by_waiter.items():
+            graph.set_waits(names[waiter], [names[b] for b in blockers])
+        for name in names:
+            assert graph.find_cycle_from(name) is None
+
+    @given(st.integers(2, 8))
+    def test_ring_always_detected(self, size):
+        graph = WaitsForGraph()
+        names = [U.child(i) for i in range(size)]
+        for i, name in enumerate(names):
+            graph.set_waits(name, [names[(i + 1) % size]])
+        for name in names:
+            cycle = graph.find_cycle_from(name)
+            assert cycle is not None
+            assert cycle[0] == name
+
+
+class TestChooseVictim:
+    def test_requester_policy(self):
+        assert choose_victim([T1, T2], REQUESTER, T1) == T1
+
+    def test_youngest_picks_deepest(self):
+        assert choose_victim([T1, T2A], YOUNGEST, T1) == T2A
+
+    def test_youngest_breaks_depth_ties_by_name(self):
+        # Deterministic: equal depth falls back to name order.
+        assert choose_victim([T1, T2], YOUNGEST, T1) == T2
+
+    def test_blocker_skips_requesters_ancestors(self):
+        # T1 is an ancestor of the requester T1A: aborting it would take
+        # the requester down too, so the policy passes over it.
+        assert choose_victim([T1A, T1, T2], BLOCKER, T1A) == T2
+
+    def test_blocker_falls_back_to_requester(self):
+        # Every other party is an ancestor of the requester.
+        assert choose_victim([T1A, T1], BLOCKER, T1A) == T1A
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown victim policy"):
+            choose_victim([T1, T2], "coin-flip", T1)
+
+    @given(st.sampled_from([REQUESTER, YOUNGEST, BLOCKER]))
+    def test_victim_is_always_on_cycle_or_requester(self, policy):
+        cycle = [T1A, T1, T2, T3]
+        victim = choose_victim(cycle, policy, T1A)
+        assert victim in cycle

@@ -1,0 +1,121 @@
+"""Executor failure paths.
+
+Regression suite for the silent-worker-death bug: an unexpected exception
+inside a worker thread (anything outside the contained
+failure/abort/timeout protocol) used to kill the daemon thread silently —
+the open transaction leaked (its locks stalling every other worker) and
+``execute()`` returned a report that undercounted.  Workers now abort the
+open transaction, count the program failed, and the first unexpected
+error is re-raised after all workers join.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import NestedTransactionDB
+from repro.engine.errors import UnknownObject
+from repro.workload import Firing, execute
+from repro.workload.executor import all_failure_points
+from repro.workload.shapes import Block, Op, Program, flat
+
+
+def _programs(count: int, obj: str = "a") -> list:
+    return [flat([Op("rmw", obj, 1)], "p%d" % i) for i in range(count)]
+
+
+class TestUnexpectedWorkerErrors:
+    def test_error_is_reraised_after_join(self):
+        db = NestedTransactionDB({"a": 0})
+        bad = flat([Op("write", "missing", 1)], "bad")
+        with pytest.raises(UnknownObject):
+            execute(db, _programs(3) + [bad], threads=2, seed=0)
+
+    def test_open_transaction_is_aborted_not_leaked(self):
+        """Before the fix the poisoned worker's transaction stayed ACTIVE
+        holding its locks: assert_quiescent failed and any later writer
+        on the touched object stalled forever."""
+        db = NestedTransactionDB({"a": 0, "b": 0})
+        bad = Program(
+            Block([Op("write", "a", 1), Op("write", "missing", 1)]), "bad"
+        )
+        with pytest.raises(UnknownObject):
+            execute(db, [bad], threads=1, seed=0)
+        db.assert_quiescent()  # nothing active, no locks held
+        # The lock on "a" really is free: a fresh writer commits at once.
+        db.run_transaction(lambda t: t.write("a", 7))
+        assert db.snapshot()["a"] == 7
+
+    def test_failed_program_is_counted_and_queue_drains(self):
+        """The other workers keep draining the queue; the poisoned
+        program lands in failed_programs (visible through counters even
+        though the error propagates)."""
+        db = NestedTransactionDB({"a": 0})
+        bad = flat([Op("write", "missing", 1)], "bad")
+        good = _programs(6)
+        try:
+            execute(db, [bad] + good, threads=2, seed=0)
+        except UnknownObject:
+            pass
+        else:
+            pytest.fail("expected UnknownObject to propagate")
+        # All six good programs committed despite the poisoned first one.
+        committed = db.snapshot()["a"]
+        assert committed == 6
+        db.assert_quiescent()
+
+    def test_first_error_wins(self):
+        """Multiple poisoned programs: exactly one (the first recorded)
+        propagates; the run still terminates."""
+        db = NestedTransactionDB({"a": 0})
+        bad = [flat([Op("write", "missing", 1)], "bad%d" % i) for i in range(3)]
+        with pytest.raises(UnknownObject):
+            execute(db, bad, threads=3, seed=0)
+        db.assert_quiescent()
+
+    def test_clean_runs_unaffected(self):
+        db = NestedTransactionDB({"a": 0})
+        report = execute(db, _programs(5), threads=2, seed=0)
+        assert report.committed_programs == 5
+        assert report.failed_programs == 0
+        db.assert_quiescent()
+
+
+class TestFiringFactory:
+    def test_factory_overrides_uniform_selection(self):
+        """A firing_factory decides exactly which failure points fire —
+        the chaos layer's entry point."""
+        db = NestedTransactionDB({"a": 0, "b": 0})
+        prog = Program(
+            Block(
+                [
+                    Op("write", "a", 1),
+                    Block([Op("write", "b", 2)], failure_point=True),
+                ]
+            ),
+            "one-child",
+        )
+
+        def fire_everything(program: Program, index: int) -> Firing:
+            return Firing({id(b) for b in all_failure_points(program)})
+
+        report = execute(db, [prog], threads=1, firing_factory=fire_everything)
+        assert report.injected == 1
+        assert report.child_aborts == 1
+        assert report.committed_programs == 1  # contained: parent commits
+        assert db.snapshot() == {"a": 1, "b": 0}
+
+    def test_factory_sees_program_and_index(self):
+        db = NestedTransactionDB({"a": 0})
+        seen = []
+        lock = threading.Lock()
+
+        def recorder(program: Program, index: int) -> Firing:
+            with lock:
+                seen.append((index, program.label))
+            return Firing(set())
+
+        execute(db, _programs(4), threads=2, firing_factory=recorder)
+        assert sorted(seen) == [(i, "p%d" % i) for i in range(4)]
