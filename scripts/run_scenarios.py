@@ -8,8 +8,9 @@ the scenario's conservation invariant, and failure containment.  The
 optional chaos stages layer on fsync-error poisoning (``--fsync-poison``)
 and a SIGKILL crash-and-recover cycle (``--crash``).
 
-Exits nonzero when any run fails any verdict — the JSON report names the
-violation.
+Exit codes follow the fleet convention (docs/scenarios.md): 0 every
+verdict passed, 1 a verdict failed (the JSON report names the
+violation), 2 bad invocation.
 
 Usage:
     PYTHONPATH=src python scripts/run_scenarios.py [--scenario NAME]...
@@ -30,6 +31,7 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
 )
 
+from repro.cli import EXIT_OK, EXIT_VERDICT_FAIL  # noqa: E402
 from repro.scenarios import (  # noqa: E402
     SCENARIOS,
     ChaosSchedule,
@@ -178,7 +180,7 @@ def main(argv=None):
         json.dump(batch, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
     print("report: %s (%d checks failed)" % (args.out, failed))
-    return 1 if failed else 0
+    return EXIT_VERDICT_FAIL if failed else EXIT_OK
 
 
 if __name__ == "__main__":

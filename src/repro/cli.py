@@ -1,0 +1,19 @@
+"""Shared conventions for the repo's command-line entry points.
+
+Every script under ``scripts/`` that renders a verdict exits with the
+same three codes, so CI jobs and shell pipelines can tell "the system
+failed its gates" apart from "you invoked me wrong":
+
+* ``EXIT_OK`` (0) — ran to completion and every verdict passed;
+* ``EXIT_VERDICT_FAIL`` (1) — ran to completion but at least one verdict
+  (certification, invariant, containment, coherence, ledger) failed; the
+  JSON report names the violation;
+* ``EXIT_USAGE`` (2) — bad invocation or unusable input; nothing was
+  judged.  This matches argparse's own exit code for bad flags.
+
+See docs/scenarios.md ("Exit codes") for the contract.
+"""
+
+EXIT_OK = 0
+EXIT_VERDICT_FAIL = 1
+EXIT_USAGE = 2

@@ -1,0 +1,326 @@
+"""Multi-process load generation against a shared shard fleet.
+
+One Python coordinator caps out long before the shards do (it relays
+every frame), so the scaling benchmark runs *several* client processes
+— each its own coordinator attached to the same fleet via
+``Cluster(attach_ports=...)`` — and aggregates committed counts.
+Branch transactions are named by the shards, so independent clients
+never collide; certification is owner-only and stays off here (the
+certified cell of E14 runs through :func:`run_cluster_scenario`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..scenarios.apps import build_scenario
+from .coordinator import Cluster
+from .routing import ClusterMap
+from .runner import REPLICATED_PREFIXES, flatten_ops
+from .shard import read_port, spawn_shard
+from .wire import Channel, WireClosed
+
+_CLIENT_ENTRY = "from repro.cluster.loadgen import client_main; client_main()"
+
+
+class Fleet:
+    """A spawned shard fleet no single coordinator owns."""
+
+    def __init__(
+        self,
+        initial: Dict[str, Any],
+        shards: int,
+        replicated: Tuple[str, ...],
+        base_dir: str,
+        durability: bool = True,
+        lock_timeout: float = 2.0,
+    ) -> None:
+        self.shards = shards
+        self.map = ClusterMap(shards, replicated)
+        self.procs: List[Any] = []
+        self.ports: List[int] = []
+        per_site = self.map.partition(initial)
+        for index in range(shards):
+            site_dir = os.path.join(base_dir, "site%d" % index)
+            os.makedirs(site_dir, exist_ok=True)
+            init_file = os.path.join(site_dir, "init.json")
+            with open(init_file, "w", encoding="utf-8") as fh:
+                json.dump(per_site[index], fh)
+            wal_dir = os.path.join(site_dir, "wal") if durability else None
+            if wal_dir:
+                os.makedirs(wal_dir, exist_ok=True)
+            proc = spawn_shard(
+                index, init_file, wal_dir,
+                lock_timeout=lock_timeout, record_trace=False,
+            )
+            self.procs.append(proc)
+            self.ports.append(read_port(proc))
+
+    def close(self) -> None:
+        for port in self.ports:
+            try:
+                channel = Channel("127.0.0.1", port, timeout=2.0)
+                channel.request({"op": "shutdown"})
+                channel.close()
+            except (OSError, WireClosed):
+                pass
+        for proc in self.procs:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+            proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+def drive_slice(
+    cluster: Cluster,
+    ops_lists: Sequence[List[Any]],
+    threads: int,
+    seed: int,
+    max_retries: int = 40,
+) -> Dict[str, int]:
+    """Run a slice of flattened programs to completion; plain counters."""
+    import random
+    import threading as _threading
+
+    from .coordinator import ClusterAborted, ClusterError
+
+    counters = {"committed": 0, "failed": 0, "retries": 0}
+    lock = _threading.Lock()
+    cursor = {"next": 0}
+
+    def worker(worker_seed: int) -> None:
+        rng = random.Random(worker_seed)
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(ops_lists):
+                    return
+                cursor["next"] = index + 1
+            aborts = 0
+            while True:
+                txn = cluster.begin()
+                try:
+                    for op in ops_lists[index]:
+                        if op.kind == "read":
+                            txn.read(op.obj)
+                        elif op.kind == "write":
+                            txn.write(op.obj, op.value)
+                        elif op.kind == "rmw":
+                            txn.rmw(op.obj, op.value)
+                        else:
+                            txn.increment(op.obj, op.value)
+                    txn.commit()
+                    with lock:
+                        counters["committed"] += 1
+                    break
+                except ClusterAborted:
+                    aborts += 1
+                    with lock:
+                        counters["retries"] += 1
+                    if aborts > max_retries:
+                        with lock:
+                            counters["failed"] += 1
+                        break
+                    time.sleep(rng.uniform(0, 0.003) * min(aborts, 10))
+                except ClusterError:
+                    txn.abort_quietly()
+                    with lock:
+                        counters["failed"] += 1
+                    break
+
+    pool = [
+        _threading.Thread(target=worker, args=(seed * 997 + i,), daemon=True)
+        for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return counters
+
+
+def client_main(argv: Optional[List[str]] = None) -> None:
+    """Load-client process entry: run a program slice, print counters."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    options: Dict[str, str] = {}
+    while args:
+        key = args.pop(0)
+        options[key.lstrip("-")] = args.pop(0)
+    ports = [int(p) for p in options["ports"].split(",")]
+    name = options["scenario"]
+    scenario = build_scenario(
+        name,
+        programs=int(options["programs"]),
+        users=int(options["users"]),
+        seed=int(options["seed"]),
+    )
+    replicated = (
+        tuple(options["replicated"].split(","))
+        if options.get("replicated") else ()
+    )
+    offset = int(options["offset"])
+    count = int(options["count"])
+    ops_lists = [
+        flatten_ops(p) for p in scenario.programs[offset:offset + count]
+    ]
+    cluster = Cluster(
+        scenario.initial,
+        shards=len(ports),
+        replicated=replicated,
+        certified=False,
+        attach_ports=ports,
+    )
+    try:
+        counters = drive_slice(
+            cluster, ops_lists,
+            threads=int(options.get("threads", "4")),
+            seed=int(options["seed"]) + offset,
+        )
+        counters["messages"] = cluster.protocol.counts()["messages_sent"]
+    finally:
+        cluster.close()
+    print("RESULT " + json.dumps(counters), flush=True)
+
+
+def spawn_client(
+    ports: Sequence[int],
+    scenario: str,
+    programs: int,
+    users: int,
+    seed: int,
+    offset: int,
+    count: int,
+    threads: int,
+    replicated: Tuple[str, ...] = (),
+) -> "subprocess.Popen[bytes]":
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-c", _CLIENT_ENTRY,
+            "--ports", ",".join(str(p) for p in ports),
+            "--scenario", scenario,
+            "--programs", str(programs),
+            "--users", str(users),
+            "--seed", str(seed),
+            "--offset", str(offset),
+            "--count", str(count),
+            "--threads", str(threads),
+            "--replicated", ",".join(replicated),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+    )
+
+
+def run_load(
+    scenario: str,
+    shards: int,
+    programs: int,
+    users: int,
+    clients: int = 4,
+    threads: int = 4,
+    seed: int = 1,
+    replicated: Optional[Tuple[str, ...]] = None,
+    durability: bool = True,
+    base_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One scaling cell: spawn a fleet, fan ``clients`` processes over
+    the program list, aggregate committed-transaction throughput."""
+    import shutil
+    import tempfile
+
+    if replicated is None:
+        replicated = REPLICATED_PREFIXES.get(scenario, ())
+    owns_dir = base_dir is None
+    base = base_dir or tempfile.mkdtemp(prefix="cluster-load-")
+    built = build_scenario(scenario, programs=programs, users=users, seed=seed)
+    fleet = Fleet(built.initial, shards, tuple(replicated), base,
+                  durability=durability)
+    per_client = programs // clients
+    totals = {"committed": 0, "failed": 0, "retries": 0, "messages": 0}
+    try:
+        if clients == 1:
+            # One client drives in-process: no interpreter spawn inside
+            # the timed window, and no extra process fighting for cores.
+            ops_lists = [flatten_ops(p) for p in built.programs]
+            cluster = Cluster(
+                built.initial, shards=shards, replicated=tuple(replicated),
+                certified=False, attach_ports=fleet.ports,
+            )
+            started = time.perf_counter()
+            try:
+                counters = drive_slice(
+                    cluster, ops_lists, threads=threads, seed=seed,
+                )
+                counters["messages"] = (
+                    cluster.protocol.counts()["messages_sent"]
+                )
+            finally:
+                seconds = time.perf_counter() - started
+                cluster.close()
+            for key in totals:
+                totals[key] += counters[key]
+        else:
+            started = time.perf_counter()
+            procs = [
+                spawn_client(
+                    fleet.ports, scenario, programs, users, seed,
+                    offset=i * per_client,
+                    count=per_client if i < clients - 1
+                    else programs - (clients - 1) * per_client,
+                    threads=threads,
+                    replicated=tuple(replicated),
+                )
+                for i in range(clients)
+            ]
+            for proc in procs:
+                assert proc.stdout is not None
+                payload = None
+                for line in proc.stdout:
+                    if line.startswith(b"RESULT "):
+                        payload = json.loads(line[len(b"RESULT "):])
+                proc.wait()
+                proc.stdout.close()
+                if payload is None:
+                    raise RuntimeError(
+                        "load client exited without a result (rc=%s)"
+                        % proc.returncode
+                    )
+                for key in totals:
+                    totals[key] += payload.get(key, 0)
+            seconds = time.perf_counter() - started
+    finally:
+        fleet.close()
+        if owns_dir:
+            shutil.rmtree(base, ignore_errors=True)
+    return {
+        "scenario": scenario,
+        "shards": shards,
+        "clients": clients,
+        "threads_per_client": threads,
+        "programs": programs,
+        "committed": totals["committed"],
+        "failed": totals["failed"],
+        "retries": totals["retries"],
+        "messages": totals["messages"],
+        "msgs_per_txn": round(totals["messages"] / totals["committed"], 2)
+        if totals["committed"] and totals["messages"] else None,
+        "seconds": round(seconds, 3),
+        "committed_per_sec": round(totals["committed"] / seconds, 1)
+        if seconds > 0 else 0.0,
+    }

@@ -1,0 +1,364 @@
+"""Run the scenario fleet on a real multi-process cluster and judge it.
+
+The single-process fleet (:mod:`repro.scenarios`) compiles bank /
+marketplace / social programs; here each compiled program becomes one
+*global* transaction: its leaf operations run against the shard fleet
+through the coordinator, cross-shard programs commit with 2PC, and the
+scenario's ledger counters are *replicated* objects with
+available-copies semantics.
+
+Judging extends the fleet's three verdicts with the distribution axis:
+
+1. **certification** — the merged cross-site trace passes both the
+   streaming certifier and the offline oracle (Theorem 29's projection,
+   checked, not assumed);
+2. **invariant** — the scenario's conservation law over the *logical*
+   snapshot (one fresh copy per object);
+3. **replica coherence** — every fresh copy of a replicated object
+   agrees at quiescence;
+4. **progress ledger** — each replicated ledger counter's final value
+   equals its initial value plus exactly the deltas of the programs the
+   runner believes committed (catches lost acked work *and* zombie
+   half-committed work across a site kill).
+
+A :class:`~repro.scenarios.chaos.SiteSchedule` drives mid-run SIGKILLs
+and revivals; sites still dead at the end are revived so in-doubt
+decisions resolve and the snapshot is complete.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..scenarios.apps import build_scenario
+from ..scenarios.chaos import SiteSchedule
+from ..workload.shapes import Op, Program
+from .coordinator import (
+    Cluster,
+    ClusterAborted,
+    ClusterInDoubt,
+    SiteUnavailable,
+)
+
+#: Ledger objects are replicated cluster-wide; everything else is
+#: single-site.  The prefixes match exactly the scenarios' increment-only
+#: conservation counters (bank:fees, market:sold/revenue/orders,
+#: social:deliveries) — never the rmw-heavy account/stock objects.
+REPLICATED_PREFIXES: Dict[str, Tuple[str, ...]] = {
+    "bank": ("bank:",),
+    "marketplace": ("market:",),
+    "social": ("social:",),
+}
+
+
+def flatten_ops(program: Program) -> List[Op]:
+    """A program's leaf operations in plan order; read-only programs
+    flatten to plain reads (the cluster has no cross-site snapshot mode
+    — documented limitation, see docs/cluster.md)."""
+    ops = program.root.ops()
+    if program.read_only:
+        return [Op("read", op.obj) for op in ops]
+    return list(ops)
+
+
+@dataclass
+class ClusterScenarioResult:
+    scenario: str
+    shards: int
+    users: int
+    programs: int
+    committed: int = 0
+    failed: int = 0
+    unavailable: int = 0
+    in_doubt: int = 0
+    in_doubt_committed: int = 0
+    retries: int = 0
+    sites_killed: int = 0
+    sites_revived: int = 0
+    messages: int = 0
+    throughput: float = 0.0  # committed programs / second
+    seconds: float = 0.0
+    certified_streaming: Optional[bool] = None
+    certified_oracle: Optional[bool] = None
+    merge: Dict[str, Any] = field(default_factory=dict)
+    invariant_ok: bool = True
+    invariant_violation: Optional[str] = None
+    replicas_coherent: bool = True
+    coherence_mismatches: List[str] = field(default_factory=list)
+    ledger_ok: bool = True
+    ledger_violation: Optional[str] = None
+    site_events: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.certified_streaming is not False
+            and self.certified_oracle is not False
+            and self.merge.get("unresolved", 0) == 0
+            and self.invariant_ok
+            and self.replicas_coherent
+            and self.ledger_ok
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        row = dict(self.__dict__)
+        row["ok"] = self.ok
+        return row
+
+
+class _Progress:
+    def __init__(self, total: int) -> None:
+        self.total = max(1, total)
+        self.done = 0
+        self.lock = threading.Lock()
+
+    def bump(self) -> None:
+        with self.lock:
+            self.done += 1
+
+    def fraction(self) -> float:
+        with self.lock:
+            return self.done / self.total
+
+
+def _site_driver(
+    cluster: Cluster,
+    schedule: SiteSchedule,
+    progress: _Progress,
+    stop: threading.Event,
+    counters: Dict[str, int],
+    max_seconds: float,
+) -> None:
+    """Fire kill/revive events as run progress crosses each threshold
+    (with a wall-clock fallback so a stalled queue cannot deadlock the
+    schedule against itself)."""
+    started = time.monotonic()
+    for event in sorted(schedule.events, key=lambda e: e.at):
+        while not stop.is_set():
+            elapsed = time.monotonic() - started
+            if (progress.fraction() >= event.at
+                    or elapsed >= event.at * max_seconds):
+                break
+            time.sleep(0.005)
+        if stop.is_set():
+            return
+        if event.action == "kill":
+            cluster.kill_site(event.site)
+            counters["killed"] += 1
+        else:
+            cluster.revive_site(event.site)
+            counters["revived"] += 1
+
+
+def run_cluster_scenario(
+    name: str = "bank",
+    shards: int = 4,
+    programs: Optional[int] = None,
+    users: Optional[int] = None,
+    threads: int = 8,
+    seed: int = 0,
+    sites: Optional[SiteSchedule] = None,
+    durability: bool = True,
+    certified: bool = True,
+    base_dir: Optional[str] = None,
+    lock_timeout: float = 2.0,
+    max_retries: int = 40,
+    unavailable_retries: int = 60,
+    chaos_max_seconds: float = 30.0,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+) -> ClusterScenarioResult:
+    scenario = build_scenario(
+        name, programs=programs, users=users, seed=seed,
+        **(scenario_kwargs or {}),
+    )
+    replicated = REPLICATED_PREFIXES.get(name, ())
+    cluster = Cluster(
+        scenario.initial,
+        shards=shards,
+        replicated=replicated,
+        base_dir=base_dir,
+        durability=durability,
+        lock_timeout=lock_timeout,
+        certified=certified,
+    )
+    result = ClusterScenarioResult(
+        scenario=scenario.name,
+        shards=shards,
+        users=scenario.users,
+        programs=len(scenario.programs),
+        site_events=sites.describe() if sites is not None else {},
+    )
+
+    flat = [flatten_ops(program) for program in scenario.programs]
+    ledger_deltas: List[Dict[str, Any]] = []
+    for ops in flat:
+        deltas: Dict[str, Any] = {}
+        for op in ops:
+            if op.kind == "increment" and cluster.map.is_replicated(op.obj):
+                deltas[op.obj] = deltas.get(op.obj, 0) + op.value
+        ledger_deltas.append(deltas)
+
+    progress = _Progress(len(flat))
+    stop = threading.Event()
+    counters = {"killed": 0, "revived": 0}
+    lock = threading.Lock()
+    committed_deltas: Dict[str, Any] = {}
+    in_doubt_txns: List[Tuple[str, int]] = []  # (txn name, program index)
+    cursor = {"next": 0}
+
+    def _claim() -> Optional[int]:
+        with lock:
+            index = cursor["next"]
+            if index >= len(flat):
+                return None
+            cursor["next"] = index + 1
+            return index
+
+    def _apply(ops: List[Op], txn) -> None:
+        for op in ops:
+            if op.kind == "read":
+                txn.read(op.obj)
+            elif op.kind == "write":
+                txn.write(op.obj, op.value)
+            elif op.kind == "rmw":
+                txn.rmw(op.obj, op.value)
+            elif op.kind == "increment":
+                txn.increment(op.obj, op.value)
+            else:
+                raise ValueError("unknown op kind %r" % op.kind)
+
+    def _worker(worker_seed: int) -> None:
+        rng = random.Random(worker_seed)
+        while not stop.is_set():
+            index = _claim()
+            if index is None:
+                return
+            ops = flat[index]
+            aborts = blocked = 0
+            while True:
+                txn = cluster.begin()
+                try:
+                    _apply(ops, txn)
+                    txn.commit()
+                    with lock:
+                        result.committed += 1
+                        for obj, delta in ledger_deltas[index].items():
+                            committed_deltas[obj] = (
+                                committed_deltas.get(obj, 0) + delta
+                            )
+                    break
+                except ClusterAborted:
+                    aborts += 1
+                    with lock:
+                        result.retries += 1
+                    if aborts > max_retries:
+                        with lock:
+                            result.failed += 1
+                        break
+                    time.sleep(rng.uniform(0, 0.004) * min(aborts, 10))
+                except SiteUnavailable:
+                    txn.abort_quietly()
+                    blocked += 1
+                    if blocked > unavailable_retries:
+                        with lock:
+                            result.unavailable += 1
+                        break
+                    time.sleep(0.05 + rng.uniform(0, 0.05))
+                except ClusterInDoubt as error:
+                    with lock:
+                        result.in_doubt += 1
+                        in_doubt_txns.append((error.txn, index))
+                    break
+            progress.bump()
+
+    driver = None
+    if sites is not None and sites.events:
+        driver = threading.Thread(
+            target=_site_driver,
+            args=(cluster, sites, progress, stop, counters,
+                  chaos_max_seconds),
+            daemon=True,
+        )
+        driver.start()
+
+    started = time.perf_counter()
+    try:
+        workers = [
+            threading.Thread(target=_worker, args=(seed * 1000 + i,),
+                             daemon=True)
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    finally:
+        result.seconds = round(time.perf_counter() - started, 3)
+        stop.set()
+    if driver is not None:
+        driver.join(timeout=chaos_max_seconds)
+
+    try:
+        # Revive anything still dead: in-doubt decisions need the WAL's
+        # answer, and the logical snapshot needs every home site.
+        for site in cluster.sites:
+            if not site.up:
+                cluster.revive_site(site.index)
+                counters["revived"] += 1
+
+        # Fold resolved in-doubt outcomes into the run's ledger view.
+        for txn_name, index in in_doubt_txns:
+            if cluster.resolved_outcomes.get(txn_name) == "committed":
+                result.in_doubt_committed += 1
+                result.committed += 1
+                for obj, delta in ledger_deltas[index].items():
+                    committed_deltas[obj] = (
+                        committed_deltas.get(obj, 0) + delta
+                    )
+
+        snapshot, coherent, mismatches = cluster.logical_snapshot()
+        result.replicas_coherent = coherent
+        result.coherence_mismatches = mismatches
+        violation = scenario.invariant(snapshot)
+        result.invariant_ok = violation is None
+        result.invariant_violation = violation
+
+        for obj, expected_delta in sorted(committed_deltas.items()):
+            actual = snapshot.get(obj, 0) - cluster.initial.get(obj, 0)
+            if actual != expected_delta:
+                result.ledger_ok = False
+                result.ledger_violation = (
+                    "%s moved by %r but committed programs account for %r"
+                    % (obj, actual, expected_delta)
+                )
+                break
+        else:
+            # Ledgers a committed program never touched must not move.
+            for obj in cluster.initial:
+                if cluster.map.is_replicated(obj) \
+                        and obj not in committed_deltas:
+                    if snapshot.get(obj, 0) != cluster.initial.get(obj, 0):
+                        result.ledger_ok = False
+                        result.ledger_violation = (
+                            "%s moved with no committed program" % obj
+                        )
+                        break
+
+        merge = cluster.finish()
+        if merge is not None:
+            result.certified_streaming = merge.streaming_ok
+            result.certified_oracle = merge.oracle_ok
+            result.merge = merge.as_dict()
+        counts = cluster.protocol.counts()
+        result.messages = counts["messages_sent"]
+        result.sites_killed = counters["killed"]
+        result.sites_revived = counters["revived"]
+        if result.seconds > 0:
+            result.throughput = round(result.committed / result.seconds, 1)
+    finally:
+        cluster.close()
+    return result

@@ -216,3 +216,65 @@ def with_hot_keys(schedule: ChaosSchedule, hot_keys: Iterable[str]) -> ChaosSche
         seed=schedule.seed,
         fsync_fail_at=schedule.fsync_fail_at,
     )
+
+
+@dataclass(frozen=True)
+class SiteEvent:
+    """One site-lifecycle action on the run's progress axis."""
+
+    #: Fire once progress (completed programs / total) reaches this.
+    at: float
+    #: "kill" (SIGKILL the shard process) or "revive" (restart it and
+    #: walk it through recovery, redo, and replica resync).
+    action: str
+    site: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "revive"):
+            raise ValueError("action must be 'kill' or 'revive', got %r"
+                             % self.action)
+        if not 0.0 <= self.at <= 1.0:
+            raise ValueError("at must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class SiteSchedule:
+    """Site failure/recovery chaos for cluster runs: the per-site
+    extension of the SIGKILL crash harness, declarative like
+    :class:`ChaosSchedule`.  The cluster scenario runner fires each
+    event when run progress crosses its threshold; sites left dead at
+    the end are revived so invariants can be judged over a complete
+    logical snapshot."""
+
+    events: tuple = ()
+
+    @classmethod
+    def kill_revive(
+        cls, site: int, kill_at: float = 0.3, revive_at: float = 0.6
+    ) -> "SiteSchedule":
+        """The canonical available-copies exercise: one site dies
+        mid-run and comes back before the run ends."""
+        return cls(events=(
+            SiteEvent(kill_at, "kill", site),
+            SiteEvent(revive_at, "revive", site),
+        ))
+
+    @classmethod
+    def rolling(cls, sites: int, width: float = 0.2) -> "SiteSchedule":
+        """Kill and revive each site in turn across the run."""
+        events = []
+        for index in range(sites):
+            start = (index + 0.5) / (sites + 1)
+            events.append(SiteEvent(round(start, 4), "kill", index))
+            events.append(
+                SiteEvent(round(min(1.0, start + width), 4), "revive", index)
+            )
+        return cls(events=tuple(events))
+
+    def describe(self) -> dict:
+        return {
+            "events": [
+                {"at": e.at, "action": e.action, "site": e.site}
+                for e in self.events
+            ]
+        }

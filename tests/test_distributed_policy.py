@@ -1,0 +1,178 @@
+"""Propagation-policy coverage for the distributed simulator, the
+deadlock-preemption (stall-breaking) path, and the differential check
+that a scenario certifies identically on the simulator-era single
+process engine and on the real multi-process cluster."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    HomeAssignment,
+    Level1Algebra,
+    U,
+    Universe,
+    project_run,
+    write,
+)
+from repro.core.action_tree import ABORTED, ACTIVE, COMMITTED
+from repro.core.explorer import Scenario
+from repro.distributed import (
+    BROADCAST,
+    GOSSIP,
+    TARGETED,
+    DistributedMossSystem,
+    PolicyConfig,
+    random_distributed_scenario,
+)
+from repro.distributed.policy import all_other_nodes, interested_nodes
+
+
+def _two_node_setting():
+    universe = Universe()
+    universe.define_object("x", init=0)
+    universe.define_object("y", init=0)
+    t1 = U.child(1)
+    s1 = t1.child(0)
+    universe.declare_access(s1.child("wx"), "x", write(1))
+    universe.declare_access(s1.child("wy"), "y", write(1))
+    homes = HomeAssignment(
+        universe, 3,
+        object_homes={"x": 0, "y": 2},
+        action_homes={t1: 1, s1: 1},
+    )
+    return universe, Scenario(universe, (t1, s1)), homes, t1, s1
+
+
+class TestPropagationPolicies:
+    def test_active_change_targets_only_the_action_home(self):
+        universe, scenario, homes, t1, s1 = _two_node_setting()
+        access = s1.child("wx")
+        # An access turning active matters only where perform is judged:
+        # the access's home (= its object's home under this assignment).
+        assert interested_nodes(access, ACTIVE, 1, scenario, homes) == {
+            homes.home_of_action(access)
+        }
+        # An internal action turning active matters only at its own home
+        # (node 1 == at_node here, so nothing needs sending).
+        assert interested_nodes(s1, ACTIVE, 1, scenario, homes) == set()
+
+    def test_commit_fans_out_to_parent_and_subtree_object_homes(self):
+        universe, scenario, homes, t1, s1 = _two_node_setting()
+        # s1's commit matters at home(t1)=1 (excluded: at_node), and at
+        # the homes of both objects its subtree touches (0 and 2).
+        assert interested_nodes(s1, COMMITTED, 1, scenario, homes) == {0, 2}
+        # Same fan-out for aborts (lose-lock preconditions read them).
+        assert interested_nodes(s1, ABORTED, 1, scenario, homes) == {0, 2}
+        # From a different node, the action home itself is included.
+        assert interested_nodes(s1, COMMITTED, 0, scenario, homes) == {1, 2}
+
+    def test_root_status_never_propagates_parentward(self):
+        universe, scenario, homes, t1, s1 = _two_node_setting()
+        # t1's parent is the root U — no home, no message for it; only
+        # the subtree's object homes are interested.
+        assert interested_nodes(t1, COMMITTED, 1, scenario, homes) == {0, 2}
+
+    def test_all_other_nodes(self):
+        assert all_other_nodes(1, 4) == {0, 2, 3}
+        assert all_other_nodes(0, 1) == set()
+
+    def test_policy_kind_validated(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(kind="carrier-pigeon")
+
+    @pytest.mark.parametrize("kind", [BROADCAST, TARGETED, GOSSIP])
+    def test_each_policy_completes_and_stays_valid(self, kind):
+        scenario, homes = random_distributed_scenario(
+            random.Random(11), node_count=3, locality=0.4, toplevel=3
+        )
+        system = DistributedMossSystem(
+            scenario, homes, policy=PolicyConfig(kind=kind), seed=11
+        )
+        report, events = system.run()
+        assert report.completed
+        universe = scenario.universe
+        assert Level1Algebra(universe).is_valid(project_run(events, 1))
+
+    def test_targeted_never_costs_more_than_broadcast(self):
+        scenario, homes = random_distributed_scenario(
+            random.Random(7), node_count=4, locality=0.3, toplevel=4
+        )
+        bills = {}
+        for kind in (BROADCAST, TARGETED):
+            system = DistributedMossSystem(
+                scenario, homes, policy=PolicyConfig(kind=kind), seed=7
+            )
+            report, _ = system.run()
+            assert report.completed
+            bills[kind] = report.messages
+        assert bills[TARGETED] <= bills[BROADCAST]
+
+
+class TestDeadlockPreemption:
+    def _deadlock_setting(self):
+        """Two top-levels acquiring x and y in opposite orders, with the
+        declaration order forcing each to take its first lock before
+        either can take its second: a guaranteed distributed deadlock."""
+        universe = Universe()
+        universe.define_object("x", init=0)
+        universe.define_object("y", init=0)
+        t1, t2 = U.child(1), U.child(2)
+        s1, s2 = t1.child(0), t2.child(0)
+        universe.declare_access(s1.child("wx"), "x", write(1))
+        universe.declare_access(s2.child("wy"), "y", write(2))
+        universe.declare_access(s1.child("wy"), "y", write(1))
+        universe.declare_access(s2.child("wx"), "x", write(2))
+        homes = HomeAssignment(
+            universe, 2,
+            object_homes={"x": 0, "y": 1},
+            action_homes={t1: 0, s1: 0, t2: 1, s2: 1},
+        )
+        return universe, Scenario(universe, (t1, s1, t2, s2)), homes
+
+    def test_stall_is_broken_by_ancestor_preemption(self):
+        universe, scenario, homes = self._deadlock_setting()
+        system = DistributedMossSystem(scenario, homes, seed=1)
+        report, events = system.run()
+        # The deadlock actually happened and was broken by aborting a
+        # blocked access's nearest abortable ancestor.
+        assert report.stalls_broken >= 1
+        assert report.aborted >= 1
+        assert report.completed
+        assert report.abandoned == 0
+        assert Level1Algebra(universe).is_valid(project_run(events, 1))
+
+    def test_preemption_deterministic_under_seed(self):
+        _, scenario, homes = self._deadlock_setting()
+        first = DistributedMossSystem(scenario, homes, seed=1).run()[0]
+        second = DistributedMossSystem(scenario, homes, seed=1).run()[0]
+        assert first.as_row() == second.as_row()
+
+
+@pytest.mark.crash
+class TestSimulatorClusterDifferential:
+    def test_same_scenario_certifies_identically(self):
+        """One compiled scenario, two executions: the single-process
+        engine (streaming-certified) and the multi-process cluster
+        (merged-trace certified).  Both must reach the same verdicts:
+        certified serializable, conservation invariant intact, every
+        program eventually committed."""
+        from repro.cluster import run_cluster_scenario
+        from repro.scenarios import run_scenario
+        from repro.scenarios.apps import build_scenario
+
+        kwargs = dict(programs=10, users=10, seed=21)
+        local = run_scenario("bank", threads=4, certify="streaming",
+                             **kwargs)
+        cluster = run_cluster_scenario("bank", shards=2, threads=4,
+                                       durability=False, certified=True,
+                                       **kwargs)
+        assert local.certified is True
+        assert cluster.certified_streaming is True
+        assert cluster.certified_oracle is True
+        assert local.invariant_ok and cluster.invariant_ok
+        assert local.committed == len(build_scenario("bank", **kwargs).programs)
+        assert cluster.committed == local.committed
+        assert local.ok and cluster.ok
