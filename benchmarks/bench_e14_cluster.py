@@ -79,6 +79,27 @@ def _replication_cell():
     )
 
 
+def _frontend_cell():
+    """E14d — the asyncio serve front-end driving the shard fleet: every
+    program held as a session coroutine, multiplexed over ``THREADS``
+    submitter workers instead of a thread per program (the coordinator
+    has no batch entry points, so ops go per-op — this cell prices the
+    multiplexing).  Carries per-site exchange counts: the saturation
+    axis a skewed routing table would show up on."""
+    return run_load(
+        "bank",
+        shards=2,
+        programs=PROGRAMS,
+        users=USERS,
+        clients=1,
+        threads=THREADS,
+        seed=14,
+        replicated=(),
+        durability=True,
+        frontend="async",
+    )
+
+
 def _chaos_cell():
     result = run_cluster_scenario(
         "bank",
@@ -99,6 +120,7 @@ def test_e14_cluster(benchmark):
         return {
             "scaling": _scaling_cells(),
             "replicated": _replication_cell(),
+            "frontend": _frontend_cell(),
             "chaos": _chaos_cell(),
         }
 
@@ -118,15 +140,24 @@ def test_e14_cluster(benchmark):
         "4+repl", rep["committed"], rep["failed"], rep["seconds"],
         rep["committed_per_sec"], rep.get("msgs_per_txn", ""), rep["retries"],
     )
+    front = cells["frontend"]
+    table.add_row(
+        "2+async", front["committed"], front["failed"], front["seconds"],
+        front["committed_per_sec"], front.get("msgs_per_txn", ""),
+        front["retries"],
+    )
     emit(
-        "E14a/b: cluster committed-txn/s vs shard count (bank, WAL on)",
+        "E14a/b/d: cluster committed-txn/s vs shard count (bank, WAL on)",
         table,
         notes="one shard = one OS process; cross-shard commits use 2PC. "
         "host cpu_count=%d (%s). '4+repl' replicates the bank ledger "
-        "to every site (available copies)." % (
+        "to every site (available copies); '2+async' drives the fleet "
+        "through the asyncio serve front-end (repro.serve), programs as "
+        "session coroutines over %d submitter workers." % (
             CPU_COUNT,
             "parallel host" if PARALLEL_HOST
             else "single-core: cells price 2PC message overhead",
+            THREADS,
         ),
     )
 
@@ -161,6 +192,7 @@ def test_e14_cluster(benchmark):
                 "threads": THREADS,
                 "scaling": cells["scaling"],
                 "replicated": rep,
+                "frontend": front,
                 "chaos": chaos,
             },
             fh,
@@ -174,6 +206,17 @@ def test_e14_cluster(benchmark):
         assert row["committed"] == PROGRAMS, row
         assert row["failed"] == 0, row
     assert rep["committed"] == PROGRAMS, rep
+
+    # The async front-end drains the same program list through session
+    # coroutines, and its per-site exchange accounting is complete: the
+    # sites' round trips add up to every message the coordinator sent.
+    assert front["committed"] == PROGRAMS, front
+    assert front["failed"] == 0, front
+    assert front["per_site"], front
+    assert (
+        sum(site["exchanges"] for site in front["per_site"].values())
+        == front["messages"]
+    ), front
 
     # Section 9 cost model: spanning more sites costs more messages per
     # committed transaction (extra prepare/commit rounds), monotonically.

@@ -124,6 +124,7 @@ class Cluster:
         certified: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         attach_ports: Optional[Sequence[int]] = None,
+        txn_channels: bool = False,
     ) -> None:
         if attach_ports is not None and certified:
             # Several coordinators can share one fleet (the scaling
@@ -132,6 +133,13 @@ class Cluster:
             raise ValueError("certified=True requires owning the shards")
         self.map = ClusterMap(shards, replicated)
         self.initial = dict(initial)
+        # Shard branch tables are connection-scoped, so a transaction is
+        # only drivable over the connection that began its branches.
+        # The default thread-local channels assume one thread runs a
+        # whole transaction; drivers that multiplex transactions over a
+        # worker pool (repro.serve) set ``txn_channels`` so each
+        # GlobalTxn owns its connections and any worker can run any op.
+        self.txn_channels = txn_channels
         self.lock_timeout = lock_timeout
         self.certified = certified
         self._owns_dir = base_dir is None
@@ -502,11 +510,35 @@ class GlobalTxn:
         self.name = name
         self.branches: Dict[int, _BranchState] = {}
         self.finished = False
+        self._channels: Dict[int, Tuple[int, Channel]] = {}
 
     # -- plumbing -------------------------------------------------------------
 
     def _site(self, index: int) -> _Site:
         return self.cluster.sites[index]
+
+    def _channel(self, site: _Site) -> Channel:
+        """The connection this transaction's branches live on.
+
+        Shard branch tables are per-connection, so in ``txn_channels``
+        mode every GlobalTxn opens its own channel per touched site —
+        then any worker thread can run any of its ops, and a dropped
+        connection still aborts exactly this transaction's branches."""
+        if not self.cluster.txn_channels:
+            return self.cluster._session(site)
+        entry = self._channels.get(site.index)
+        if entry is not None and entry[0] == site.epoch:
+            return entry[1]
+        if entry is not None:
+            entry[1].close()
+        channel = Channel("127.0.0.1", site.port)
+        self._channels[site.index] = (site.epoch, channel)
+        return channel
+
+    def _close_channels(self) -> None:
+        for _epoch, channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
 
     def _request(self, branch: _BranchState, payload: Dict[str, Any],
                  status: str = ACTIVE) -> Dict[str, Any]:
@@ -515,7 +547,7 @@ class GlobalTxn:
             raise SiteUnavailable("site %d is gone" % branch.site)
         payload = dict(payload, branch=list(branch.path))
         try:
-            reply = self.cluster._session(site).request(payload)
+            reply = self._channel(site).request(payload)
         except WireClosed:
             self.cluster._site_down(site, branch.epoch)
             raise SiteUnavailable("site %d died mid-operation"
@@ -537,7 +569,7 @@ class GlobalTxn:
             raise SiteUnavailable("site %d is down" % index)
         epoch = site.epoch
         try:
-            reply = self.cluster._session(site).request({"op": "begin"})
+            reply = self._channel(site).request({"op": "begin"})
         except WireClosed:
             self.cluster._site_down(site, epoch)
             raise SiteUnavailable("site %d died at begin" % index) from None
@@ -675,6 +707,13 @@ class GlobalTxn:
         return waits
 
     def commit(self) -> None:
+        try:
+            self._commit()
+        finally:
+            if self.finished:
+                self._close_channels()
+
+    def _commit(self) -> None:
         if self.finished:
             raise ClusterError("transaction already finished")
         cluster = self.cluster
@@ -781,7 +820,7 @@ class GlobalTxn:
                 continue
             try:
                 payload = dict({"op": "abort"}, branch=list(branch.path))
-                reply = cluster._session(site).request(payload)
+                reply = self._channel(site).request(payload)
                 cluster.protocol.log_exchange(
                     branch.site,
                     summary_for(self.name.child(branch.site), ABORTED),
@@ -790,6 +829,7 @@ class GlobalTxn:
                     branch.watermark = reply.get("watermark")
             except WireClosed:
                 cluster._site_down(site, branch.epoch)
+        self._close_channels()
         if cluster.merger is not None:
             cluster.merger.decide(self.name, "abort",
                                   waits=self._decide_waits())

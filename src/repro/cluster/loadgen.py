@@ -147,6 +147,98 @@ def drive_slice(
     return counters
 
 
+def drive_slice_async(
+    cluster: Cluster,
+    ops_lists: Sequence[List[Any]],
+    seed: int,
+    max_retries: int = 40,
+    workers: int = 2,
+) -> Dict[str, int]:
+    """Run a slice through the asyncio front-end: one session coroutine
+    per program, multiplexed over ``workers`` submitter threads.
+
+    The coordinator has no batch entry points, so the submitter degrades
+    to per-op submission — what this driver prices is the *multiplexing*:
+    every program held as a session coroutine over a handful of threads,
+    instead of a thread per program.  Retry policy mirrors
+    :func:`drive_slice` exactly so the counters are comparable.
+
+    In-flight *transactions* are capped at ``workers``: a shard request
+    blocks server-side while the shard's engine waits on a lock, so a
+    pool whose every worker is parked inside a blocked RPC can never
+    send the commit that would release it (the engine path escapes this
+    with its non-blocking batch attempts; the wire protocol has no
+    equivalent).  With at most ``workers`` transactions open, a blocked
+    RPC's holder always finds a free worker, and the admitted
+    concurrency equals the threaded driver's ``threads`` — the two
+    cells stay comparable.
+
+    The cluster is flipped to ``txn_channels`` mode for the run: shard
+    branch tables are connection-scoped, and this driver executes one
+    transaction's ops on whichever submitter worker is free, so each
+    transaction must own its connections rather than borrow the
+    worker thread's.
+    """
+    import asyncio
+    import random
+
+    from ..serve import AsyncFrontend
+    from .coordinator import ClusterAborted, ClusterError
+
+    cluster.txn_channels = True
+
+    counters = {"committed": 0, "failed": 0, "retries": 0}
+
+    async def one(frontend: Any, admission: Any, index: int) -> None:
+        async with admission:
+            await run_one(frontend, index)
+
+    async def run_one(frontend: Any, index: int) -> None:
+        rng = random.Random(seed * 997 + index)
+        aborts = 0
+        while True:
+            session = frontend.session()
+            await session.begin()
+            try:
+                for op in ops_lists[index]:
+                    if op.kind == "read":
+                        await session.read(op.obj)
+                    elif op.kind == "write":
+                        await session.write(op.obj, op.value)
+                    elif op.kind == "rmw":
+                        await session.rmw(op.obj, op.value)
+                    else:
+                        await session.increment(op.obj, op.value)
+                await session.commit()
+                counters["committed"] += 1
+                return
+            except ClusterAborted:
+                await session.abort()
+                aborts += 1
+                counters["retries"] += 1
+                if aborts > max_retries:
+                    counters["failed"] += 1
+                    return
+                await asyncio.sleep(rng.uniform(0, 0.003) * min(aborts, 10))
+            except ClusterError:
+                await session.abort()
+                counters["failed"] += 1
+                return
+
+    async def main() -> None:
+        frontend = AsyncFrontend(cluster, workers=workers)
+        admission = asyncio.Semaphore(workers)
+        try:
+            await asyncio.gather(
+                *[one(frontend, admission, i) for i in range(len(ops_lists))]
+            )
+        finally:
+            await frontend.aclose()
+
+    asyncio.run(main())
+    return counters
+
+
 def client_main(argv: Optional[List[str]] = None) -> None:
     """Load-client process entry: run a program slice, print counters."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -179,12 +271,20 @@ def client_main(argv: Optional[List[str]] = None) -> None:
         attach_ports=ports,
     )
     try:
-        counters = drive_slice(
-            cluster, ops_lists,
-            threads=int(options.get("threads", "4")),
-            seed=int(options["seed"]) + offset,
-        )
+        if options.get("frontend") == "async":
+            counters = drive_slice_async(
+                cluster, ops_lists,
+                seed=int(options["seed"]) + offset,
+                workers=int(options.get("threads", "4")),
+            )
+        else:
+            counters = drive_slice(
+                cluster, ops_lists,
+                threads=int(options.get("threads", "4")),
+                seed=int(options["seed"]) + offset,
+            )
         counters["messages"] = cluster.protocol.counts()["messages_sent"]
+        counters["site_exchanges"] = cluster.protocol.site_exchanges()
     finally:
         cluster.close()
     print("RESULT " + json.dumps(counters), flush=True)
@@ -200,6 +300,7 @@ def spawn_client(
     count: int,
     threads: int,
     replicated: Tuple[str, ...] = (),
+    frontend: str = "threads",
 ) -> "subprocess.Popen[bytes]":
     src_root = os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -221,6 +322,7 @@ def spawn_client(
             "--count", str(count),
             "--threads", str(threads),
             "--replicated", ",".join(replicated),
+            "--frontend", frontend,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -238,9 +340,17 @@ def run_load(
     replicated: Optional[Tuple[str, ...]] = None,
     durability: bool = True,
     base_dir: Optional[str] = None,
+    frontend: str = "threads",
 ) -> Dict[str, Any]:
     """One scaling cell: spawn a fleet, fan ``clients`` processes over
-    the program list, aggregate committed-transaction throughput."""
+    the program list, aggregate committed-transaction throughput.
+
+    ``frontend`` picks the client driver: ``"threads"`` is the classic
+    thread-per-program loop, ``"async"`` multiplexes every program as a
+    session coroutine through :class:`repro.serve.AsyncFrontend` (per-op
+    submission — the coordinator has no batch entry points).  Either way
+    the result carries per-site exchange counts, the saturation axis a
+    skewed routing table shows up on."""
     import shutil
     import tempfile
 
@@ -253,6 +363,13 @@ def run_load(
                   durability=durability)
     per_client = programs // clients
     totals = {"committed": 0, "failed": 0, "retries": 0, "messages": 0}
+    site_exchanges: Dict[int, int] = {}
+
+    def merge_sites(mapping: Any) -> None:
+        for site, exchanges in (mapping or {}).items():
+            site = int(site)  # JSON round-trips dict keys as strings
+            site_exchanges[site] = site_exchanges.get(site, 0) + exchanges
+
     try:
         if clients == 1:
             # One client drives in-process: no interpreter spawn inside
@@ -264,12 +381,18 @@ def run_load(
             )
             started = time.perf_counter()
             try:
-                counters = drive_slice(
-                    cluster, ops_lists, threads=threads, seed=seed,
-                )
+                if frontend == "async":
+                    counters = drive_slice_async(
+                        cluster, ops_lists, seed=seed, workers=threads,
+                    )
+                else:
+                    counters = drive_slice(
+                        cluster, ops_lists, threads=threads, seed=seed,
+                    )
                 counters["messages"] = (
                     cluster.protocol.counts()["messages_sent"]
                 )
+                merge_sites(cluster.protocol.site_exchanges())
             finally:
                 seconds = time.perf_counter() - started
                 cluster.close()
@@ -285,6 +408,7 @@ def run_load(
                     else programs - (clients - 1) * per_client,
                     threads=threads,
                     replicated=tuple(replicated),
+                    frontend=frontend,
                 )
                 for i in range(clients)
             ]
@@ -303,6 +427,7 @@ def run_load(
                     )
                 for key in totals:
                     totals[key] += payload.get(key, 0)
+                merge_sites(payload.get("site_exchanges"))
             seconds = time.perf_counter() - started
     finally:
         fleet.close()
@@ -313,7 +438,16 @@ def run_load(
         "shards": shards,
         "clients": clients,
         "threads_per_client": threads,
+        "frontend": frontend,
         "programs": programs,
+        "per_site": {
+            site: {
+                "exchanges": exchanges,
+                "per_sec": round(exchanges / seconds, 1)
+                if seconds > 0 else 0.0,
+            }
+            for site, exchanges in sorted(site_exchanges.items())
+        },
         "committed": totals["committed"],
         "failed": totals["failed"],
         "retries": totals["retries"],

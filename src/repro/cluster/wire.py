@@ -97,6 +97,9 @@ class ProtocolLog:
         self.sent = 0
         self.received = 0
         self.summary_entries = 0
+        # Round trips by shard — the per-site saturation axis: a skewed
+        # routing table shows up here as one hot site doing all the work.
+        self.per_site: Dict[int, int] = {}
         self._events: List[Event] = []
         self._lock = threading.Lock()
 
@@ -106,6 +109,7 @@ class ProtocolLog:
             self.sent += 1
             self.received += 1
             self.summary_entries += 2 * len(summary)
+            self.per_site[shard] = self.per_site.get(shard, 0) + 1
             if len(self._events) < self.keep:
                 self._events.append(
                     Send(self.coordinator_node, shard, summary)
@@ -124,6 +128,11 @@ class ProtocolLog:
                 "messages_received": self.received,
                 "summary_entries": self.summary_entries,
             }
+
+    def site_exchanges(self) -> Dict[int, int]:
+        """Round trips per shard (a copy; keys are shard indexes)."""
+        with self._lock:
+            return dict(self.per_site)
 
 
 def summary_for(name: Optional[Any], status: str) -> ActionSummary:

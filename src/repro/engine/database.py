@@ -88,6 +88,15 @@ from .storage import VersionedStore
 from .trace import COMMIT, CREATE, PERFORM, TraceRecord, TraceRecorder
 from .transaction import Transaction
 
+# Batch op statuses (see NestedTransactionDB.try_perform_batch /
+# commit_batch): DONE carries the op's value, BLOCKED means nothing
+# happened (retry on the blocking path), ERROR carries the exception.
+BATCH_DONE = "done"
+BATCH_BLOCKED = "blocked"
+BATCH_ERROR = "error"
+
+_BATCH_KINDS = frozenset(("read", "read_for_update", "write", "increment"))
+
 
 class NestedTransactionDB:
     """A thread-safe in-process database with resilient nested transactions.
@@ -539,55 +548,79 @@ class NestedTransactionDB:
             return
         started = time.monotonic() if self.metrics.enabled else None
         with self._cond:
-            if txn.status == ABORTED:
-                raise TransactionAborted(txn.name, "commit after abort")
-            if txn.status == COMMITTED:
-                raise InvalidTransactionState("%r already committed" % txn.name)
-            self._check_live_locked(txn)
-            for child in txn.children:
-                if child.status == ACTIVE:
-                    raise InvalidTransactionState(
-                        "cannot commit %r: child %r still active"
-                        % (txn.name, child.name)
-                    )
-            txn.status = COMMITTED
-            commit_seq = (
-                self.trace.reserve_seq() if self.trace is not None else None
-            )
-            stamp = prune_below = None
-            if txn.parent is None:
-                if txn.read_only:
-                    self._snapshot_horizons.pop(txn.name, None)
-                else:
-                    self._commit_stamp += 1
-                    stamp = self._commit_stamp
-                    horizons = self._snapshot_horizons
-                    prune_below = (
-                        min(horizons.values()) if horizons else stamp
-                    )
-            inherited = tuple(txn.held_objects)
-            wal_batch = self._collect_perm_writes(txn)
-            self._inherit_locks(txn, stamp, prune_below)
-            self._waits.remove_transaction(txn.name)
-            self.stats.committed += 1
-            # Append inside the latch so WAL order equals commit order;
-            # the fsync happens after release (see below).
-            wal_lsn = (
-                self.durability.log_commit(txn.name, *wal_batch)
-                if wal_batch
-                else None
-            )
+            outcome = self._commit_locked_global(txn)
             self._cond.notify_all()
+        self._publish_commit_global(txn, outcome)
+        if started is not None:
+            self._h_commit.observe(time.monotonic() - started)
+
+    def _commit_locked_global(
+        self, txn: Transaction
+    ) -> Tuple[Optional[int], Optional[int], Tuple[str, ...], Optional[int]]:
+        """Latched half of a global-mode commit: status flip, lock
+        inheritance, and the WAL append.  Returns
+        ``(commit_seq, stamp, inherited, wal_lsn)`` for
+        :meth:`_publish_commit_global`, which runs after the latch is
+        released.  The caller owns ``self._cond`` and the notify."""
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.name, "commit after abort")
+        if txn.status == COMMITTED:
+            raise InvalidTransactionState("%r already committed" % txn.name)
+        self._check_live_locked(txn)
+        for child in txn.children:
+            if child.status == ACTIVE:
+                raise InvalidTransactionState(
+                    "cannot commit %r: child %r still active"
+                    % (txn.name, child.name)
+                )
+        txn.status = COMMITTED
+        commit_seq = (
+            self.trace.reserve_seq() if self.trace is not None else None
+        )
+        stamp = prune_below = None
+        if txn.parent is None:
+            if txn.read_only:
+                self._snapshot_horizons.pop(txn.name, None)
+            else:
+                self._commit_stamp += 1
+                stamp = self._commit_stamp
+                horizons = self._snapshot_horizons
+                prune_below = (
+                    min(horizons.values()) if horizons else stamp
+                )
+        inherited = tuple(txn.held_objects)
+        wal_batch = self._collect_perm_writes(txn)
+        self._inherit_locks(txn, stamp, prune_below)
+        self._waits.remove_transaction(txn.name)
+        self.stats.committed += 1
+        # Append inside the latch so WAL order equals commit order; the
+        # fsync happens after release (see _publish_commit_global).
+        wal_lsn = (
+            self.durability.log_commit(txn.name, *wal_batch)
+            if wal_batch
+            else None
+        )
+        return commit_seq, stamp, inherited, wal_lsn
+
+    def _publish_commit_global(
+        self,
+        txn: Transaction,
+        outcome: Tuple[Optional[int], Optional[int], Tuple[str, ...], Optional[int]],
+        defer_sync: bool = False,
+    ) -> Optional[int]:
+        """Off-latch half of a global-mode commit: trace publication,
+        the durable fsync, and event fan-out.  With ``defer_sync`` the
+        fsync is skipped and the WAL lsn returned so a batched caller can
+        cover many commits with one sync (see :meth:`commit_batch`)."""
+        commit_seq, stamp, inherited, wal_lsn = outcome
         if commit_seq is not None:
             # Top-level commits carry their commit stamp so certifiers can
             # reconstruct the committed state at any snapshot horizon.
             self.trace.publish(
                 TraceRecord(COMMIT, txn.name, arg=stamp, seq=commit_seq)
             )
-        if wal_lsn is not None:
+        if wal_lsn is not None and not defer_sync:
             self._finish_durable_commit(wal_lsn)
-        if started is not None:
-            self._h_commit.observe(time.monotonic() - started)
         if self.events.enabled:
             parent = txn.parent
             self.events.emit(TxnCommitted(txn.name, len(inherited)))
@@ -599,6 +632,7 @@ class NestedTransactionDB:
                         inherited,
                     )
                 )
+        return wal_lsn
 
     def _collect_perm_writes(
         self, txn: Transaction, held: Optional[Any] = None
@@ -727,6 +761,16 @@ class NestedTransactionDB:
         self.stats.aborted += 1
         if self.events.enabled:
             self.events.emit(TxnAborted(txn.name, reason))
+
+    def cancel_waits(self, txn: Transaction) -> None:
+        """Withdraw ``txn``'s waits-for edges after an external waiter
+        gives up on a blocked request (e.g. the serve layer timing out a
+        parked op).  The blocking paths clear their own edges; batch
+        attempts leave edges behind on BLOCKED results so the deadlock
+        detector sees queued requesters — whoever abandons such a request
+        must clear them, or they linger as false cycle material until the
+        transaction finishes."""
+        self._waits.clear_waits(txn.name)
 
     def _is_live(self, txn: Transaction) -> bool:
         if self._striped:
@@ -936,10 +980,13 @@ class NestedTransactionDB:
                     stack = self._store.stack(obj)
                     stack.materialize_deltas()
                     stack.ensure_version(name)
-                if blocked:
+                if blocked or self._waits.has_waits(name):
                     # Only a request that actually registered waits-for
                     # edges needs to clear them — sparing granted-first-
-                    # try requests the graph's leaf lock.
+                    # try requests the graph's leaf lock.  The lock-free
+                    # probe catches edges left by a batched attempt that
+                    # reported BLOCKED (try_perform_batch) and then found
+                    # the conflict gone here.
                     self._waits.clear_waits(name)
                 return
             blocked = True
@@ -1104,7 +1151,9 @@ class NestedTransactionDB:
                             stack.discard(name)
                         stripe.notify_object(obj)
                         continue  # loop re-checks liveness -> orphan path
-                    if blocked:
+                    if blocked or waits.has_waits(name):
+                        # (The probe catches edges left by a batched
+                        # BLOCKED attempt, as in the global path.)
                         waits.clear_waits(name)
                     # Stripe-local counters: exact because every bump of
                     # this stripe's reads/writes runs under this stripe's
@@ -1266,7 +1315,9 @@ class NestedTransactionDB:
                 survivors.append(holder)
         return survivors
 
-    def _commit_striped(self, txn: Transaction) -> None:
+    def _commit_striped(
+        self, txn: Transaction, defer_sync: bool = False
+    ) -> Optional[int]:
         """Commit under the striped lock manager.
 
         Two-phase acquire: every stripe covering the transaction's held
@@ -1274,6 +1325,10 @@ class NestedTransactionDB:
         status flip, trace-seq reservation, held-set merge into the parent
         and cross-stripe lock inheritance are one atomic step — a
         concurrent requester can never observe a half-inherited lock set.
+
+        With ``defer_sync`` the durable fsync is skipped and the WAL lsn
+        returned so a batched caller can cover many commits with one sync
+        (see :meth:`commit_batch`).
         """
         started = time.monotonic() if self.metrics.enabled else None
         name = txn.name
@@ -1374,7 +1429,7 @@ class NestedTransactionDB:
                 self.trace.publish(
                     TraceRecord(COMMIT, name, arg=stamp, seq=commit_seq)
                 )
-            if wal_lsn is not None:
+            if wal_lsn is not None and not defer_sync:
                 self._finish_durable_commit(wal_lsn)
             if started is not None:
                 self._h_commit.observe(time.monotonic() - started)
@@ -1388,7 +1443,7 @@ class NestedTransactionDB:
                             tuple(sorted(held)),
                         )
                     )
-            return
+            return wal_lsn
 
     def _collect_active_subtree(self, root: Transaction) -> List[Transaction]:
         """The ACTIVE transactions of ``root``'s subtree, deepest first
@@ -1480,6 +1535,478 @@ class NestedTransactionDB:
                 for name in aborted_names:
                     self.events.emit(TxnAborted(name, reason))
             return
+
+    # -- batched submission (the serve front-end's entry points) -----------------
+    #
+    # The WAL's group-commit leader/follower pattern, generalized to the
+    # engine latches: one latch crossing begins / performs / commits a
+    # whole batch of compatible operations, amortizing the synchronization
+    # cost that caps per-core throughput under thread-per-session load.
+    # Ops that would block never stall a batch — they come back BLOCKED
+    # and the caller retries them on the ordinary blocking path (full
+    # deadlock detection, waits-for edges and orphan handling included).
+    # See src/repro/serve/batch.py for the submission queue in front of
+    # these entry points and docs/performance.md (E15) for the numbers.
+
+    def begin_transaction_batch(
+        self, count: int, read_only: bool = False
+    ) -> List[Transaction]:
+        """Begin ``count`` top-level transactions under one latch
+        crossing (one metadata-latch acquisition in striped mode, one
+        global-latch acquisition otherwise).  Trace records and events
+        publish after release, exactly like :meth:`begin_transaction`."""
+        if count <= 0:
+            return []
+        pairs: List[Tuple[Transaction, Optional[int]]] = []
+        latch = self._meta if self._striped else self._cond
+        with latch:
+            for _ in range(count):
+                name = U.child(next(self._top_counter))
+                pairs.append(
+                    self._begin_locked(name, parent=None, read_only=read_only)
+                )
+        for txn, seq in pairs:
+            self._publish_begin(txn, seq)
+        return [txn for txn, _seq in pairs]
+
+    def try_perform_batch(
+        self, ops: List[Tuple[Transaction, str, str, Any]]
+    ) -> List[Tuple[str, Any]]:
+        """Attempt a batch of data operations non-blocking, crossing each
+        involved latch once for the whole batch.
+
+        ``ops`` is a sequence of ``(txn, kind, obj, arg)`` with ``kind``
+        one of ``"read"``, ``"read_for_update"``, ``"write"``,
+        ``"increment"``.  Returns one ``(status, payload)`` per op, in
+        order:
+
+        * ``("done", value)`` — performed; trace record published with a
+          seq reserved under the latch (same linearization as the per-op
+          paths);
+        * ``("blocked", None)`` — the lock request conflicts (or is a
+          single-mode increment, which expands to two dependent lock
+          requests); nothing happened — retry after a lock-releasing
+          event (any commit/abort), or on the blocking path.  Conflicting
+          requesters leave their waits-for edges registered so queued
+          retries stay visible to the deadlock detector;
+        * ``("error", exc)`` — the op failed terminally (aborted txn,
+          unknown object, read-only violation); the exception is returned,
+          not raised, so one dead session never poisons a batch.
+        """
+        for _txn, kind, _obj, _arg in ops:
+            if kind not in _BATCH_KINDS:
+                raise ValueError("unknown batch op kind %r" % (kind,))
+        if self._striped:
+            return self._try_perform_batch_striped(ops)
+        return self._try_perform_batch_global(ops)
+
+    def _try_perform_batch_global(
+        self, ops: List[Tuple[Transaction, str, str, Any]]
+    ) -> List[Tuple[str, Any]]:
+        results: List[Optional[Tuple[str, Any]]] = [None] * len(ops)
+        publish: List[Tuple[Transaction, str, str, Any, Any, int]] = []
+        any_abort = False
+        with self._cond:
+            for i, (txn, kind, obj, arg) in enumerate(ops):
+                try:
+                    results[i] = self._attempt_op_locked(
+                        txn, kind, obj, arg, publish
+                    )
+                except (
+                    TransactionAborted,
+                    InvalidTransactionState,
+                    UnknownObject,
+                    ReadOnlyViolation,
+                ) as error:
+                    results[i] = (BATCH_ERROR, error)
+                    any_abort = any_abort or isinstance(error, TransactionAborted)
+            if any_abort:
+                # An orphan died under the latch and released locks:
+                # wake blocked requesters so they re-check.
+                self._cond.notify_all()
+        self._publish_batch(publish)
+        return results  # type: ignore[return-value]
+
+    def _attempt_op_locked(
+        self,
+        txn: Transaction,
+        kind: str,
+        obj: str,
+        arg: Any,
+        publish: List[Tuple[Transaction, str, str, Any, Any, int]],
+    ) -> Tuple[str, Any]:
+        """One non-blocking op attempt under the global latch.  Appends
+        ``(txn, obj, kind, seen, arg, seq)`` to ``publish`` for granted
+        ops whose trace record publishes after the latch drops."""
+        trace = self.trace
+        if txn.read_only:
+            if kind != "read":
+                raise ReadOnlyViolation(txn.name, kind)
+            if obj not in self._store:
+                raise UnknownObject(obj)
+            self._check_live_locked(txn)
+            value = self._store.stack(obj).value_at(txn.snapshot_horizon)
+            self.stats._snapshot_reads += 1
+            if trace is not None:
+                publish.append(
+                    (txn, obj, "read", value, None, trace.reserve_seq())
+                )
+            return (BATCH_DONE, value)
+        if kind == "increment" and self.single_mode:
+            # Single mode degenerates increments to read-modify-write —
+            # two dependent lock requests; the fallback path runs both.
+            return (BATCH_BLOCKED, None)
+        locks = self._locks.get(obj)
+        if locks is None:
+            raise UnknownObject(obj)
+        self._check_live_locked(txn)
+        if kind == "read":
+            mode = WRITE if self.single_mode else READ
+        elif kind == "increment":
+            mode = INCREMENT
+        else:
+            mode = WRITE
+        name = txn.name
+        conflicts = locks.conflicts_with(name, mode, txn.ancestor_names)
+        if conflicts and self.lazy_lock_cleanup:
+            conflicts = self._reap_dead_holders_locked(obj, conflicts)
+        if conflicts:
+            # Register the waits-for edges even though this attempt never
+            # waits: the session is logically blocked until its parked
+            # retry, and the deadlock detector must see it — a cycle
+            # whose members are all parked in the serve queue would
+            # otherwise only ever die by lock timeout.  Detection runs
+            # only when the edge set changed: the closing edge of any
+            # cycle triggers a sweep from its waiter, so unchanged
+            # retries have nothing new to find.
+            changed = self._waits.set_waits(name, conflicts)
+            if self.detect_deadlocks and changed:
+                cycle = self._waits.find_cycle_from(name)
+                if cycle is not None:
+                    self.stats.deadlocks += 1
+                    victim_name = choose_victim(
+                        cycle, self.deadlock_policy, name
+                    )
+                    if self.events.enabled:
+                        self.events.emit(DeadlockDetected(name, tuple(cycle)))
+                        self.events.emit(
+                            VictimChosen(
+                                victim_name,
+                                self.deadlock_policy,
+                                name,
+                                len(cycle),
+                            )
+                        )
+                    self._waits.clear_waits(name)
+                    victim = self._txns[victim_name]
+                    self._abort_subtree_locked(victim, reason="deadlock")
+                    self._cond.notify_all()
+                    if victim_name.is_ancestor_of(name):
+                        return (BATCH_ERROR, DeadlockAbort(name, cycle))
+            return (BATCH_BLOCKED, None)
+        locks.grant(name, mode)
+        if self._waits.has_waits(name):
+            self._waits.clear_waits(name)
+        txn.held_objects.add(obj)
+        stack = self._store.stack(obj)
+        if mode == WRITE:
+            stack.materialize_deltas()
+            stack.ensure_version(name)
+        if kind == "write":
+            seen = stack.current
+            stack.set_value(name, arg)
+            self.stats._writes += 1
+            value = None
+            entry = ("write", seen, arg)
+        elif kind == "increment":
+            stack.add_delta(name, arg)
+            self.stats._increments += 1
+            value = None
+            entry = ("increment", None, arg)
+        else:
+            value = stack.effective_current() if stack.deltas else stack.current
+            self.stats._reads += 1
+            entry = ("read", value, None)
+        if trace is not None:
+            publish.append((txn, obj) + entry + (trace.reserve_seq(),))
+        return (BATCH_DONE, value)
+
+    def _try_perform_batch_striped(
+        self, ops: List[Tuple[Transaction, str, str, Any]]
+    ) -> List[Tuple[str, Any]]:
+        table = self._table
+        results: List[Optional[Tuple[str, Any]]] = [None] * len(ops)
+        publish: List[Tuple[Transaction, str, str, Any, Any, int]] = []
+        by_stripe: Dict[int, List[int]] = {}
+        for i, (txn, kind, obj, arg) in enumerate(ops):
+            if obj not in table:
+                results[i] = (BATCH_ERROR, UnknownObject(obj))
+                continue
+            if txn.status == ABORTED:
+                results[i] = (BATCH_ERROR, TransactionAborted(txn.name))
+                continue
+            if not self._live_status_locked(txn):
+                # No latch is held yet, so the full orphan protocol (it
+                # two-phase-acquires stripes) can run right here, exactly
+                # like _check_live_striped on the blocking path.
+                try:
+                    self._die_as_orphan(txn)
+                except TransactionAborted as error:
+                    results[i] = (BATCH_ERROR, error)
+                continue
+            if txn.read_only:
+                if kind != "read":
+                    results[i] = (
+                        BATCH_ERROR,
+                        ReadOnlyViolation(txn.name, kind),
+                    )
+                    continue
+            elif kind == "increment" and self.single_mode:
+                results[i] = (BATCH_BLOCKED, None)
+                continue
+            by_stripe.setdefault(table.stripe_of(obj).index, []).append(i)
+        victims: List[Tuple[ActionName, List[ActionName], int]] = []
+        for stripe_index in sorted(by_stripe):
+            indices = by_stripe[stripe_index]
+            stripe = table.stripes[stripe_index]
+            with stripe.mutex:
+                self._attempt_stripe_batch(
+                    stripe, indices, ops, results, publish, victims
+                )
+        # Victim aborts run with no stripe mutex held (the subtree-abort
+        # protocol two-phase-acquires its own stripes), mirroring
+        # _perform_striped's deadlock handling.
+        for victim_name, cycle, i in victims:
+            requester = ops[i][0]
+            with self._meta:
+                self.stats.deadlocks += 1
+            if self.events.enabled:
+                self.events.emit(
+                    DeadlockDetected(requester.name, tuple(cycle))
+                )
+                self.events.emit(
+                    VictimChosen(
+                        victim_name,
+                        self.deadlock_policy,
+                        requester.name,
+                        len(cycle),
+                    )
+                )
+            self._abort_subtree_striped(
+                self._txns[victim_name], reason="deadlock"
+            )
+            if victim_name.is_ancestor_of(requester.name):
+                results[i] = (
+                    BATCH_ERROR,
+                    DeadlockAbort(requester.name, cycle),
+                )
+        self._publish_batch(publish)
+        return results  # type: ignore[return-value]
+
+    def _attempt_stripe_batch(
+        self,
+        stripe: Any,
+        indices: List[int],
+        ops: List[Tuple[Transaction, str, str, Any]],
+        results: List[Optional[Tuple[str, Any]]],
+        publish: List[Tuple[Transaction, str, str, Any, Any, int]],
+        victims: List[Tuple[ActionName, List[ActionName], int]],
+    ) -> None:
+        """Attempt one stripe's slice of a batch (stripe mutex held).
+
+        The per-op grant-confirmation protocol (see
+        :meth:`_perform_striped`) is amortized: every tentative grant of
+        the stripe is confirmed against transaction liveness under ONE
+        metadata-latch crossing, instead of one per op.  Grants that lose
+        the race with a subtree abort are undone in place and reported
+        BLOCKED — the fallback path then runs the orphan protocol.
+
+        Blocked ops register waits-for edges (the graph is a leaf lock,
+        safe under the stripe mutex) and run cycle detection; chosen
+        victims are appended to ``victims`` for the caller to abort after
+        every stripe mutex is released."""
+        trace = self.trace
+        # Phase 1: tentative grants (snapshot reads complete immediately —
+        # they take no locks, so there is nothing to confirm).
+        tentative: List[Tuple[int, Any, bool]] = []
+        for i in indices:
+            txn, kind, obj, arg = ops[i]
+            stack = self._store.stack(obj)
+            if txn.read_only:
+                value = stack.value_at(txn.snapshot_horizon)
+                stripe.snapshot_reads += 1
+                if trace is not None:
+                    publish.append(
+                        (txn, obj, "read", value, None, trace.reserve_seq())
+                    )
+                results[i] = (BATCH_DONE, value)
+                continue
+            locks = stripe.locks[obj]
+            if kind == "read":
+                mode = WRITE if self.single_mode else READ
+            elif kind == "increment":
+                mode = INCREMENT
+            else:
+                mode = WRITE
+            name = txn.name
+            conflicts = locks.conflicts_with(name, mode, txn.ancestor_names)
+            if conflicts and self.lazy_lock_cleanup:
+                conflicts = self._reap_dead_holders_striped(
+                    stripe, obj, conflicts
+                )
+            if conflicts:
+                # Same rationale as the global batch path: the session is
+                # logically blocked until its parked retry, so the
+                # deadlock detector must see its edges now; detection
+                # only on edge change (the closing edge sweeps).
+                changed = self._waits.set_waits(name, conflicts)
+                if self.detect_deadlocks and changed:
+                    cycle = self._waits.find_cycle_from(name)
+                    if cycle is not None:
+                        self._waits.clear_waits(name)
+                        victims.append(
+                            (
+                                choose_victim(
+                                    cycle, self.deadlock_policy, name
+                                ),
+                                cycle,
+                                i,
+                            )
+                        )
+                results[i] = (BATCH_BLOCKED, None)
+                continue
+            prev_mode = locks.mode_of(name)
+            had_version = stack.owns_version(name)
+            locks.grant(name, mode)
+            if self._waits.has_waits(name):
+                self._waits.clear_waits(name)
+            if mode == WRITE:
+                stack.materialize_deltas()
+                stack.ensure_version(name)
+            tentative.append((i, mode, prev_mode, had_version))
+        if not tentative:
+            return
+        # Phase 2: one metadata-latch crossing confirms liveness for
+        # every tentative grant in this stripe.
+        confirmed = [False] * len(tentative)
+        with self._meta:
+            for j, (i, _mode, _prev, _had) in enumerate(tentative):
+                txn = ops[i][0]
+                if self._live_status_locked(txn):
+                    txn.held_objects.add(ops[i][2])
+                    confirmed[j] = True
+        # Phase 3: state changes + trace seqs for confirmed grants;
+        # in-place undo for the rest (nothing observed them — the stripe
+        # mutex was held throughout).
+        for j, (i, mode, prev_mode, had_version) in enumerate(tentative):
+            txn, kind, obj, arg = ops[i]
+            name = txn.name
+            locks = stripe.locks[obj]
+            stack = self._store.stack(obj)
+            if not confirmed[j]:
+                if prev_mode is None:
+                    locks.discard(name)
+                else:
+                    locks.holders[name] = prev_mode
+                if mode == WRITE and not had_version:
+                    stack.discard(name)
+                stripe.notify_object(obj)
+                results[i] = (BATCH_BLOCKED, None)
+                continue
+            if kind == "write":
+                seen = stack.current
+                stack.set_value(name, arg)
+                stripe.writes += 1
+                value = None
+                entry = ("write", seen, arg)
+            elif kind == "increment":
+                stack.add_delta(name, arg)
+                stripe.increments += 1
+                value = None
+                entry = ("increment", None, arg)
+            else:
+                value = (
+                    stack.effective_current() if stack.deltas else stack.current
+                )
+                stripe.reads += 1
+                entry = ("read", value, None)
+            if trace is not None:
+                publish.append((txn, obj) + entry + (trace.reserve_seq(),))
+            results[i] = (BATCH_DONE, value)
+
+    def _publish_batch(
+        self, publish: List[Tuple[Transaction, str, str, Any, Any, int]]
+    ) -> None:
+        """Publish a batch's trace records (every latch released; seqs
+        were reserved under the latches, so linearization is unaffected —
+        readers sort by seq, see trace.py)."""
+        trace = self.trace
+        if trace is None:
+            return
+        for txn, obj, kind, seen, arg, seq in publish:
+            trace.publish(
+                TraceRecord(
+                    PERFORM,
+                    txn.name,
+                    txn.next_access_name(kind),
+                    obj,
+                    kind,
+                    seen,
+                    arg,
+                    seq,
+                )
+            )
+
+    def commit_batch(
+        self, txns: List[Transaction]
+    ) -> List[Tuple[str, Any]]:
+        """Commit many transactions with amortized synchronization: one
+        global-latch crossing (global mode) or one pass of per-txn stripe
+        acquisitions (striped mode), then ONE durable fsync covering the
+        whole batch — the group-commit ack coalescing of
+        ``durability/wal.py`` driven from above.  No result is returned
+        (and no caller may ack) until the covering sync completes.
+
+        Returns one ``("done", None)`` or ``("error", exc)`` per
+        transaction, in order; per-txn failures are contained so one
+        aborted session never poisons a batch."""
+        results: List[Optional[Tuple[str, Any]]] = [None] * len(txns)
+        max_lsn: Optional[int] = None
+        if self._striped:
+            for i, txn in enumerate(txns):
+                try:
+                    lsn = self._commit_striped(txn, defer_sync=True)
+                except (TransactionAborted, InvalidTransactionState) as error:
+                    results[i] = (BATCH_ERROR, error)
+                else:
+                    results[i] = (BATCH_DONE, None)
+                    if lsn is not None and (max_lsn is None or lsn > max_lsn):
+                        max_lsn = lsn
+            if max_lsn is not None:
+                self._finish_durable_commit(max_lsn)
+            return results  # type: ignore[return-value]
+        started = time.monotonic() if self.metrics.enabled else None
+        outcomes: List[Optional[Tuple[Any, ...]]] = [None] * len(txns)
+        with self._cond:
+            for i, txn in enumerate(txns):
+                try:
+                    outcomes[i] = self._commit_locked_global(txn)
+                except (TransactionAborted, InvalidTransactionState) as error:
+                    results[i] = (BATCH_ERROR, error)
+            self._cond.notify_all()
+        for i, txn in enumerate(txns):
+            outcome = outcomes[i]
+            if outcome is None:
+                continue
+            lsn = self._publish_commit_global(txn, outcome, defer_sync=True)
+            results[i] = (BATCH_DONE, None)
+            if lsn is not None and (max_lsn is None or lsn > max_lsn):
+                max_lsn = lsn
+        if max_lsn is not None:
+            self._finish_durable_commit(max_lsn)
+        if started is not None:
+            self._h_commit.observe(time.monotonic() - started)
+        return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:
         return "NestedTransactionDB(%d objects, %s, %s)" % (

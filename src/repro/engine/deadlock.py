@@ -40,6 +40,17 @@ class WaitsForGraph:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._edges: Dict[ActionName, Set[ActionName]] = {}
+        # Two side indexes keep the hot operations from scanning every
+        # edge (the graph can carry thousands of edges when thousands of
+        # serve sessions are blocked at once):
+        # * _rev: blocker -> waiters pointing at it, so removing a
+        #   finished transaction is O(its waiters), not O(all edges);
+        # * _roots: top-level path atom -> waiters beneath that root, so
+        #   a cycle sweep finds "waiters in node's subtree" by one dict
+        #   probe (ancestry is path-prefix containment — every waiter in
+        #   node's subtree shares node's first atom).
+        self._rev: Dict[ActionName, Set[ActionName]] = {}
+        self._roots: Dict[Any, Set[ActionName]] = {}
         self._registry: Optional[Any] = None
         self._sweep_hist: Optional[Any] = None
 
@@ -51,24 +62,72 @@ class WaitsForGraph:
         self._sweep_hist = registry.histogram("engine_deadlock_sweep_seconds")
         registry.gauge("engine_waits_for_edges", callback=self.__len__)
 
-    def set_waits(self, waiter: ActionName, blockers: Iterable[ActionName]) -> None:
+    def set_waits(self, waiter: ActionName, blockers: Iterable[ActionName]) -> bool:
+        """Register ``waiter``'s current blockers; returns True when the
+        edge set actually changed.  Callers may skip cycle detection on
+        an unchanged registration: a cycle is detected at the moment its
+        closing edge is added, by the waiter adding it — re-sweeping for
+        waiters whose edges did not move finds nothing new, and retried
+        batch attempts (see serve/batch.py) would otherwise pay a full
+        graph traversal per retry."""
         blockers = set(blockers)
         with self._lock:
+            old = self._edges.get(waiter)
+            if old == blockers:
+                return False
+            if old is not None:
+                self._drop_locked(waiter, old)
             if blockers:
                 self._edges[waiter] = blockers
-            else:
-                self._edges.pop(waiter, None)
+                for blocker in blockers:
+                    self._rev.setdefault(blocker, set()).add(waiter)
+                self._roots.setdefault(waiter.path[0], set()).add(waiter)
+            return True
 
     def clear_waits(self, waiter: ActionName) -> None:
         with self._lock:
-            self._edges.pop(waiter, None)
+            old = self._edges.pop(waiter, None)
+            if old is not None:
+                self._drop_locked(waiter, old)
+
+    def _drop_locked(self, waiter: ActionName, blockers: Set[ActionName]) -> None:
+        """Unhook ``waiter`` from the side indexes (graph lock held)."""
+        self._edges.pop(waiter, None)
+        for blocker in blockers:
+            pointing = self._rev.get(blocker)
+            if pointing is not None:
+                pointing.discard(waiter)
+                if not pointing:
+                    del self._rev[blocker]
+        beneath = self._roots.get(waiter.path[0])
+        if beneath is not None:
+            beneath.discard(waiter)
+            if not beneath:
+                del self._roots[waiter.path[0]]
+
+    def has_waits(self, waiter: ActionName) -> bool:
+        """Advisory, lock-free: does ``waiter`` currently have edges?
+        A GIL-atomic dict probe — grant paths use it to skip the leaf
+        lock when there is nothing to clear (edges can be registered by
+        a batched attempt that never reached the blocking wait, see
+        ``NestedTransactionDB.try_perform_batch``)."""
+        return waiter in self._edges
 
     def remove_transaction(self, txn: ActionName) -> None:
         """Drop a finished/aborted transaction from both edge sides."""
         with self._lock:
-            self._edges.pop(txn, None)
-            for blockers in self._edges.values():
-                blockers.discard(txn)
+            old = self._edges.get(txn)
+            if old is not None:
+                self._drop_locked(txn, old)
+            waiters = self._rev.pop(txn, None)
+            if waiters:
+                for waiter in waiters:
+                    blockers = self._edges.get(waiter)
+                    if blockers is None:
+                        continue
+                    blockers.discard(txn)
+                    if not blockers:
+                        self._drop_locked(waiter, blockers)
 
     def find_cycle_from(self, start: ActionName) -> Optional[List[ActionName]]:
         """A deadlock involving ``start``, if one exists.
@@ -102,6 +161,8 @@ class WaitsForGraph:
                 (blocker, (start, blocker))
                 for blocker in self._edges.get(start, ())
             ]
+            edges = self._edges
+            roots = self._roots
             while stack:
                 node, path = stack.pop()
                 if node in target:
@@ -109,10 +170,18 @@ class WaitsForGraph:
                 if node in visited:
                     continue
                 visited.add(node)
-                for waiter, blockers in self._edges.items():
+                node_path = node.path
+                if not node_path:
+                    continue
+                # Waiters in node's subtree all live under node's root
+                # atom — one index probe instead of a scan of every edge.
+                beneath = roots.get(node_path[0])
+                if not beneath:
+                    continue
+                for waiter in beneath:
                     if not node.is_ancestor_of(waiter):
                         continue
-                    for blocker in blockers:
+                    for blocker in edges.get(waiter, ()):
                         if blocker in target:
                             return list(path) + [blocker]
                         if blocker not in visited:

@@ -1,0 +1,27 @@
+"""The serving layer: escape the GIL on the session path.
+
+Thread-per-session tops out around the E1/E4 numbers (~500–600
+committed txn/s at 8 threads) because every client session burns an OS
+thread and every operation crosses an engine latch alone.  This package
+splits the problem the way a reactor splits I/O from CPU:
+
+* :mod:`repro.serve.frontend` — an asyncio front-end multiplexing
+  thousands of in-flight sessions onto a small CPU worker pool, bridged
+  by ``concurrent.futures.Future`` → ``asyncio.wrap_future``;
+* :mod:`repro.serve.batch` — the leader/follower submission queue in
+  front of both latch modes: one latch crossing begins / performs /
+  commits a whole batch (the WAL group-commit pattern generalized to
+  lock acquisition and trace publication), with commit acks coalesced
+  into group fsyncs;
+* :mod:`repro.serve.loadgen` — the saturation cells behind
+  ``benchmarks/bench_e15_saturation.py`` and ``scripts/serve_bench.py``.
+
+Every served trace is certifiable exactly like the sync paths: batch
+ops reserve their trace seqs under the engine latches and publish after
+release, so ``certify="streaming"`` engines verify serve traffic live.
+"""
+
+from .batch import BatchSubmitter
+from .frontend import AsyncFrontend, Session
+
+__all__ = ["AsyncFrontend", "BatchSubmitter", "Session"]
